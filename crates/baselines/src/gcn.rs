@@ -1,0 +1,110 @@
+//! GCN baseline (Kipf & Welling, 2017).
+//!
+//! Two graph-convolution layers over the timestamp-discarded static view:
+//! `H' = ReLU(Â H W)` with `Â = D̃^{-1/2}(A + I)D̃^{-1/2}`, followed by
+//! *Mean* graph pooling and a logistic head (Sec. V-D adaptation).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpgnn_graph::{Ctdn, StaticView};
+use tpgnn_nn::Linear;
+use tpgnn_tensor::linalg::gcn_norm;
+use tpgnn_tensor::{Adam, ParamStore, Tape, Tensor, Var};
+
+use crate::common::{feature_matrix, HIDDEN};
+
+/// Two-layer GCN graph classifier.
+pub struct Gcn {
+    store: ParamStore,
+    opt: Adam,
+    l1: Linear,
+    l2: Linear,
+    head: Linear,
+}
+
+impl Gcn {
+    /// Build the model for `feature_dim`-dimensional node features.
+    pub fn new(feature_dim: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let l1 = Linear::new(&mut store, "gcn.l1", feature_dim, HIDDEN, &mut rng);
+        let l2 = Linear::new(&mut store, "gcn.l2", HIDDEN, HIDDEN, &mut rng);
+        let head = Linear::new(&mut store, "gcn.head", HIDDEN, 1, &mut rng);
+        Self { store, opt: Adam::new(1e-3), l1, l2, head }
+    }
+
+    fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {
+        let n = g.num_nodes();
+        let view = StaticView::from_ctdn(g);
+        let adj = Tensor::from_vec(n, n, view.adjacency_dense_undirected());
+        let a_hat = tape.input(gcn_norm(&adj));
+        let x = feature_matrix(tape, g);
+
+        let ax = tape.matmul(a_hat, x);
+        let h1_pre = self.l1.forward(tape, &self.store, ax);
+        let h1 = tape.relu(h1_pre);
+
+        let ah1 = tape.matmul(a_hat, h1);
+        let h2_pre = self.l2.forward(tape, &self.store, ah1);
+        let h2 = tape.relu(h2_pre);
+
+        let pooled = tape.mean_rows(h2);
+        self.head.forward(tape, &self.store, pooled)
+    }
+}
+
+crate::impl_graph_classifier!(Gcn, "GCN");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testkit;
+    use tpgnn_core::GraphClassifier;
+    use tpgnn_graph::NodeFeatures;
+
+    #[test]
+    fn forward_shape_and_range() {
+        let mut model = Gcn::new(3, 1);
+        let mut g = Ctdn::new(NodeFeatures::zeros(5, 3));
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        let p = model.predict_proba(&mut g);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn order_invariance() {
+        // GCN discards timestamps: permuting edge times must not change the
+        // prediction.
+        let mut model = Gcn::new(3, 2);
+        let mut feats = NodeFeatures::zeros(4, 3);
+        feats.row_mut(1).copy_from_slice(&[0.3, 0.6, 0.9]);
+        let mut g1 = Ctdn::new(feats.clone());
+        g1.add_edge(0, 1, 1.0);
+        g1.add_edge(2, 3, 2.0);
+        let mut g2 = Ctdn::new(feats);
+        g2.add_edge(2, 3, 1.0);
+        g2.add_edge(0, 1, 9.0);
+        assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uses_node_features() {
+        let mut model = Gcn::new(3, 3);
+        let mut f1 = NodeFeatures::zeros(3, 3);
+        f1.row_mut(0).copy_from_slice(&[1.0, 0.0, 0.0]);
+        let mut f2 = NodeFeatures::zeros(3, 3);
+        f2.row_mut(0).copy_from_slice(&[0.0, 1.0, 0.0]);
+        let mut g1 = Ctdn::new(f1);
+        g1.add_edge(0, 1, 1.0);
+        let mut g2 = Ctdn::new(f2);
+        g2.add_edge(0, 1, 1.0);
+        assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() > 1e-7);
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        let mut model = Gcn::new(3, 4);
+        testkit::assert_model_learns(&mut model, 20);
+    }
+}

@@ -1,0 +1,216 @@
+//! GraphMixer baseline (Cong et al., ICLR 2023).
+//!
+//! GraphMixer deliberately avoids attention and RNNs: a *link encoder*
+//! applies an MLP-Mixer to each node's most recent 1-hop links (with a
+//! **fixed**, non-learnable cosine time encoding), and a *node encoder*
+//! mean-pools neighbor features. Per Sec. V-D the mixer depth is 2 and the
+//! time dimension 6.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpgnn_graph::{Ctdn, TemporalNeighborIndex};
+use tpgnn_nn::{Linear, Mlp};
+use tpgnn_tensor::{Adam, ParamStore, Tape, Tensor, Var};
+
+use crate::common::{feature_matrix, HIDDEN, NUM_NEIGHBORS, TIME_DIM};
+
+/// One token-mixing + channel-mixing block of an MLP-Mixer.
+struct MixerBlock {
+    token_mix: Mlp,
+    channel_mix: Mlp,
+}
+
+impl MixerBlock {
+    fn build(store: &mut ParamStore, prefix: &str, tokens: usize, channels: usize, rng: &mut StdRng) -> Self {
+        Self {
+            token_mix: Mlp::new(
+                store,
+                &format!("{prefix}.tok"),
+                &[tokens, tokens * 2, tokens],
+                tpgnn_nn::Activation::Relu,
+                rng,
+            ),
+            channel_mix: Mlp::new(
+                store,
+                &format!("{prefix}.ch"),
+                &[channels, channels * 2, channels],
+                tpgnn_nn::Activation::Relu,
+                rng,
+            ),
+        }
+    }
+
+    /// `x` is `(tokens, channels)`; both mixes are residual.
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let xt = tape.transpose(x); // (channels, tokens)
+        let mixed_t = self.token_mix.forward(tape, store, xt);
+        let mixed = tape.transpose(mixed_t);
+        let x1 = tape.add(x, mixed);
+        let mixed_c = self.channel_mix.forward(tape, store, x1);
+        tape.add(x1, mixed_c)
+    }
+}
+
+/// The GraphMixer encoder (shared with the Table III `+G` variant).
+pub struct GraphMixerCore {
+    link_proj: Linear,
+    blocks: Vec<MixerBlock>,
+    node_enc: Linear,
+    out: Linear,
+    feature_dim: usize,
+}
+
+impl GraphMixerCore {
+    /// Register the encoder's parameters under `prefix`.
+    pub fn build(store: &mut ParamStore, prefix: &str, feature_dim: usize, rng: &mut StdRng) -> Self {
+        let token_width = feature_dim + TIME_DIM;
+        let blocks = (0..2)
+            .map(|i| MixerBlock::build(store, &format!("{prefix}.mix{i}"), NUM_NEIGHBORS, HIDDEN, rng))
+            .collect();
+        Self {
+            link_proj: Linear::new(store, &format!("{prefix}.linkproj"), token_width, HIDDEN, rng),
+            blocks,
+            node_enc: Linear::new(store, &format!("{prefix}.nodeenc"), 2 * feature_dim, HIDDEN, rng),
+            out: Linear::new(store, &format!("{prefix}.out"), 2 * HIDDEN, HIDDEN, rng),
+            feature_dim,
+        }
+    }
+
+    /// Embedding width of the output node representations.
+    pub fn out_dim(&self) -> usize {
+        HIDDEN
+    }
+
+    /// GraphMixer's fixed (non-learnable) cosine time encoding:
+    /// `cos(t · α^{-k})` for `k = 0..d_t`.
+    fn fixed_time_encoding(dt: f64) -> [f32; TIME_DIM] {
+        let mut out = [0.0f32; TIME_DIM];
+        for (k, o) in out.iter_mut().enumerate() {
+            let freq = 2.0_f64.powi(-(k as i32));
+            *o = (dt * freq).cos() as f32;
+        }
+        out
+    }
+
+    /// Per-node embeddings from the link encoder ⊕ node encoder.
+    pub fn node_embeddings(&self, tape: &mut Tape, store: &ParamStore, g: &mut Ctdn) -> Vec<Var> {
+        let n = g.num_nodes();
+        let q = self.feature_dim;
+        let x = feature_matrix(tape, g);
+        let idx = TemporalNeighborIndex::new(g);
+        let t_end = g.edges().iter().map(|e| e.time).fold(0.0_f64, f64::max) + 1.0;
+
+        (0..n)
+            .map(|v| {
+                let events = idx.recent_before(v, t_end, NUM_NEIGHBORS);
+                // Link encoder: token matrix of the K most recent links,
+                // zero-padded to exactly K tokens (the Mixer needs a fixed
+                // token count).
+                let mut token_data = vec![0.0f32; NUM_NEIGHBORS * (q + TIME_DIM)];
+                let t_v = idx.last_interaction_before(v, t_end).unwrap_or(0.0);
+                for (slot, ev) in events.iter().enumerate() {
+                    let row = &mut token_data[slot * (q + TIME_DIM)..(slot + 1) * (q + TIME_DIM)];
+                    row[..q].copy_from_slice(g.features().row(ev.neighbor));
+                    row[q..].copy_from_slice(&Self::fixed_time_encoding((t_v - ev.time).max(0.0)));
+                }
+                let tokens_raw = tape.input(Tensor::from_vec(NUM_NEIGHBORS, q + TIME_DIM, token_data));
+                let tokens = self.link_proj.forward(tape, store, tokens_raw); // (K, HIDDEN)
+                let mut mixed = tokens;
+                for block in &self.blocks {
+                    mixed = block.forward(tape, store, mixed);
+                }
+                let link_embed = tape.mean_rows(mixed); // (1, HIDDEN)
+
+                // Node encoder: own features ⊕ mean neighbor features.
+                let own = tape.row(x, v);
+                let neigh_mean = if events.is_empty() {
+                    tape.input(Tensor::zeros(1, q))
+                } else {
+                    let rows: Vec<Var> = events.iter().map(|ev| tape.row(x, ev.neighbor)).collect();
+                    let stacked = tape.stack_rows(&rows);
+                    tape.mean_rows(stacked)
+                };
+                let node_cat = tape.concat_cols(own, neigh_mean);
+                let node_pre = self.node_enc.forward(tape, store, node_cat);
+                let node_embed = tape.relu(node_pre);
+
+                let cat = tape.concat_cols(link_embed, node_embed);
+                let out_pre = self.out.forward(tape, store, cat);
+                tape.relu(out_pre)
+            })
+            .collect()
+    }
+}
+
+/// Standalone GraphMixer graph classifier (Mean pooling head per Sec. V-D).
+pub struct GraphMixer {
+    store: ParamStore,
+    opt: Adam,
+    core: GraphMixerCore,
+    head: Linear,
+}
+
+impl GraphMixer {
+    /// Build the model for `feature_dim`-dimensional node features.
+    pub fn new(feature_dim: usize, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = GraphMixerCore::build(&mut store, "gmix", feature_dim, &mut rng);
+        let head = Linear::new(&mut store, "gmix.head", HIDDEN, 1, &mut rng);
+        Self { store, opt: Adam::new(1e-3), core, head }
+    }
+
+    fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {
+        let embeds = self.core.node_embeddings(tape, &self.store, g);
+        let pooled = tpgnn_nn::mean_pool(tape, &embeds);
+        self.head.forward(tape, &self.store, pooled)
+    }
+}
+
+crate::impl_graph_classifier!(GraphMixer, "GraphMixer");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testkit;
+    use tpgnn_core::GraphClassifier;
+    use tpgnn_graph::NodeFeatures;
+
+    #[test]
+    fn fixed_time_encoding_is_deterministic_and_bounded() {
+        let a = GraphMixerCore::fixed_time_encoding(3.5);
+        let b = GraphMixerCore::fixed_time_encoding(3.5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| x.abs() <= 1.0));
+        assert_eq!(GraphMixerCore::fixed_time_encoding(0.0), [1.0; TIME_DIM]);
+    }
+
+    #[test]
+    fn recent_link_times_affect_prediction() {
+        let mut model = GraphMixer::new(3, 1);
+        let feats = NodeFeatures::zeros(3, 3);
+        let mut g1 = Ctdn::new(feats.clone());
+        g1.add_edge(0, 1, 1.0);
+        g1.add_edge(2, 1, 2.0);
+        let mut g2 = Ctdn::new(feats);
+        g2.add_edge(0, 1, 1.0);
+        g2.add_edge(2, 1, 40.0);
+        let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
+        assert!((p1 - p2).abs() > 1e-8);
+    }
+
+    #[test]
+    fn handles_nodes_with_no_links() {
+        let mut model = GraphMixer::new(3, 2);
+        let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
+        g.add_edge(0, 1, 1.0); // nodes 2, 3 isolated
+        let p = model.predict_proba(&mut g);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn learns_toy_task() {
+        let mut model = GraphMixer::new(3, 3);
+        testkit::assert_model_learns(&mut model, 20);
+    }
+}

@@ -1,0 +1,129 @@
+//! Spectral Clustering baseline (Ng, Jordan & Weiss, 2001).
+//!
+//! As the paper notes (Sec. V-E), this method relies on the graph Laplacian:
+//! the graph is treated as undirected, node features are ignored, and the
+//! representation comes from the Laplacian spectrum. We embed each graph by
+//! its sorted normalized-Laplacian eigenvalues (padded / truncated to a
+//! fixed width) and train a logistic head on top — the standard way to turn
+//! a spectral node method into a graph classifier.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpgnn_graph::{Ctdn, StaticView};
+use tpgnn_nn::Linear;
+use tpgnn_tensor::linalg::{jacobi_eigh, normalized_laplacian};
+use tpgnn_tensor::{Adam, ParamStore, Tape, Tensor, Var};
+
+use crate::common::HIDDEN;
+
+/// Spectral Clustering adapted for graph classification.
+pub struct SpectralClustering {
+    store: ParamStore,
+    opt: Adam,
+    head: Linear,
+    /// Eigen-decompositions are expensive; cache spectra per graph
+    /// fingerprint across epochs.
+    cache: HashMap<u64, Tensor>,
+}
+
+impl SpectralClustering {
+    /// Build the model with parameters seeded from `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let head = Linear::new(&mut store, "spec.head", HIDDEN, 1, &mut rng);
+        Self { store, opt: Adam::new(1e-2), head, cache: HashMap::new() }
+    }
+
+    fn fingerprint(g: &Ctdn) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mix = |h: &mut u64, x: u64| {
+            *h ^= x;
+            *h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        mix(&mut h, g.num_nodes() as u64);
+        for e in g.edges() {
+            mix(&mut h, e.src as u64);
+            mix(&mut h, e.dst as u64);
+        }
+        h
+    }
+
+    /// Sorted eigenvalue spectrum of the symmetric normalized Laplacian,
+    /// padded / truncated to `HIDDEN` entries. Timestamps and node features
+    /// never enter this representation.
+    fn spectrum(&mut self, g: &Ctdn) -> Tensor {
+        let key = Self::fingerprint(g);
+        if let Some(t) = self.cache.get(&key) {
+            return t.clone();
+        }
+        let n = g.num_nodes();
+        let view = StaticView::from_ctdn(g);
+        let adj = Tensor::from_vec(n, n, view.adjacency_dense_undirected());
+        let lap = normalized_laplacian(&adj);
+        let (vals, _) = jacobi_eigh(&lap, 30, 1e-5);
+        let mut row = vec![0.0f32; HIDDEN];
+        for (i, &v) in vals.iter().take(HIDDEN).enumerate() {
+            row[i] = v;
+        }
+        let t = Tensor::row_vector(&row);
+        self.cache.insert(key, t.clone());
+        t
+    }
+
+    fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {
+        let spec = self.spectrum(g);
+        let x = tape.input(spec);
+        self.head.forward(tape, &self.store, x)
+    }
+}
+
+crate::impl_graph_classifier!(SpectralClustering, "Spectral Clustering");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testkit;
+    use tpgnn_core::GraphClassifier;
+    use tpgnn_graph::NodeFeatures;
+
+    #[test]
+    fn spectrum_is_cached_and_padded() {
+        let mut model = SpectralClustering::new(1);
+        let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        let s1 = model.spectrum(&g);
+        assert_eq!(s1.shape(), (1, HIDDEN));
+        assert_eq!(model.cache.len(), 1);
+        let s2 = model.spectrum(&g);
+        assert_eq!(s1, s2);
+        assert_eq!(model.cache.len(), 1);
+    }
+
+    #[test]
+    fn ignores_timestamps_entirely() {
+        let mut model = SpectralClustering::new(2);
+        let mut feats = NodeFeatures::zeros(4, 3);
+        feats.row_mut(0).copy_from_slice(&[1.0, 1.0, 1.0]);
+        let mut g1 = Ctdn::new(feats.clone());
+        g1.add_edge(0, 1, 1.0);
+        g1.add_edge(1, 2, 2.0);
+        let mut g2 = Ctdn::new(feats);
+        g2.add_edge(1, 2, 1.0); // same static edges, different times/order
+        g2.add_edge(0, 1, 7.0);
+        assert_eq!(
+            model.predict_proba(&mut g1),
+            model.predict_proba(&mut g2),
+            "spectral method must be blind to temporal information"
+        );
+    }
+
+    #[test]
+    fn learns_structural_differences() {
+        let mut model = SpectralClustering::new(3);
+        testkit::assert_model_learns(&mut model, 30);
+    }
+}

@@ -1,0 +1,188 @@
+//! Table III variants: continuous baselines with TP-GNN's Global Temporal
+//! Embedding Extractor bolted onto their node embeddings.
+//!
+//! The paper's Table III replaces temporal propagation with each continuous
+//! DGNN's own encoder while keeping the extractor, isolating the
+//! contribution of each half of TP-GNN.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tpgnn_core::{GlobalExtractor, TpGnnConfig};
+use tpgnn_graph::Ctdn;
+use tpgnn_nn::Linear;
+use tpgnn_tensor::{Adam, ParamStore, Tape, Var};
+
+use crate::dygnn::DyGnnCore;
+use crate::graphmixer::GraphMixerCore;
+use crate::tgat::TgatCore;
+use crate::tgn::TgnCore;
+
+/// A continuous-DGNN encoder that exposes per-node embeddings.
+pub trait NodeEmbedder {
+    /// Per-node embeddings of `g`.
+    fn node_embeddings(&self, tape: &mut Tape, store: &ParamStore, g: &mut Ctdn) -> Vec<Var>;
+    /// Width of those embeddings.
+    fn out_dim(&self) -> usize;
+}
+
+macro_rules! impl_node_embedder {
+    ($core:ty) => {
+        impl NodeEmbedder for $core {
+            fn node_embeddings(&self, tape: &mut Tape, store: &ParamStore, g: &mut Ctdn) -> Vec<Var> {
+                <$core>::node_embeddings(self, tape, store, g)
+            }
+            fn out_dim(&self) -> usize {
+                <$core>::out_dim(self)
+            }
+        }
+    };
+}
+
+impl_node_embedder!(TgatCore);
+impl_node_embedder!(DyGnnCore);
+impl_node_embedder!(TgnCore);
+impl_node_embedder!(GraphMixerCore);
+
+/// `<Baseline>+G`: a continuous encoder whose node embeddings feed TP-GNN's
+/// global temporal embedding extractor instead of Mean pooling.
+pub struct WithExtractor<E: NodeEmbedder> {
+    name: String,
+    store: ParamStore,
+    opt: Adam,
+    core: E,
+    extractor: GlobalExtractor,
+    head: Linear,
+}
+
+impl<E: NodeEmbedder> WithExtractor<E> {
+    /// Wrap `core` (already registered into `store`) with a fresh extractor
+    /// and classifier head registered into the same store.
+    pub fn wrap(name: impl Into<String>, mut store: ParamStore, core: E, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd_1234);
+        // Extractor hyperparameters follow the full model (Sec. V-D).
+        let cfg = TpGnnConfig::sum(1); // feature_dim unused by the extractor
+        let extractor = GlobalExtractor::new(&mut store, &cfg, core.out_dim(), &mut rng);
+        let head = Linear::new(&mut store, "withg.head", extractor.out_dim(), 1, &mut rng);
+        Self { name: name.into(), store, opt: Adam::new(1e-3), core, extractor, head }
+    }
+
+    fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {
+        let embeds = self.core.node_embeddings(tape, &self.store, g);
+        let edges = g.edges_chronological().to_vec();
+        let graph_embed = self.extractor.forward(tape, &self.store, &embeds, &edges);
+        self.head.forward(tape, &self.store, graph_embed)
+    }
+}
+
+impl<E: NodeEmbedder> tpgnn_core::GraphClassifier for WithExtractor<E> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fit_epoch(&mut self, train: &mut [(Ctdn, f32)]) -> f32 {
+        use tpgnn_tensor::Optimizer as _;
+        if train.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (g, target) in train.iter_mut() {
+            let mut tape = Tape::new();
+            let logit = self.forward_logit(&mut tape, g);
+            let loss = tape.bce_with_logits(logit, *target);
+            total += tape.value(loss).item();
+            let grads = tape.backward(loss);
+            tape.flush_grads(&grads, &mut self.store);
+            self.store.clip_grad_norm(tpgnn_core::GRAD_CLIP);
+            self.opt.step(&mut self.store);
+        }
+        total / train.len() as f32
+    }
+
+    fn predict_proba(&mut self, g: &mut Ctdn) -> f32 {
+        let mut tape = Tape::new();
+        let logit = self.forward_logit(&mut tape, g);
+        let z = tape.value(logit).item();
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.opt.lr = lr;
+    }
+}
+
+/// Factory functions for the four Table III rows.
+pub mod factory {
+    use super::*;
+
+    /// `TGAT+G`.
+    pub fn tgat_g(feature_dim: usize, seed: u64) -> WithExtractor<TgatCore> {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = TgatCore::build(&mut store, "tgat", feature_dim, &mut rng);
+        WithExtractor::wrap("TGAT+G", store, core, seed)
+    }
+
+    /// `DyGNN+G`.
+    pub fn dygnn_g(feature_dim: usize, seed: u64) -> WithExtractor<DyGnnCore> {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = DyGnnCore::build(&mut store, "dygnn", feature_dim, &mut rng);
+        WithExtractor::wrap("DyGNN+G", store, core, seed)
+    }
+
+    /// `TGN+G`.
+    pub fn tgn_g(feature_dim: usize, seed: u64) -> WithExtractor<TgnCore> {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = TgnCore::build(&mut store, "tgn", feature_dim, &mut rng);
+        WithExtractor::wrap("TGN+G", store, core, seed)
+    }
+
+    /// `GraphMixer+G`.
+    pub fn graphmixer_g(feature_dim: usize, seed: u64) -> WithExtractor<GraphMixerCore> {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let core = GraphMixerCore::build(&mut store, "gmix", feature_dim, &mut rng);
+        WithExtractor::wrap("GraphMixer+G", store, core, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::testkit;
+    use tpgnn_core::GraphClassifier;
+
+    #[test]
+    fn all_plus_g_variants_run_and_learn() {
+        let mut models: Vec<Box<dyn GraphClassifier>> = vec![
+            Box::new(factory::tgat_g(3, 1)),
+            Box::new(factory::dygnn_g(3, 2)),
+            Box::new(factory::tgn_g(3, 3)),
+            Box::new(factory::graphmixer_g(3, 4)),
+        ];
+        for model in models.iter_mut() {
+            testkit::assert_model_learns(model.as_mut(), 10);
+        }
+    }
+
+    #[test]
+    fn names_match_table3() {
+        assert_eq!(factory::tgat_g(3, 1).name(), "TGAT+G");
+        assert_eq!(factory::dygnn_g(3, 1).name(), "DyGNN+G");
+        assert_eq!(factory::tgn_g(3, 1).name(), "TGN+G");
+        assert_eq!(factory::graphmixer_g(3, 1).name(), "GraphMixer+G");
+    }
+
+    #[test]
+    fn extractor_makes_plus_g_order_sensitive() {
+        // GraphMixer's own pooling is weakly order-sensitive; with the
+        // extractor the edge sequence order must matter strongly.
+        let mut model = factory::graphmixer_g(3, 5);
+        let mut g1 = testkit::sample_graph(false, 0);
+        let mut g2 = testkit::sample_graph(true, 0);
+        let p1 = model.predict_proba(&mut g1);
+        let p2 = model.predict_proba(&mut g2);
+        assert!((p1 - p2).abs() > 1e-8);
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion benchmarks validating the Sec. IV-E complexity analysis:
+//!
+//! * temporal-propagation-SUM forward is `O(m · k)`,
+//! * temporal-propagation-GRU forward is `O(m · k²)`,
+//! * the global temporal embedding extractor is `O(m · d²)`.
+//!
+//! Each group sweeps one variable with the others fixed; near-linear bench
+//! times across the `m` sweep and near-quadratic across the `k`/`d` sweeps
+//! confirm the analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tpgnn_core::{TpGnn, TpGnnConfig, UpdaterKind};
+use tpgnn_graph::{Ctdn, NodeFeatures};
+
+/// A chain CTDN with `m` edges over `m/2` nodes (revisits included).
+fn chain_graph(m: usize) -> Ctdn {
+    let n = (m / 2).max(2);
+    let mut feats = NodeFeatures::zeros(n, 3);
+    for v in 0..n {
+        feats.row_mut(v).copy_from_slice(&[v as f32 / n as f32, 0.5, 0.25]);
+    }
+    let mut g = Ctdn::new(feats);
+    for i in 0..m {
+        g.add_edge(i % n, (i + 1) % n, (i + 1) as f64);
+    }
+    g
+}
+
+fn model(updater: UpdaterKind, embed: usize, hidden: usize) -> TpGnn {
+    let mut cfg = TpGnnConfig::sum(3);
+    cfg.updater = updater;
+    cfg.embed_dim = embed;
+    cfg.hidden_dim = hidden;
+    TpGnn::new(cfg)
+}
+
+fn bench_edges_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_vs_edges");
+    for m in [32, 64, 128, 256] {
+        let mut g = chain_graph(m);
+        let sum_model = model(UpdaterKind::Sum, 32, 32);
+        group.bench_with_input(BenchmarkId::new("sum_m", m), &m, |b, _| {
+            b.iter(|| black_box(sum_model.embed_graph(&mut g)))
+        });
+        let gru_model = model(UpdaterKind::Gru, 32, 32);
+        group.bench_with_input(BenchmarkId::new("gru_m", m), &m, |b, _| {
+            b.iter(|| black_box(gru_model.embed_graph(&mut g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation_vs_width");
+    let mut g = chain_graph(64);
+    for k in [8, 16, 32, 64] {
+        let sum_model = model(UpdaterKind::Sum, k, 32);
+        group.bench_with_input(BenchmarkId::new("sum_k", k), &k, |b, _| {
+            b.iter(|| black_box(sum_model.embed_graph(&mut g)))
+        });
+        let gru_model = model(UpdaterKind::Gru, k, 32);
+        group.bench_with_input(BenchmarkId::new("gru_k", k), &k, |b, _| {
+            b.iter(|| black_box(gru_model.embed_graph(&mut g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hidden_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extractor_vs_hidden");
+    let mut g = chain_graph(64);
+    for d in [8, 16, 32, 64, 128] {
+        let m = model(UpdaterKind::Sum, 32, d);
+        group.bench_with_input(BenchmarkId::new("extractor_d", d), &d, |b, _| {
+            b.iter(|| black_box(m.embed_graph(&mut g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_edges_sweep, bench_width_sweep, bench_hidden_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the Fig. 6 runtime axis: per-graph inference
+//! time of every continuous DGNN (plus TP-GNN) on one representative graph
+//! per dataset family — a small sparse log session (Forum-java-like) and a
+//! dense trajectory (Brightkite-like).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tpgnn_data::{forum_java, trajectory};
+use tpgnn_graph::Ctdn;
+
+const MODELS: [&str; 6] = ["TGN", "DyGNN", "TGAT", "GraphMixer", "TP-GNN-SUM", "TP-GNN-GRU"];
+
+fn representative_graphs() -> Vec<(&'static str, Ctdn)> {
+    let mut rng = StdRng::seed_from_u64(7);
+    vec![
+        (
+            "forum_java",
+            forum_java::generate_session(&forum_java::ForumJavaConfig::default(), &mut rng),
+        ),
+        (
+            "brightkite",
+            trajectory::generate_trajectory(&trajectory::TrajectoryConfig::brightkite(), &mut rng),
+        ),
+    ]
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_graph_inference");
+    for (dataset, graph) in representative_graphs() {
+        for name in MODELS {
+            let mut model = tpgnn_baselines::zoo::build(name, 3, 5, 1);
+            let mut g = graph.clone();
+            group.bench_with_input(
+                BenchmarkId::new(name.replace(' ', "_"), dataset),
+                &dataset,
+                |b, _| b.iter(|| black_box(model.predict_proba(&mut g))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Extension ablation (Sec. IV-C): the paper picks the *Average* EdgeAgg
+//! method out of the six introduced in its reference [23] — this harness
+//! benchmarks all six (`Average`, `Hadamard`, `Weighted-L1`, `Weighted-L2`,
+//! `Activation`, `Concatenation`) as the node→edge embedding step of the
+//! global temporal embedding extractor.
+//!
+//! Expected shape: Average and Activation lead; the difference-based
+//! aggregations (L1/L2) lose the shared component of the endpoint
+//! embeddings and trail.
+
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_eval::{run_cell_with, ExperimentConfig};
+use tpgnn_nn::EdgeAgg;
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("EdgeAgg ablation (extension; Sec. IV-C)", &cfg);
+
+    for kind in tpgnn_bench::figure_datasets() {
+        let mut rows = Vec::new();
+        for agg in EdgeAgg::ALL {
+            eprintln!("[edgeagg] {} / {:?} …", kind.name(), agg);
+            let cell = run_cell_with(&format!("{agg:?}"), kind, &cfg, move |fd, _snap, seed| {
+                let mut c = TpGnnConfig::sum(fd).with_seed(seed);
+                c.edge_agg = agg;
+                Box::new(TpGnn::new(c))
+            });
+            rows.push((format!("{agg:?}"), cell.f1, cell.precision, cell.recall));
+        }
+        println!("{}", tpgnn_eval::table::render_ablation(kind.name(), &rows));
+    }
+}

@@ -1,0 +1,40 @@
+//! Extension ablation (Sec. IV-C / Sec. VI): the paper notes the extractor
+//! GRU "can be replaced by other sequential models … for instance
+//! Transformer for large dynamic graphs". This harness compares the GRU
+//! extractor, the Transformer extractor, and plain Mean pooling as the
+//! graph-level readout, for both updaters.
+
+use tpgnn_core::{Readout, TpGnn, TpGnnConfig, UpdaterKind};
+use tpgnn_eval::{run_cell_with, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Extractor ablation (extension; Sec. IV-C / VI)", &cfg);
+
+    let readouts = [
+        ("GRU extractor", Readout::Extractor),
+        ("Transformer", Readout::TransformerExtractor),
+        ("Mean pooling", Readout::MeanPool),
+    ];
+    for kind in tpgnn_bench::figure_datasets() {
+        let mut rows = Vec::new();
+        for updater in [UpdaterKind::Sum, UpdaterKind::Gru] {
+            for (label, readout) in readouts {
+                eprintln!("[extractor] {} / {updater:?} / {label} …", kind.name());
+                let cell = run_cell_with(label, kind, &cfg, move |fd, _snap, seed| {
+                    let mut c = TpGnnConfig::sum(fd).with_seed(seed);
+                    c.updater = updater;
+                    c.readout = readout;
+                    Box::new(TpGnn::new(c))
+                });
+                rows.push((
+                    format!("{:?}/{label}", updater),
+                    cell.f1,
+                    cell.precision,
+                    cell.recall,
+                ));
+            }
+        }
+        println!("{}", tpgnn_eval::table::render_ablation(kind.name(), &rows));
+    }
+}

@@ -1,0 +1,33 @@
+//! Utility: export the five synthetic datasets to disk in the plain-text
+//! format of `tpgnn_data::io`, for inspection or use outside this workspace.
+//!
+//! ```sh
+//! cargo run --release -p tpgnn-bench --bin datasets -- [out_dir]
+//! ```
+
+use tpgnn_data::io;
+use tpgnn_eval::ExperimentConfig;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "datasets_out".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Dataset export", &cfg);
+
+    for kind in tpgnn_bench::selected_datasets() {
+        let mut ds = kind.generate(cfg.num_graphs, cfg.base_seed);
+        let stats = ds.stats();
+        let path = format!("{out_dir}/{}.tpgnn", kind.name().to_lowercase().replace('-', "_"));
+        io::save(&ds, &path).expect("write dataset");
+        println!(
+            "{:<12} -> {path}  ({} graphs, avg {:.1} nodes / {:.1} edges, {:.1}% negative)",
+            kind.name(),
+            stats.graph_number,
+            stats.avg_nodes,
+            stats.avg_edges,
+            stats.negative_ratio * 100.0
+        );
+    }
+}

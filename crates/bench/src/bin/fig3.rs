@@ -1,0 +1,9 @@
+//! Regenerates **Fig. 3**: ablation study of TP-GNN-SUM (`rand`, `w/o tem`,
+//! `temp`, `time2Vec`, full) on Forum-java, HDFS, Gowalla and Brightkite.
+//!
+//! Expected shape: `rand` < `temp` < `time2Vec` < full, with `w/o tem`
+//! between `rand` and the full model.
+
+fn main() {
+    tpgnn_bench::run_ablation_figure(tpgnn_core::UpdaterKind::Sum, "Fig. 3");
+}

@@ -1,0 +1,9 @@
+//! Regenerates **Fig. 4**: ablation study of TP-GNN-GRU (`rand`, `w/o tem`,
+//! `temp`, `time2Vec`, full) on Forum-java, HDFS, Gowalla and Brightkite.
+//!
+//! Expected shape matches Fig. 3, with the GRU updater's `temp` variant
+//! typically above the SUM updater's (Sec. V-F).
+
+fn main() {
+    tpgnn_bench::run_ablation_figure(tpgnn_core::UpdaterKind::Gru, "Fig. 4");
+}

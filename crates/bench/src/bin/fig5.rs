@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 5**: F₁ heatmaps of TP-GNN-SUM under the
+//! hyperparameter sweep `d ∈ {8, 16, 32, 64, 128} × d_t ∈ {2, 4, 6, 8}`
+//! on the four figure datasets.
+//!
+//! Expected shape: F₁ rises with `d` and `d_t` then plateaus, peaking
+//! around `d = 32`, `d_t = 6` (the paper's default configuration).
+
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_eval::{run_cell_with, ExperimentConfig};
+
+const HIDDEN_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+const TIME_DIMS: [usize; 4] = [2, 4, 6, 8];
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Fig. 5: hyperparameter sensitivity of TP-GNN-SUM", &cfg);
+
+    for kind in tpgnn_bench::figure_datasets() {
+        let mut grid = Vec::with_capacity(HIDDEN_SIZES.len());
+        for &d in &HIDDEN_SIZES {
+            let mut row = Vec::with_capacity(TIME_DIMS.len());
+            for &dt in &TIME_DIMS {
+                eprintln!("[fig5] {} d={d} d_t={dt} …", kind.name());
+                let cell = run_cell_with("TP-GNN-SUM", kind, &cfg, move |fd, _snap, seed| {
+                    let mut c = TpGnnConfig::sum(fd).with_seed(seed);
+                    c.hidden_dim = d;
+                    c.time_dim = dt;
+                    Box::new(TpGnn::new(c))
+                });
+                row.push(cell.f1);
+            }
+            grid.push(row);
+        }
+        println!(
+            "{}",
+            tpgnn_eval::table::render_heatmap(
+                &format!("F1 (%) on {}", kind.name()),
+                "d",
+                &HIDDEN_SIZES,
+                "d_t",
+                &TIME_DIMS,
+                &grid
+            )
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates **Fig. 6**: per-graph running time (µs) vs F₁ of the
+//! continuous DGNNs and TP-GNN on the four figure datasets.
+//!
+//! Expected shape: DyGNN slowest everywhere; TP-GNN in the top-left
+//! (fast + accurate) except on edge-dense Brightkite where its per-edge
+//! cost shows (Sec. V-G).
+
+use tpgnn_eval::{run_cell, ExperimentConfig};
+
+/// Fig. 6 compares the continuous models plus both TP-GNN variants.
+const MODELS: [&str; 6] = ["TGN", "DyGNN", "TGAT", "GraphMixer", "TP-GNN-SUM", "TP-GNN-GRU"];
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Fig. 6: running time vs F1 (continuous DGNNs)", &cfg);
+
+    let models = tpgnn_bench::selected_models(&MODELS);
+    for kind in tpgnn_bench::figure_datasets() {
+        let mut cells = Vec::with_capacity(models.len());
+        for model in &models {
+            eprintln!("[fig6] {} / {model} …", kind.name());
+            cells.push(run_cell(model, kind, &cfg));
+        }
+        println!("{}", tpgnn_eval::table::render_scatter(kind.name(), &cells));
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table I**: key statistics of the five datasets.
+//!
+//! Prints the simulated datasets' statistics side-by-side with the paper's
+//! reported numbers. Graph counts are deliberately scaled down (see
+//! DESIGN.md §2); the structural statistics (negative ratio, avg nodes /
+//! edges, feature count) are the reproduction targets.
+
+use tpgnn_eval::ExperimentConfig;
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Table I: Key statistics of datasets", &cfg);
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>11} {:>11} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "Dataset",
+        "Graphs",
+        "(paper)",
+        "Neg ratio",
+        "(paper)",
+        "AvgNode",
+        "(paper)",
+        "AvgEdge",
+        "(paper)",
+        "#Feat"
+    );
+    println!("{}", "-".repeat(110));
+    for kind in tpgnn_bench::selected_datasets() {
+        let mut ds = kind.generate(cfg.num_graphs, cfg.base_seed);
+        let stats = ds.stats();
+        let (paper_n, paper_m) = kind.paper_avg_size();
+        println!(
+            "{:<12} {:>10} {:>10} {:>10.1}% {:>10.1}% {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>7}",
+            stats.name,
+            stats.graph_number,
+            kind.paper_graph_count(),
+            stats.negative_ratio * 100.0,
+            kind.negative_ratio() * 100.0,
+            stats.avg_nodes,
+            paper_n,
+            stats.avg_edges,
+            paper_m,
+            stats.node_features,
+        );
+    }
+    println!();
+    println!("(graph counts are a deliberate scale-down; see DESIGN.md §2 and EXPERIMENTS.md)");
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table II**: F₁ / Precision / Recall of the twelve baselines
+//! and TP-GNN-GRU / TP-GNN-SUM on the five datasets, mean±std over runs.
+//!
+//! Expected shape (the reproduction target, not absolute numbers):
+//! TP-GNN variants on top; continuous DGNNs > discrete DGNNs > static
+//! models; Spectral Clustering worst.
+
+use tpgnn_baselines::zoo::TABLE2_MODELS;
+use tpgnn_eval::{run_cell, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Table II: dynamic graph classification", &cfg);
+
+    let models = tpgnn_bench::selected_models(&TABLE2_MODELS);
+    for kind in tpgnn_bench::selected_datasets() {
+        let mut cells = Vec::with_capacity(models.len());
+        for model in &models {
+            eprintln!("[table2] {} / {} …", kind.name(), model);
+            cells.push(run_cell(model, kind, &cfg));
+        }
+        println!("{}", tpgnn_eval::table::render_metric_table(kind.name(), &cells));
+        // Paper's headline: average F1 improvement of TP-GNN over the best
+        // continuous baseline.
+        let best_tp = cells
+            .iter()
+            .filter(|c| c.model.starts_with("TP-GNN"))
+            .map(|c| c.f1.mean)
+            .fold(0.0, f64::max);
+        let best_baseline = cells
+            .iter()
+            .filter(|c| !c.model.starts_with("TP-GNN"))
+            .map(|c| c.f1.mean)
+            .fold(0.0, f64::max);
+        if best_baseline > 0.0 {
+            println!(
+                "best TP-GNN F1 = {:.2}%, best baseline F1 = {:.2}%, improvement = {:+.2} pts\n",
+                best_tp * 100.0,
+                best_baseline * 100.0,
+                (best_tp - best_baseline) * 100.0
+            );
+        }
+    }
+}

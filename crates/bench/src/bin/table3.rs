@@ -1,0 +1,34 @@
+//! Regenerates **Table III**: average F₁ of continuous DGNNs augmented with
+//! TP-GNN's global temporal embedding extractor (`+G` variants) vs the full
+//! TP-GNN, on the four figure datasets.
+//!
+//! Expected shape: every `+G` variant improves over its Table II base model,
+//! and TP-GNN (with temporal propagation) still leads — isolating temporal
+//! propagation's contribution.
+
+use tpgnn_baselines::zoo::TABLE3_MODELS;
+use tpgnn_eval::{run_cell, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    tpgnn_bench::banner("Table III: extractor-augmented baselines (F1 %)", &cfg);
+
+    let models = tpgnn_bench::selected_models(&TABLE3_MODELS);
+    let datasets = tpgnn_bench::figure_datasets();
+
+    print!("{:<16}", "Model");
+    for kind in &datasets {
+        print!("{:>14}", kind.name());
+    }
+    println!();
+    println!("{}", "-".repeat(16 + 14 * datasets.len()));
+    for model in &models {
+        print!("{model:<16}");
+        for kind in &datasets {
+            eprintln!("[table3] {} / {model} …", kind.name());
+            let cell = run_cell(model, *kind, &cfg);
+            print!("{:>14}", format!("{:.2}", cell.f1.mean * 100.0));
+        }
+        println!();
+    }
+}

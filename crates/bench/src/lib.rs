@@ -1,0 +1,116 @@
+//! # tpgnn-bench
+//!
+//! Reproduction harness: one binary per table / figure of the paper
+//! (see DESIGN.md §3 for the experiment index) plus Criterion
+//! micro-benchmarks validating the Sec. IV-E complexity analysis.
+//!
+//! Scale knobs (environment variables):
+//! * `TPGNN_GRAPHS` — graphs per dataset per run (default 120),
+//! * `TPGNN_RUNS` — repetitions (default 3; paper uses 5),
+//! * `TPGNN_EPOCHS` — training epochs (default 10, as in the paper),
+//! * `TPGNN_DATASETS` — comma-separated dataset filter (e.g. `HDFS,Gowalla`),
+//! * `TPGNN_MODELS` — comma-separated model filter.
+
+#![warn(missing_docs)]
+
+use tpgnn_data::DatasetKind;
+
+/// Print the standard experiment banner with the active scale settings.
+pub fn banner(experiment: &str, cfg: &tpgnn_eval::ExperimentConfig) {
+    println!("=== {experiment} ===");
+    println!(
+        "scale: {} graphs/dataset, {} runs, {} epochs (paper: full corpora, 5 runs, 10 epochs)",
+        cfg.num_graphs, cfg.runs, cfg.epochs
+    );
+    println!();
+}
+
+/// Datasets selected by `TPGNN_DATASETS` (default: all five).
+pub fn selected_datasets() -> Vec<DatasetKind> {
+    filter_by_env("TPGNN_DATASETS", &DatasetKind::ALL, |k| k.name())
+}
+
+/// The four datasets used in Table III / Figs. 3–6.
+pub fn figure_datasets() -> Vec<DatasetKind> {
+    let four = [
+        DatasetKind::ForumJava,
+        DatasetKind::Hdfs,
+        DatasetKind::Gowalla,
+        DatasetKind::Brightkite,
+    ];
+    filter_by_env("TPGNN_DATASETS", &four, |k| k.name())
+}
+
+/// Model names selected by `TPGNN_MODELS` from `all`.
+pub fn selected_models(all: &[&'static str]) -> Vec<&'static str> {
+    filter_by_env("TPGNN_MODELS", all, |m| m)
+}
+
+fn filter_by_env<T: Copy>(var: &str, all: &[T], name: impl Fn(T) -> &'static str) -> Vec<T> {
+    match std::env::var(var) {
+        Ok(list) => {
+            let wanted: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_ascii_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            all.iter()
+                .copied()
+                .filter(|&x| wanted.iter().any(|w| name(x).to_ascii_lowercase() == *w))
+                .collect()
+        }
+        Err(_) => all.to_vec(),
+    }
+}
+
+/// Shared driver for the Fig. 3 / Fig. 4 ablation studies: runs the five
+/// Sec. V-F variants of TP-GNN (with the given updater) on the four figure
+/// datasets and prints one block per dataset.
+pub fn run_ablation_figure(updater: tpgnn_core::UpdaterKind, figure_name: &str) {
+    use tpgnn_core::{AblationVariant, TpGnn, TpGnnConfig, UpdaterKind};
+    use tpgnn_eval::{run_cell_with, ExperimentConfig};
+
+    let cfg = ExperimentConfig::default();
+    let updater_name = match updater {
+        UpdaterKind::Sum => "TP-GNN-SUM",
+        UpdaterKind::Gru => "TP-GNN-GRU",
+    };
+    banner(&format!("{figure_name}: ablation study of {updater_name}"), &cfg);
+
+    for kind in figure_datasets() {
+        let mut rows = Vec::new();
+        for variant in AblationVariant::ALL {
+            eprintln!("[{figure_name}] {} / {} …", kind.name(), variant.label());
+            let cell = run_cell_with(variant.label(), kind, &cfg, |fd, _snap, seed| {
+                let mut base = TpGnnConfig::sum(fd).with_seed(seed);
+                base.updater = updater;
+                Box::new(TpGnn::new(variant.apply(base)))
+            });
+            rows.push((variant.label().to_string(), cell.f1, cell.precision, cell.recall));
+        }
+        println!("{}", tpgnn_eval::table::render_ablation(kind.name(), &rows));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_filter_selects_by_name() {
+        let four = [
+            DatasetKind::ForumJava,
+            DatasetKind::Hdfs,
+            DatasetKind::Gowalla,
+            DatasetKind::Brightkite,
+        ];
+        let all = filter_by_env("TPGNN_NOT_SET_EVER", &four, |k| k.name());
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn model_filter_no_env_returns_all() {
+        let models = filter_by_env("TPGNN_NOT_SET_EVER_2", &["A", "B"], |m| m);
+        assert_eq!(models, vec!["A", "B"]);
+    }
+}

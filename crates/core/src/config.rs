@@ -1,0 +1,244 @@
+//! TP-GNN configuration.
+
+use tpgnn_nn::EdgeAgg;
+
+/// Which node-feature updater the temporal propagation layer uses
+/// (Sec. IV-B2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UpdaterKind {
+    /// Temporal Propagation-SUM (eqs. 3–5): additive aggregation with a
+    /// separate temporal matrix.
+    Sum,
+    /// Temporal Propagation-GRU (eq. 6): gated aggregation of
+    /// `[ĥ(u) ⊕ f(t)]`.
+    Gru,
+}
+
+/// How node messages are routed before readout — the full model uses
+/// [`PropagationKind::Temporal`]; the ablations of Sec. V-F replace or drop
+/// it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropagationKind {
+    /// Full temporal propagation along the information flow (Algorithm 1).
+    Temporal,
+    /// The `rand` ablation: neighbors aggregated in a random order,
+    /// timestamps ignored.
+    Random,
+    /// The `w/o tem` ablation: no propagation at all — embedded raw features
+    /// go straight to the readout.
+    None,
+}
+
+/// Graph-level readout after propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Readout {
+    /// The Global Temporal Embedding Extractor (Sec. IV-C): a GRU over the
+    /// chronological edge-embedding sequence.
+    Extractor,
+    /// The Transformer alternative the paper suggests for large graphs
+    /// (Sec. IV-C / Sec. VI): attention pooling over time-encoded edge
+    /// embeddings.
+    TransformerExtractor,
+    /// *Mean* graph pooling over node embeddings — used by the ablation
+    /// variants without the extractor.
+    MeanPool,
+}
+
+/// Full TP-GNN hyperparameter set. Defaults follow Sec. V-D: GRU hidden
+/// size `d = 32`, time dimension `d_t = 6`, Adam with `lr = 1e-3`,
+/// 10 epochs.
+#[derive(Clone, Debug)]
+pub struct TpGnnConfig {
+    /// Raw node-feature dimension `q` of the dataset.
+    pub feature_dim: usize,
+    /// Width of the node-feature embedding layer (eq. 1).
+    pub embed_dim: usize,
+    /// Time-encoding dimension `d_t` (eq. 2).
+    pub time_dim: usize,
+    /// GRU hidden size `d` of the global temporal embedding extractor.
+    pub hidden_dim: usize,
+    /// SUM or GRU node updater.
+    pub updater: UpdaterKind,
+    /// Temporal / random / no propagation (ablations).
+    pub propagation: PropagationKind,
+    /// Whether the time-embedding vector `f(t)` participates in message
+    /// passing (`false` reproduces the `temp` ablation).
+    pub use_time_encoding: bool,
+    /// Graph-level readout.
+    pub readout: Readout,
+    /// EdgeAgg used to turn node embeddings into edge embeddings
+    /// (paper default: Average).
+    pub edge_agg: EdgeAgg,
+    /// Constant pre-scaling of the SUM updater's embedded features and time
+    /// encodings. Eqs. 3–4 accumulate unboundedly; at realistic interaction
+    /// densities the sums saturate `tanh` within a few edges and freeze the
+    /// gradients. The scale folds into the learnable embedding-layer /
+    /// Time2Vec initialization (same model family) while keeping the sums
+    /// in `tanh`'s active range. Ignored by the GRU updater.
+    pub sum_scale: f32,
+    /// Parameter-initialization / tie-shuffling seed.
+    pub seed: u64,
+}
+
+impl TpGnnConfig {
+    /// TP-GNN-SUM with the paper's default hyperparameters.
+    pub fn sum(feature_dim: usize) -> Self {
+        Self {
+            feature_dim,
+            embed_dim: 32,
+            time_dim: 6,
+            hidden_dim: 32,
+            updater: UpdaterKind::Sum,
+            propagation: PropagationKind::Temporal,
+            use_time_encoding: true,
+            readout: Readout::Extractor,
+            edge_agg: EdgeAgg::Average,
+            sum_scale: 0.05,
+            seed: 0,
+        }
+    }
+
+    /// TP-GNN-GRU with the paper's default hyperparameters.
+    pub fn gru(feature_dim: usize) -> Self {
+        Self { updater: UpdaterKind::Gru, ..Self::sum(feature_dim) }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Width `k` of the node embeddings produced by temporal propagation:
+    /// `q + d_t` for SUM (eq. 5), `q` for GRU (Sec. IV-B2 (ii)).
+    pub fn node_embed_dim(&self) -> usize {
+        match (self.propagation, self.updater, self.use_time_encoding) {
+            // `w/o tem`: raw embedded features only.
+            (PropagationKind::None, _, _) => self.embed_dim,
+            (_, UpdaterKind::Sum, true) => self.embed_dim + self.time_dim,
+            (_, UpdaterKind::Sum, false) => self.embed_dim,
+            (_, UpdaterKind::Gru, _) => self.embed_dim,
+        }
+    }
+
+    /// Validate invariants; returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.feature_dim == 0 {
+            return Err("feature_dim must be positive".into());
+        }
+        if self.embed_dim == 0 || self.hidden_dim == 0 {
+            return Err("embed_dim and hidden_dim must be positive".into());
+        }
+        if self.use_time_encoding && self.time_dim < 2 {
+            return Err("time_dim must be >= 2 when time encoding is enabled".into());
+        }
+        Ok(())
+    }
+}
+
+/// The ablation variants of Sec. V-F.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AblationVariant {
+    /// Random aggregation + Mean pooling (no temporal information at all).
+    Rand,
+    /// Extractor only, no temporal propagation.
+    WithoutTemporalPropagation,
+    /// Temporal propagation without `f(t)`, Mean pooling.
+    Temp,
+    /// Temporal propagation with `f(t)`, Mean pooling.
+    Time2Vec,
+    /// The full model.
+    Full,
+}
+
+impl AblationVariant {
+    /// All variants in the order plotted in Figs. 3–4.
+    pub const ALL: [AblationVariant; 5] = [
+        AblationVariant::Rand,
+        AblationVariant::WithoutTemporalPropagation,
+        AblationVariant::Temp,
+        AblationVariant::Time2Vec,
+        AblationVariant::Full,
+    ];
+
+    /// Label used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            AblationVariant::Rand => "rand",
+            AblationVariant::WithoutTemporalPropagation => "w/o tem",
+            AblationVariant::Temp => "temp",
+            AblationVariant::Time2Vec => "time2Vec",
+            AblationVariant::Full => "full",
+        }
+    }
+
+    /// Apply the variant's modifications to a full-model config.
+    pub fn apply(self, mut cfg: TpGnnConfig) -> TpGnnConfig {
+        match self {
+            AblationVariant::Rand => {
+                cfg.propagation = PropagationKind::Random;
+                cfg.use_time_encoding = false;
+                cfg.readout = Readout::MeanPool;
+            }
+            AblationVariant::WithoutTemporalPropagation => {
+                cfg.propagation = PropagationKind::None;
+                cfg.readout = Readout::Extractor;
+            }
+            AblationVariant::Temp => {
+                cfg.use_time_encoding = false;
+                cfg.readout = Readout::MeanPool;
+            }
+            AblationVariant::Time2Vec => {
+                cfg.readout = Readout::MeanPool;
+            }
+            AblationVariant::Full => {}
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_section_5d() {
+        let cfg = TpGnnConfig::sum(3);
+        assert_eq!(cfg.hidden_dim, 32);
+        assert_eq!(cfg.time_dim, 6);
+        assert_eq!(cfg.edge_agg, EdgeAgg::Average);
+        assert_eq!(cfg.node_embed_dim(), 38); // q + d_t for SUM
+        let gru = TpGnnConfig::gru(3);
+        assert_eq!(gru.node_embed_dim(), 32); // q for GRU
+    }
+
+    #[test]
+    fn ablation_dims() {
+        let base = TpGnnConfig::sum(3);
+        let temp = AblationVariant::Temp.apply(base.clone());
+        assert_eq!(temp.node_embed_dim(), 32); // no time matrix
+        assert!(!temp.use_time_encoding);
+        let wo = AblationVariant::WithoutTemporalPropagation.apply(base.clone());
+        assert_eq!(wo.propagation, PropagationKind::None);
+        assert_eq!(wo.readout, Readout::Extractor);
+        let rand = AblationVariant::Rand.apply(base);
+        assert_eq!(rand.readout, Readout::MeanPool);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut cfg = TpGnnConfig::sum(3);
+        assert!(cfg.validate().is_ok());
+        cfg.time_dim = 1;
+        assert!(cfg.validate().is_err());
+        cfg.time_dim = 6;
+        cfg.feature_dim = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        let labels: Vec<&str> = AblationVariant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, vec!["rand", "w/o tem", "temp", "time2Vec", "full"]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Global Temporal Embedding Extractor — Sec. IV-C of the paper.
+//!
+//! Node embeddings from temporal propagation are converted into edge
+//! embeddings (EdgeAgg *Average* by default), then fed into a GRU in the
+//! chronological order of edge establishment (eqs. 7–10). The final hidden
+//! state is the graph embedding `g ∈ R^d`.
+//!
+//! The paper notes the GRU "can be replaced by other sequential models …
+//! for instance Transformer for large dynamic graphs"; the
+//! [`Readout::TransformerExtractor`] variant implements that option as
+//! attention pooling over time-encoded edge embeddings.
+
+use rand::rngs::StdRng;
+use tpgnn_graph::TemporalEdge;
+use tpgnn_nn::{mean_pool, EdgeAgg, GruCell, Linear, MultiHeadAttention, Time2Vec};
+use tpgnn_tensor::{ParamStore, Tape, Var};
+
+use crate::config::{Readout, TpGnnConfig};
+
+enum Inner {
+    Gru(GruCell),
+    Transformer {
+        /// Time encoding appended to edge embeddings so attention sees order.
+        t2v: Time2Vec,
+        att: MultiHeadAttention,
+        /// Learned query seed projected from the mean edge embedding.
+        query: Linear,
+        out: Linear,
+    },
+    MeanPool {
+        /// Projects pooled node embeddings to the graph embedding width so
+        /// every readout produces `(1, hidden_dim)`.
+        proj: Linear,
+    },
+}
+
+/// Graph-level readout producing the graph embedding `g` (Definition 2).
+pub struct GlobalExtractor {
+    inner: Inner,
+    edge_agg: EdgeAgg,
+    hidden_dim: usize,
+}
+
+impl GlobalExtractor {
+    /// Register the readout's parameters per `cfg`. `node_dim` is the width
+    /// `k` of the node embeddings produced by temporal propagation.
+    pub fn new(store: &mut ParamStore, cfg: &TpGnnConfig, node_dim: usize, rng: &mut StdRng) -> Self {
+        let edge_dim = cfg.edge_agg.out_dim(node_dim);
+        let inner = match cfg.readout {
+            Readout::Extractor => {
+                Inner::Gru(GruCell::new(store, "ext.gru", edge_dim, cfg.hidden_dim, rng))
+            }
+            Readout::TransformerExtractor => {
+                let t2v = Time2Vec::new(store, "ext.t2v", cfg.time_dim, rng);
+                let width = edge_dim + cfg.time_dim;
+                let att = MultiHeadAttention::new(store, "ext.att", width, width, cfg.hidden_dim, 2, rng);
+                let query = Linear::new(store, "ext.query", width, width, rng);
+                let out = Linear::new(store, "ext.out", cfg.hidden_dim, cfg.hidden_dim, rng);
+                Inner::Transformer { t2v, att, query, out }
+            }
+            Readout::MeanPool => {
+                Inner::MeanPool { proj: Linear::new(store, "ext.proj", node_dim, cfg.hidden_dim, rng) }
+            }
+        };
+        Self { inner, edge_agg: cfg.edge_agg, hidden_dim: cfg.hidden_dim }
+    }
+
+    /// Graph-embedding width `d`.
+    pub fn out_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Produce the graph embedding from per-node embeddings and the
+    /// chronological edge list.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        node_embeds: &[Var],
+        edges: &[TemporalEdge],
+    ) -> Var {
+        match &self.inner {
+            Inner::Gru(cell) => {
+                let mut state = cell.zero_state(tape);
+                for e in edges {
+                    // S_loc(u, v, t) = average of the endpoint embeddings.
+                    let s_loc = self.edge_agg.combine(tape, node_embeds[e.src], node_embeds[e.dst]);
+                    state = cell.forward(tape, store, state, s_loc);
+                }
+                state
+            }
+            Inner::Transformer { t2v, att, query, out } => {
+                if edges.is_empty() {
+                    // Mirror the GRU variant: an edgeless graph reads out as
+                    // the zero embedding.
+                    return tape.input(tpgnn_tensor::Tensor::zeros(1, self.hidden_dim));
+                }
+                let rows: Vec<Var> = edges
+                    .iter()
+                    .map(|e| {
+                        let s_loc = self.edge_agg.combine(tape, node_embeds[e.src], node_embeds[e.dst]);
+                        let ft = t2v.encode(tape, store, e.time);
+                        tape.concat_cols(s_loc, ft)
+                    })
+                    .collect();
+                let seq = tape.stack_rows(&rows); // (m, k + d_t)
+                let pooled = tape.mean_rows(seq);
+                let q = query.forward(tape, store, pooled);
+                let attended = att.forward(tape, store, q, seq, seq); // (1, d)
+                let act = tape.tanh(attended);
+                out.forward(tape, store, act)
+            }
+            Inner::MeanPool { proj } => {
+                let pooled = mean_pool(tape, node_embeds);
+                proj.forward(tape, store, pooled)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpgnn_tensor::Tensor;
+
+    fn node_rows(tape: &mut Tape, n: usize, k: usize) -> Vec<Var> {
+        (0..n)
+            .map(|v| tape.input(Tensor::from_fn(1, k, |_, j| ((v * 3 + j) as f32 * 0.37).sin())))
+            .collect()
+    }
+
+    fn edges(m: usize, n: usize) -> Vec<TemporalEdge> {
+        (0..m)
+            .map(|i| TemporalEdge::new(i % n, (i + 1) % n, (i + 1) as f64))
+            .collect()
+    }
+
+    fn cfg_with(readout: Readout) -> TpGnnConfig {
+        let mut cfg = TpGnnConfig::sum(3);
+        cfg.readout = readout;
+        cfg
+    }
+
+    #[test]
+    fn gru_extractor_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg_with(Readout::Extractor);
+        let ext = GlobalExtractor::new(&mut store, &cfg, 38, &mut rng);
+        assert_eq!(ext.out_dim(), 32);
+        let mut tape = Tape::new();
+        let nodes = node_rows(&mut tape, 5, 38);
+        let g = ext.forward(&mut tape, &store, &nodes, &edges(7, 5));
+        assert_eq!(g.shape(), (1, 32));
+    }
+
+    #[test]
+    fn gru_extractor_is_order_sensitive() {
+        // The whole point of Sec. IV-C: edge sequence order matters.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = cfg_with(Readout::Extractor);
+        let ext = GlobalExtractor::new(&mut store, &cfg, 8, &mut rng);
+        let mut tape = Tape::new();
+        let nodes = node_rows(&mut tape, 4, 8);
+        let fwd = edges(5, 4);
+        let mut rev = fwd.clone();
+        rev.reverse();
+        // Keep timestamps ascending in both (only the src/dst sequence flips).
+        for (i, e) in rev.iter_mut().enumerate() {
+            e.time = (i + 1) as f64;
+        }
+        let ga = ext.forward(&mut tape, &store, &nodes, &fwd);
+        let gb = ext.forward(&mut tape, &store, &nodes, &rev);
+        assert!(tape.value(ga).sub(tape.value(gb)).max_abs() > 1e-6);
+    }
+
+    #[test]
+    fn gru_extractor_empty_edge_list_returns_zero_state() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = cfg_with(Readout::Extractor);
+        let ext = GlobalExtractor::new(&mut store, &cfg, 8, &mut rng);
+        let mut tape = Tape::new();
+        let nodes = node_rows(&mut tape, 3, 8);
+        let g = ext.forward(&mut tape, &store, &nodes, &[]);
+        assert_eq!(tape.value(g).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn transformer_extractor_shape_and_time_sensitivity() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = cfg_with(Readout::TransformerExtractor);
+        let ext = GlobalExtractor::new(&mut store, &cfg, 10, &mut rng);
+        let mut tape = Tape::new();
+        let nodes = node_rows(&mut tape, 4, 10);
+        let e1 = edges(6, 4);
+        let mut e2 = e1.clone();
+        // Same pairs, different times -> time encoding must change the output.
+        for e in &mut e2 {
+            e.time *= 7.0;
+        }
+        let g1 = ext.forward(&mut tape, &store, &nodes, &e1);
+        let g2 = ext.forward(&mut tape, &store, &nodes, &e2);
+        assert_eq!(g1.shape(), (1, 32));
+        assert!(tape.value(g1).sub(tape.value(g2)).max_abs() > 1e-6);
+    }
+
+    #[test]
+    fn mean_pool_readout_ignores_edges() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = cfg_with(Readout::MeanPool);
+        let ext = GlobalExtractor::new(&mut store, &cfg, 6, &mut rng);
+        let mut tape = Tape::new();
+        let nodes = node_rows(&mut tape, 4, 6);
+        let g1 = ext.forward(&mut tape, &store, &nodes, &edges(5, 4));
+        let g2 = ext.forward(&mut tape, &store, &nodes, &edges(2, 4));
+        assert_eq!(tape.value(g1).data(), tape.value(g2).data());
+        assert_eq!(g1.shape(), (1, 32));
+    }
+
+    #[test]
+    fn concatenation_edge_agg_widths_are_respected() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cfg = cfg_with(Readout::Extractor);
+        cfg.edge_agg = EdgeAgg::Concatenation;
+        let ext = GlobalExtractor::new(&mut store, &cfg, 6, &mut rng);
+        let mut tape = Tape::new();
+        let nodes = node_rows(&mut tape, 3, 6);
+        let g = ext.forward(&mut tape, &store, &nodes, &edges(4, 3));
+        assert_eq!(g.shape(), (1, 32));
+    }
+}

@@ -1,0 +1,48 @@
+//! # tpgnn-core
+//!
+//! The paper's primary contribution: **TP-GNN**, a continuous dynamic graph
+//! neural network for dynamic-graph classification.
+//!
+//! * [`TemporalPropagation`] — the novel message-passing mechanism of
+//!   Sec. IV-B (Algorithm 1), with the SUM (eqs. 3–5) and GRU (eq. 6) node
+//!   updaters and the Time2Vec time-encoding layer (eq. 2),
+//! * [`GlobalExtractor`] — the Global Temporal Embedding Extractor of
+//!   Sec. IV-C (GRU over the chronological edge-embedding sequence), plus
+//!   the Transformer alternative the paper suggests for large graphs,
+//! * [`TpGnn`] — the end-to-end model with the fully-connected classifier
+//!   head and BCE loss (eqs. 11–12),
+//! * [`GraphClassifier`] — the interface shared by TP-GNN and all twelve
+//!   baselines,
+//! * [`trainer`] — the Sec. V-D protocol (10 epochs of Adam at `1e-3`,
+//!   same-timestamp edges re-shuffled each epoch),
+//! * [`AblationVariant`] — the `rand` / `w/o tem` / `temp` / `time2Vec`
+//!   variants of Sec. V-F.
+//!
+//! ```
+//! use tpgnn_core::{TpGnn, TpGnnConfig, GraphClassifier};
+//! use tpgnn_graph::{Ctdn, NodeFeatures};
+//!
+//! // A 3-node dynamic network with 3-dimensional node features.
+//! let mut g = Ctdn::new(NodeFeatures::zeros(3, 3));
+//! g.add_edge(0, 1, 1.0);
+//! g.add_edge(1, 2, 2.0);
+//! g.add_edge(0, 2, 3.0);
+//!
+//! let mut model = TpGnn::new(TpGnnConfig::sum(3));
+//! let p = model.predict_proba(&mut g);
+//! assert!((0.0..=1.0).contains(&p));
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod extractor;
+mod model;
+mod propagation;
+pub mod trainer;
+
+pub use config::{AblationVariant, PropagationKind, Readout, TpGnnConfig, UpdaterKind};
+pub use extractor::GlobalExtractor;
+pub use model::{GraphClassifier, TpGnn, GRAD_CLIP};
+pub use propagation::TemporalPropagation;
+pub use trainer::{predict_all, train, TrainConfig, TrainReport};

@@ -1,0 +1,357 @@
+//! Temporal Propagation — Algorithm 1 / Sec. IV-B of the paper.
+//!
+//! Messages pass along each temporal edge in chronological order, following
+//! the direction of information flow. Two node-feature updaters are
+//! provided: SUM (eqs. 3–5) and GRU (eq. 6). The output is the local node
+//! embedding matrix `H = tanh(Ĥ)` (line 19 of Algorithm 1), materialized as
+//! one `Var` per node so downstream readouts can address endpoints directly.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tpgnn_graph::{Ctdn, TemporalEdge};
+use tpgnn_nn::{GruCell, Linear, Time2Vec};
+use tpgnn_tensor::{ParamStore, Tape, Tensor, Var};
+
+use crate::config::{PropagationKind, TpGnnConfig, UpdaterKind};
+
+enum Updater {
+    Sum,
+    Gru(GruCell),
+}
+
+/// The temporal propagation module: node-feature embedding layer (eq. 1),
+/// time encoding layer (eq. 2), and the propagation sweep.
+pub struct TemporalPropagation {
+    embed: Linear,
+    t2v: Option<Time2Vec>,
+    updater: Updater,
+    kind: PropagationKind,
+    time_dim: usize,
+    /// Deterministic seed stream for the `rand` ablation's random edge order.
+    rand_counter: std::cell::Cell<u64>,
+    rand_seed: u64,
+    /// Constant pre-scaling of the SUM updater's inputs (see `sweep`).
+    sum_scale: f32,
+}
+
+impl TemporalPropagation {
+    /// Register the module's parameters per `cfg`.
+    pub fn new(store: &mut ParamStore, cfg: &TpGnnConfig, rng: &mut StdRng) -> Self {
+        let embed = Linear::new(store, "tp.embed", cfg.feature_dim, cfg.embed_dim, rng);
+        let t2v = cfg
+            .use_time_encoding
+            .then(|| Time2Vec::new(store, "tp.t2v", cfg.time_dim, rng));
+        let updater = match cfg.updater {
+            UpdaterKind::Sum => Updater::Sum,
+            UpdaterKind::Gru => {
+                let in_dim = cfg.embed_dim + if cfg.use_time_encoding { cfg.time_dim } else { 0 };
+                Updater::Gru(GruCell::new(store, "tp.gru", in_dim, cfg.embed_dim, rng))
+            }
+        };
+        Self {
+            embed,
+            t2v,
+            updater,
+            kind: cfg.propagation,
+            time_dim: cfg.time_dim,
+            rand_counter: std::cell::Cell::new(0),
+            rand_seed: cfg.seed,
+            sum_scale: cfg.sum_scale,
+        }
+    }
+
+    /// Embed every node's raw features (eq. 1) and return one `(1, q)` `Var`
+    /// per node.
+    fn embed_nodes(&self, tape: &mut Tape, store: &ParamStore, g: &Ctdn) -> Vec<Var> {
+        let n = g.num_nodes();
+        let q = g.feature_dim();
+        let raw = Tensor::from_vec(n, q, g.features().data().to_vec());
+        let raw_var = tape.input(raw);
+        let embedded = self.embed.forward(tape, store, raw_var); // (n, embed)
+        (0..n).map(|v| tape.row(embedded, v)).collect()
+    }
+
+    /// Run the propagation sweep, returning the local node embedding vectors
+    /// `h(v)` (already passed through `tanh`, line 19 of Algorithm 1).
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, g: &mut Ctdn) -> Vec<Var> {
+        let node_embeds = self.embed_nodes(tape, store, g);
+        match self.kind {
+            PropagationKind::None => {
+                // `w/o tem`: the embedded raw features are the node states.
+                node_embeds.iter().map(|&h| tape.tanh(h)).collect()
+            }
+            PropagationKind::Temporal => {
+                let edges = g.edges_chronological().to_vec();
+                self.sweep(tape, store, node_embeds, &edges)
+            }
+            PropagationKind::Random => {
+                // `rand` ablation: neighbors aggregated in a random order;
+                // timestamps carry no meaning, so the edge list is permuted.
+                let mut edges = g.edges_chronological().to_vec();
+                let tick = self.rand_counter.get();
+                self.rand_counter.set(tick + 1);
+                let mut rng = StdRng::seed_from_u64(self.rand_seed ^ (tick.wrapping_mul(0x9e37_79b9)));
+                edges.shuffle(&mut rng);
+                self.sweep(tape, store, node_embeds, &edges)
+            }
+        }
+    }
+
+    /// The inner message-passing loop of Algorithm 1 over a fixed edge order.
+    fn sweep(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        node_embeds: Vec<Var>,
+        edges: &[TemporalEdge],
+    ) -> Vec<Var> {
+        match &self.updater {
+            Updater::Sum => {
+                // X̂_{t_0} := X (line 5); M̂_{t_0} := 0 (line 4).
+                // Numerical stability at laptop scale: eqs. 3–4 accumulate
+                // unboundedly, and with the repeated-interaction density of
+                // HDFS/Brightkite the accumulated sums leave tanh's active
+                // range within a few edges, freezing gradients. Scaling the
+                // (learnable) embedding and time-encoding outputs by a
+                // constant folds into their initialization — same model
+                // family, usable conditioning. See DESIGN.md §2.
+                let mut x_hat: Vec<Var> = node_embeds
+                    .iter()
+                    .map(|&h| tape.scale(h, self.sum_scale))
+                    .collect();
+                let mut m_hat: Option<Vec<Var>> = self.t2v.as_ref().map(|_| {
+                    (0..x_hat.len())
+                        .map(|_| tape.input(Tensor::zeros(1, self.time_dim)))
+                        .collect()
+                });
+                for e in edges {
+                    // X̂(v) := X̂(u) + X̂(v)                         (eq. 3)
+                    x_hat[e.dst] = tape.add(x_hat[e.src], x_hat[e.dst]);
+                    if let (Some(t2v), Some(m)) = (self.t2v.as_ref(), m_hat.as_mut()) {
+                        // M̂(v) := f(t) + M̂(v)                      (eq. 4)
+                        let ft_raw = t2v.encode(tape, store, e.time);
+                        let ft = tape.scale(ft_raw, self.sum_scale);
+                        m[e.dst] = tape.add(ft, m[e.dst]);
+                    }
+                }
+                // Ĥ := X̂ ⊕ M̂ (eq. 5); H := tanh(Ĥ) (line 19).
+                x_hat
+                    .into_iter()
+                    .enumerate()
+                    .map(|(v, x)| {
+                        let h = match &m_hat {
+                            Some(m) => tape.concat_cols(x, m[v]),
+                            None => x,
+                        };
+                        tape.tanh(h)
+                    })
+                    .collect()
+            }
+            Updater::Gru(cell) => {
+                // ĥ_{t_0}(v) := X(v) (line 13).
+                let mut h = node_embeds;
+                for e in edges {
+                    // ĥ(v) := GRU(ĥ(v), [ĥ(u) ⊕ f(t)])              (eq. 6)
+                    let msg = match self.t2v.as_ref() {
+                        Some(t2v) => {
+                            let ft = t2v.encode(tape, store, e.time);
+                            tape.concat_cols(h[e.src], ft)
+                        }
+                        None => h[e.src],
+                    };
+                    h[e.dst] = cell.forward(tape, store, h[e.dst], msg);
+                }
+                h.into_iter().map(|hv| tape.tanh(hv)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpgnn_graph::NodeFeatures;
+
+    fn make(cfg: &TpGnnConfig) -> (ParamStore, TemporalPropagation) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let tp = TemporalPropagation::new(&mut store, cfg, &mut rng);
+        (store, tp)
+    }
+
+    fn chain_graph(n: usize) -> Ctdn {
+        let mut feats = NodeFeatures::zeros(n, 3);
+        for v in 0..n {
+            feats.row_mut(v).copy_from_slice(&[v as f32 / n as f32, 0.5, 0.0]);
+        }
+        let mut g = Ctdn::new(feats);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, (i + 1) as f64);
+        }
+        g
+    }
+
+    #[test]
+    fn sum_output_dims() {
+        let cfg = TpGnnConfig::sum(3);
+        let (store, tp) = make(&cfg);
+        let mut g = chain_graph(5);
+        let mut tape = Tape::new();
+        let h = tp.forward(&mut tape, &store, &mut g);
+        assert_eq!(h.len(), 5);
+        for hv in &h {
+            assert_eq!(hv.shape(), (1, 38)); // embed 32 + time 6
+            assert!(tape.value(*hv).data().iter().all(|&x| x.abs() <= 1.0));
+        }
+    }
+
+    #[test]
+    fn gru_output_dims() {
+        let cfg = TpGnnConfig::gru(3);
+        let (store, tp) = make(&cfg);
+        let mut g = chain_graph(4);
+        let mut tape = Tape::new();
+        let h = tp.forward(&mut tape, &store, &mut g);
+        assert_eq!(h.len(), 4);
+        for hv in &h {
+            assert_eq!(hv.shape(), (1, 32));
+        }
+    }
+
+    /// The operational half of Theorem 1: perturbing X(u) changes h(v) iff
+    /// u is influential to v.
+    #[test]
+    fn theorem1_influence_iff_dependence() {
+        for cfg in [TpGnnConfig::sum(3), TpGnnConfig::gru(3)] {
+            let (mut store, tp) = make(&cfg);
+            // Fig. 1-like graph: influence is partial.
+            let mut feats = NodeFeatures::zeros(6, 3);
+            for v in 0..6 {
+                feats.row_mut(v).copy_from_slice(&[0.1 * v as f32, 0.3, 0.7]);
+            }
+            let mut g = Ctdn::new(feats);
+            g.add_edge(0, 1, 1.0);
+            g.add_edge(1, 2, 2.0);
+            g.add_edge(3, 4, 3.0);
+            // Node 5 is isolated; nodes 3,4 form a separate component.
+            let inf = tpgnn_graph::InfluenceAnalysis::compute(&mut g);
+
+            let run = |store: &ParamStore, g: &mut Ctdn| -> Vec<Tensor> {
+                let mut tape = Tape::new();
+                let h = tp.forward(&mut tape, store, g);
+                h.iter().map(|&hv| tape.value(hv).clone()).collect()
+            };
+            let base = run(&store, &mut g);
+
+            for u in 0..6 {
+                // Perturb X(u) strongly.
+                let mut g2 = g.clone();
+                for f in g2.features_mut().row_mut(u) {
+                    *f += 2.5;
+                }
+                let pert = run(&store, &mut g2);
+                for v in 0..6 {
+                    let changed = base[v].sub(&pert[v]).max_abs() > 1e-6;
+                    let expected = u == v || inf.is_influential(u, v);
+                    assert_eq!(
+                        changed, expected,
+                        "updater {:?}: perturbing {u} {} h({v})",
+                        cfg.updater,
+                        if changed { "changed" } else { "did not change" }
+                    );
+                }
+            }
+            // Keep store "used" for both configs.
+            store.zero_grads();
+        }
+    }
+
+    #[test]
+    fn edge_order_changes_embeddings() {
+        // The Fig. 1 motivation: same static topology, different edge order,
+        // different node embeddings.
+        let cfg = TpGnnConfig::sum(3);
+        let (store, tp) = make(&cfg);
+        let mut feats = NodeFeatures::zeros(4, 3);
+        for v in 0..4 {
+            feats.row_mut(v).copy_from_slice(&[0.2 * v as f32 + 0.1, 0.5, 0.9]);
+        }
+        // Order A: 0->1 (t1), 1->2 (t2), 2->3 (t3): chain influence flows.
+        let mut ga = Ctdn::new(feats.clone());
+        ga.add_edge(0, 1, 1.0);
+        ga.add_edge(1, 2, 2.0);
+        ga.add_edge(2, 3, 3.0);
+        // Order B: same static edges, reversed times: no transitive flow.
+        let mut gb = Ctdn::new(feats);
+        gb.add_edge(2, 3, 1.0);
+        gb.add_edge(1, 2, 2.0);
+        gb.add_edge(0, 1, 3.0);
+
+        let run = |g: &mut Ctdn| -> Vec<Tensor> {
+            let mut tape = Tape::new();
+            let h = tp.forward(&mut tape, &store, g);
+            h.iter().map(|&hv| tape.value(hv).clone()).collect()
+        };
+        let ha = run(&mut ga);
+        let hb = run(&mut gb);
+        // Node 3's embedding must differ: in A it aggregates 0,1,2; in B only 2.
+        assert!(ha[3].sub(&hb[3]).max_abs() > 1e-5);
+    }
+
+    #[test]
+    fn random_propagation_varies_between_calls() {
+        let mut cfg = TpGnnConfig::sum(3);
+        cfg.propagation = PropagationKind::Random;
+        cfg.use_time_encoding = false;
+        let (store, tp) = make(&cfg);
+        let mut g = chain_graph(8);
+        let run = |g: &mut Ctdn| -> Tensor {
+            let mut tape = Tape::new();
+            let h = tp.forward(&mut tape, &store, g);
+            let vals: Vec<Tensor> = h.iter().map(|&hv| tape.value(hv).clone()).collect();
+            Tensor::stack_rows(&vals)
+        };
+        let a = run(&mut g);
+        let b = run(&mut g);
+        // The random edge order is re-drawn per call (train-time stochasticity).
+        assert!(a.sub(&b).max_abs() > 1e-7, "random aggregation should vary across calls");
+    }
+
+    #[test]
+    fn no_propagation_ignores_edges() {
+        let mut cfg = TpGnnConfig::sum(3);
+        cfg.propagation = PropagationKind::None;
+        let (store, tp) = make(&cfg);
+        let mut g1 = chain_graph(5);
+        let mut g2 = chain_graph(5);
+        // Same features, extra edge in g2: `w/o tem` node states must match.
+        g2.add_edge(0, 4, 10.0);
+        let run = |g: &mut Ctdn| -> Tensor {
+            let mut tape = Tape::new();
+            let h = tp.forward(&mut tape, &store, g);
+            let vals: Vec<Tensor> = h.iter().map(|&hv| tape.value(hv).clone()).collect();
+            Tensor::stack_rows(&vals)
+        };
+        assert_eq!(run(&mut g1), run(&mut g2));
+    }
+
+    #[test]
+    fn repeated_edges_accumulate_in_sum() {
+        let cfg = TpGnnConfig::sum(3);
+        let (store, tp) = make(&cfg);
+        let mut feats = NodeFeatures::zeros(2, 3);
+        feats.row_mut(0).copy_from_slice(&[0.5, 0.5, 0.5]);
+        let mut g1 = Ctdn::new(feats.clone());
+        g1.add_edge(0, 1, 1.0);
+        let mut g2 = Ctdn::new(feats);
+        g2.add_edge(0, 1, 1.0);
+        g2.add_edge(0, 1, 2.0);
+        let run = |g: &mut Ctdn| -> Tensor {
+            let mut tape = Tape::new();
+            let h = tp.forward(&mut tape, &store, g);
+            tape.value(h[1]).clone()
+        };
+        assert!(run(&mut g1).sub(&run(&mut g2)).max_abs() > 1e-6);
+    }
+}

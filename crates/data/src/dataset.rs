@@ -1,0 +1,158 @@
+//! Labeled dynamic-graph datasets and the paper's train/test protocol.
+
+use tpgnn_graph::{Ctdn, GraphStats};
+
+/// One dynamic network with its ground-truth class (Definition 3):
+/// positive = 1 (normal), negative = 0 (anomalous).
+#[derive(Clone, Debug)]
+pub struct LabeledGraph {
+    /// The dynamic network.
+    pub graph: Ctdn,
+    /// Ground-truth label: `true` = positive (normal), `false` = negative.
+    pub label: bool,
+}
+
+impl LabeledGraph {
+    /// Label as the float target used by the BCE loss (1.0 / 0.0).
+    pub fn target(&self) -> f32 {
+        if self.label {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named collection of labeled dynamic networks.
+#[derive(Clone, Debug, Default)]
+pub struct GraphDataset {
+    /// Dataset name (e.g. "Forum-java").
+    pub name: String,
+    /// The graphs, in generation order.
+    pub graphs: Vec<LabeledGraph>,
+}
+
+impl GraphDataset {
+    /// Creates an empty dataset with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), graphs: Vec::new() }
+    }
+
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the dataset has no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Fraction of negative (label 0) graphs.
+    pub fn negative_ratio(&self) -> f64 {
+        if self.graphs.is_empty() {
+            return 0.0;
+        }
+        let neg = self.graphs.iter().filter(|g| !g.label).count();
+        neg as f64 / self.graphs.len() as f64
+    }
+
+    /// The paper's split: "the first 30% graphs of each dataset for training
+    /// and the last 70% for testing" (Sec. V-D).
+    pub fn split(&self, train_frac: f64) -> (&[LabeledGraph], &[LabeledGraph]) {
+        assert!((0.0..=1.0).contains(&train_frac), "train_frac must be in [0, 1]");
+        let cut = ((self.graphs.len() as f64) * train_frac).round() as usize;
+        self.graphs.split_at(cut.min(self.graphs.len()))
+    }
+
+    /// Summary statistics across all graphs (feeds the Table I harness).
+    pub fn stats(&mut self) -> DatasetStats {
+        let n = self.graphs.len();
+        let mut nodes = 0usize;
+        let mut edges = 0usize;
+        let mut feature_dim = 0usize;
+        for lg in &mut self.graphs {
+            let s = GraphStats::compute(&mut lg.graph);
+            nodes += s.active_nodes;
+            edges += s.num_edges;
+            feature_dim = s.feature_dim;
+        }
+        DatasetStats {
+            name: self.name.clone(),
+            graph_number: n,
+            negative_ratio: self.negative_ratio(),
+            avg_nodes: if n == 0 { 0.0 } else { nodes as f64 / n as f64 },
+            avg_edges: if n == 0 { 0.0 } else { edges as f64 / n as f64 },
+            node_features: feature_dim,
+        }
+    }
+}
+
+/// The Table I row for one dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of graphs.
+    pub graph_number: usize,
+    /// Fraction of negative graphs.
+    pub negative_ratio: f64,
+    /// Average number of active nodes per graph.
+    pub avg_nodes: f64,
+    /// Average number of temporal edges per graph.
+    pub avg_edges: f64,
+    /// Node feature dimension.
+    pub node_features: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(label: bool) -> LabeledGraph {
+        let mut g = Ctdn::with_zero_features(3, 3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        LabeledGraph { graph: g, label }
+    }
+
+    #[test]
+    fn target_encoding() {
+        assert_eq!(tiny(true).target(), 1.0);
+        assert_eq!(tiny(false).target(), 0.0);
+    }
+
+    #[test]
+    fn ratio_and_split() {
+        let mut ds = GraphDataset::new("toy");
+        for i in 0..10 {
+            ds.graphs.push(tiny(i % 3 != 0)); // 4 negatives (0,3,6,9)
+        }
+        assert!((ds.negative_ratio() - 0.4).abs() < 1e-9);
+        let (train, test) = ds.split(0.3);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 7);
+    }
+
+    #[test]
+    fn stats_averages() {
+        let mut ds = GraphDataset::new("toy");
+        ds.graphs.push(tiny(true));
+        ds.graphs.push(tiny(false));
+        let s = ds.stats();
+        assert_eq!(s.graph_number, 2);
+        assert_eq!(s.avg_nodes, 3.0);
+        assert_eq!(s.avg_edges, 2.0);
+        assert_eq!(s.node_features, 3);
+        assert!((s.negative_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let mut ds = GraphDataset::new("empty");
+        let s = ds.stats();
+        assert_eq!(s.graph_number, 0);
+        assert_eq!(s.avg_nodes, 0.0);
+        assert_eq!(ds.split(0.3).0.len(), 0);
+    }
+}

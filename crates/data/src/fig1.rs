@@ -1,0 +1,73 @@
+//! The paper's Fig. 1 session-network pair as a canonical library fixture.
+//!
+//! Two Forum-java log-session networks that are **topologically identical**
+//! and differ only in when the second `v7 → v6` interaction happens: before
+//! `v9 → v8` and `v8 → v7` in the normal session, after them in the
+//! abnormal one. Static models provably cannot distinguish the pair; it is
+//! the minimal witness of why temporal propagation exists, reused by the
+//! examples, the integration tests, and the documentation.
+
+use tpgnn_graph::{Ctdn, NodeFeatures};
+
+/// Build the Fig. 1 pair: `(normal, abnormal)`.
+pub fn fig1_pair() -> (Ctdn, Ctdn) {
+    (fig1_graph(true), fig1_graph(false))
+}
+
+/// Build one of the Fig. 1 session networks (`normal = true` for the left
+/// graph of the figure).
+pub fn fig1_graph(normal: bool) -> Ctdn {
+    let mut feats = NodeFeatures::zeros(10, 3);
+    for v in 0..10 {
+        feats.row_mut(v).copy_from_slice(&[v as f32 / 10.0, 0.5, 0.0]);
+    }
+    let mut g = Ctdn::new(feats);
+    g.add_edge(3, 1, 1.0);
+    g.add_edge(2, 1, 1.8);
+    g.add_edge(1, 0, 2.6);
+    g.add_edge(0, 5, 3.4);
+    g.add_edge(5, 6, 4.1);
+    g.add_edge(7, 6, 4.9);
+    g.add_edge(9, 8, 6.0);
+    g.add_edge(8, 7, 7.0);
+    // The only difference between the two session networks: whether the
+    // second v7 -> v6 interaction fires before or after v8/v9's information
+    // has reached v7.
+    g.add_edge(7, 6, if normal { 5.5 } else { 7.4 });
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpgnn_graph::InfluenceAnalysis;
+
+    #[test]
+    fn pair_is_statically_identical() {
+        let (mut normal, mut abnormal) = fig1_pair();
+        let mut a: Vec<(usize, usize)> =
+            normal.edges_chronological().iter().map(|e| (e.src, e.dst)).collect();
+        let mut b: Vec<(usize, usize)> =
+            abnormal.edges_chronological().iter().map(|e| (e.src, e.dst)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_eq!(normal.features(), abnormal.features());
+    }
+
+    #[test]
+    fn abnormal_graph_extends_v6_influence() {
+        // The figure's point: only in the abnormal graph do v8 and v9
+        // influence v6 (through the late second v7 -> v6 interaction).
+        let (mut normal, mut abnormal) = fig1_pair();
+        let inf_n = InfluenceAnalysis::compute(&mut normal);
+        let inf_a = InfluenceAnalysis::compute(&mut abnormal);
+        for probe in [8usize, 9] {
+            assert!(!inf_n.is_influential(probe, 6), "normal: v{probe} must not reach v6");
+            assert!(inf_a.is_influential(probe, 6), "abnormal: v{probe} must reach v6");
+        }
+        // Shared upstream influence is identical in both graphs.
+        assert!(inf_n.is_influential(5, 6) && inf_a.is_influential(5, 6));
+        assert!(inf_n.is_influential(7, 6) && inf_a.is_influential(7, 6));
+    }
+}

@@ -1,0 +1,252 @@
+//! HDFS dataset simulator.
+//!
+//! The paper's HDFS dataset holds 575,061 block-session networks parsed from
+//! the public HDFS console logs [40], with expert anomaly labels. Each block
+//! session is small (Table I: avg ≈ 12 nodes, ≈ 31 edges) — far more edges
+//! than nodes, because block operations (allocate / write / replicate / ack)
+//! repeat between the same pair of events for every replica and packet.
+//!
+//! The generator mimics that shape: a block lifecycle walks a small state
+//! machine whose write/ack loop revisits the same node pairs many times.
+//! Node features are the label-encoded (level, source module, thread id)
+//! triple the paper uses. Negatives replay the lifecycle with anomalies
+//! (reordered pipeline, dropped ack loop, duplicated tail operations),
+//! mirroring the expert-labeled anomalous blocks.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tpgnn_graph::{Ctdn, NodeFeatures, TemporalEdge};
+
+/// Number of distinct HDFS event templates.
+pub const NUM_EVENT_TYPES: usize = 9;
+
+/// Generator tunables; defaults match Table I (avg ≈ 12 nodes, ≈ 31 edges).
+#[derive(Clone, Debug)]
+pub struct HdfsConfig {
+    /// Mean number of replicas in the write pipeline.
+    pub avg_replicas: f64,
+    /// Mean number of write/ack rounds per replica.
+    pub avg_rounds: f64,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        Self { avg_replicas: 3.0, avg_rounds: 3.0 }
+    }
+}
+
+// Event templates: 0 allocate, 1 addStoredBlock, 2 receiving, 3 received,
+// 4 packet-responder, 5 write, 6 ack, 7 terminate, 8 error.
+fn feature_row(template: usize, thread: usize, rng: &mut StdRng) -> [f32; 3] {
+    let level = match template {
+        8 => 1.0,               // ERROR
+        4 | 6 => 0.5,           // DEBUG-ish responder chatter
+        _ => 0.0,               // INFO
+    };
+    let module = template as f32 / NUM_EVENT_TYPES as f32;
+    let thread_feat = (thread as f32 / 8.0 + rng.random_range(0.0..0.05)).min(1.0);
+    [level, module, thread_feat]
+}
+
+/// Generate one *positive* block-session network.
+pub fn generate_block_session(cfg: &HdfsConfig, rng: &mut StdRng) -> Ctdn {
+    let replicas =
+        ((cfg.avg_replicas + rng.random_range(-1.0..1.5)).round() as usize).max(2);
+    let rounds = ((cfg.avg_rounds + rng.random_range(-1.0..2.0)).round() as usize).max(2);
+
+    // Node layout: 0 allocate, 1 addStoredBlock, then per replica a
+    // (receiving, write, ack) triple, finally received + terminate.
+    let per_replica = 3;
+    let n = 2 + replicas * per_replica + 2;
+    let mut features = NodeFeatures::zeros(n, 3);
+    features.row_mut(0).copy_from_slice(&feature_row(0, 0, rng));
+    features.row_mut(1).copy_from_slice(&feature_row(1, 0, rng));
+    for r in 0..replicas {
+        let base = 2 + r * per_replica;
+        features.row_mut(base).copy_from_slice(&feature_row(2, r + 1, rng));
+        features.row_mut(base + 1).copy_from_slice(&feature_row(5, r + 1, rng));
+        features.row_mut(base + 2).copy_from_slice(&feature_row(6, r + 1, rng));
+    }
+    let received = n - 2;
+    let terminate = n - 1;
+    features.row_mut(received).copy_from_slice(&feature_row(3, 0, rng));
+    features.row_mut(terminate).copy_from_slice(&feature_row(7, 0, rng));
+
+    let mut g = Ctdn::new(features);
+    let mut t = 0.0f64;
+    let mut tick = |rng: &mut StdRng| {
+        t += rng.random_range(0.05..0.4);
+        t
+    };
+
+    g.add_edge(0, 1, tick(rng));
+    let mut prev = 1;
+    for r in 0..replicas {
+        let base = 2 + r * per_replica;
+        let (recv, write, ack) = (base, base + 1, base + 2);
+        g.add_edge(prev, recv, tick(rng));
+        // Write/ack rounds revisit the same node pair — this is what pushes
+        // the edge count far above the node count.
+        for _ in 0..rounds {
+            g.add_edge(recv, write, tick(rng));
+            g.add_edge(write, ack, tick(rng));
+        }
+        g.add_edge(ack, received, tick(rng));
+        prev = recv;
+    }
+    g.add_edge(received, terminate, tick(rng));
+    g
+}
+
+/// Anomaly kinds used for the negative (anomalous) block sessions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HdfsAnomaly {
+    /// The write pipeline acknowledges before writing (temporal inversion).
+    PipelineReorder,
+    /// A replica's ack loop is silently dropped (missing redundancy).
+    DroppedAckLoop,
+    /// Tail operations are duplicated after termination (stuck responder).
+    DuplicatedTail,
+}
+
+impl HdfsAnomaly {
+    /// All anomaly kinds, for round-robin injection.
+    pub const ALL: [HdfsAnomaly; 3] = [
+        HdfsAnomaly::PipelineReorder,
+        HdfsAnomaly::DroppedAckLoop,
+        HdfsAnomaly::DuplicatedTail,
+    ];
+}
+
+/// Inject `anomaly` into a positive block session.
+pub fn inject_anomaly(positive: &Ctdn, anomaly: HdfsAnomaly, rng: &mut StdRng) -> Ctdn {
+    let edges = positive.edges().to_vec();
+    let mut out = positive.clone();
+    match anomaly {
+        HdfsAnomaly::PipelineReorder => {
+            // Reverse the (src,dst) sequence of a window of pipeline edges
+            // while keeping the timestamp ladder fixed.
+            if edges.len() < 6 {
+                return out;
+            }
+            let w = rng.random_range(4..=edges.len().min(8));
+            let start = rng.random_range(0..=edges.len() - w);
+            let mut new_edges = edges.clone();
+            let times: Vec<f64> = edges[start..start + w].iter().map(|e| e.time).collect();
+            let mut pairs: Vec<(usize, usize)> =
+                edges[start..start + w].iter().map(|e| (e.src, e.dst)).collect();
+            pairs.reverse();
+            for (k, ((s, d), tt)) in pairs.into_iter().zip(times).enumerate() {
+                new_edges[start + k] = TemporalEdge::new(s, d, tt);
+            }
+            out.set_edges(new_edges);
+        }
+        HdfsAnomaly::DroppedAckLoop => {
+            // Remove every other write->ack edge of one replica group.
+            let ack_edges: Vec<usize> = edges
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| (e.dst >= 2 && (e.dst - 2) % 3 == 2 && e.src + 1 == e.dst).then_some(i))
+                .collect();
+            if ack_edges.len() < 2 {
+                return out;
+            }
+            let drop: Vec<usize> = ack_edges.iter().copied().step_by(2).collect();
+            let new_edges: Vec<TemporalEdge> = edges
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| (!drop.contains(&i)).then_some(*e))
+                .collect();
+            out.set_edges(new_edges);
+        }
+        HdfsAnomaly::DuplicatedTail => {
+            let mut new_edges = edges.clone();
+            let t_max = edges.iter().map(|e| e.time).fold(0.0, f64::max);
+            let k = rng.random_range(2..=4.min(edges.len()));
+            for (j, e) in edges[edges.len() - k..].iter().enumerate() {
+                new_edges.push(TemporalEdge::new(e.src, e.dst, t_max + 0.1 * (j + 1) as f64));
+            }
+            out.set_edges(new_edges);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_sessions_match_table1_scale() {
+        let cfg = HdfsConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut nodes, mut edges) = (0usize, 0usize);
+        let reps = 200;
+        for _ in 0..reps {
+            let g = generate_block_session(&cfg, &mut rng);
+            nodes += g.num_nodes();
+            edges += g.num_edges();
+        }
+        let avg_n = nodes as f64 / reps as f64;
+        let avg_m = edges as f64 / reps as f64;
+        assert!((avg_n - 12.0).abs() < 3.0, "avg nodes = {avg_n}");
+        assert!((avg_m - 31.0).abs() < 8.0, "avg edges = {avg_m}");
+        assert!(avg_m > 2.0 * avg_n, "HDFS sessions are edge-dense");
+    }
+
+    #[test]
+    fn sessions_are_chronological() {
+        let cfg = HdfsConfig::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = generate_block_session(&cfg, &mut rng);
+        for w in g.edges_chronological().windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn pipeline_reorder_keeps_static_multiset() {
+        let cfg = HdfsConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pos = generate_block_session(&cfg, &mut rng);
+        let neg = inject_anomaly(&pos, HdfsAnomaly::PipelineReorder, &mut rng);
+        let mut a: Vec<(usize, usize)> = pos.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let mut b: Vec<(usize, usize)> = neg.edges().iter().map(|e| (e.src, e.dst)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_ne!(pos.edges(), neg.edges());
+    }
+
+    #[test]
+    fn dropped_ack_loop_reduces_edges() {
+        let cfg = HdfsConfig::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pos = generate_block_session(&cfg, &mut rng);
+        let neg = inject_anomaly(&pos, HdfsAnomaly::DroppedAckLoop, &mut rng);
+        assert!(neg.num_edges() < pos.num_edges());
+    }
+
+    #[test]
+    fn duplicated_tail_appends_late_edges() {
+        let cfg = HdfsConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut pos = generate_block_session(&cfg, &mut rng);
+        let mut neg = inject_anomaly(&pos, HdfsAnomaly::DuplicatedTail, &mut rng);
+        assert!(neg.num_edges() > pos.num_edges());
+        assert!(neg.time_span().expect("edges").1 > pos.time_span().expect("edges").1);
+    }
+
+    #[test]
+    fn features_are_in_range() {
+        let cfg = HdfsConfig::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generate_block_session(&cfg, &mut rng);
+        for v in 0..g.num_nodes() {
+            for &f in g.features().row(v) {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

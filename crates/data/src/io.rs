@@ -1,0 +1,186 @@
+//! Plain-text dataset serialization.
+//!
+//! A deliberately simple line format (no external serialization crates):
+//!
+//! ```text
+//! dataset <name> <num_graphs>
+//! graph <label:0|1> <num_nodes> <feature_dim> <num_edges>
+//! node <f_0> <f_1> … <f_{q-1}>          (× num_nodes)
+//! edge <src> <dst> <time>               (× num_edges)
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use tpgnn_graph::{Ctdn, NodeFeatures};
+
+use crate::dataset::{GraphDataset, LabeledGraph};
+
+/// Serialize a dataset to the line format described in the module docs.
+pub fn to_string(ds: &GraphDataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset {} {}", ds.name.replace(' ', "_"), ds.graphs.len());
+    for lg in &ds.graphs {
+        let g = &lg.graph;
+        let _ = writeln!(
+            out,
+            "graph {} {} {} {}",
+            u8::from(lg.label),
+            g.num_nodes(),
+            g.feature_dim(),
+            g.num_edges()
+        );
+        for v in 0..g.num_nodes() {
+            out.push_str("node");
+            for f in g.features().row(v) {
+                let _ = write!(out, " {f}");
+            }
+            out.push('\n');
+        }
+        for e in g.edges() {
+            let _ = writeln!(out, "edge {} {} {}", e.src, e.dst, e.time);
+        }
+    }
+    out
+}
+
+/// Parse a dataset from the line format. Returns a descriptive error string
+/// on malformed input.
+pub fn from_str(text: &str) -> Result<GraphDataset, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty input")?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("dataset") {
+        return Err("missing `dataset` header".into());
+    }
+    let name = parts.next().ok_or("missing dataset name")?.to_string();
+    let count: usize = parts
+        .next()
+        .ok_or("missing graph count")?
+        .parse()
+        .map_err(|e| format!("bad graph count: {e}"))?;
+
+    let mut ds = GraphDataset::new(name);
+    for _ in 0..count {
+        let (ln, gline) = lines.next().ok_or("unexpected end of input")?;
+        let mut p = gline.split_whitespace();
+        if p.next() != Some("graph") {
+            return Err(format!("line {}: expected `graph`", ln + 1));
+        }
+        let label: u8 = p.next().ok_or("missing label")?.parse().map_err(|e| format!("bad label: {e}"))?;
+        let n: usize = p.next().ok_or("missing node count")?.parse().map_err(|e| format!("bad node count: {e}"))?;
+        let q: usize = p.next().ok_or("missing feature dim")?.parse().map_err(|e| format!("bad feature dim: {e}"))?;
+        let m: usize = p.next().ok_or("missing edge count")?.parse().map_err(|e| format!("bad edge count: {e}"))?;
+
+        let mut feats = NodeFeatures::zeros(n, q);
+        for v in 0..n {
+            let (ln, nline) = lines.next().ok_or("unexpected end of input in nodes")?;
+            let mut p = nline.split_whitespace();
+            if p.next() != Some("node") {
+                return Err(format!("line {}: expected `node`", ln + 1));
+            }
+            for (j, tok) in p.enumerate() {
+                if j >= q {
+                    return Err(format!("line {}: too many features", ln + 1));
+                }
+                feats.row_mut(v)[j] = tok.parse().map_err(|e| format!("bad feature: {e}"))?;
+            }
+        }
+        let mut g = Ctdn::new(feats);
+        for _ in 0..m {
+            let (ln, eline) = lines.next().ok_or("unexpected end of input in edges")?;
+            let mut p = eline.split_whitespace();
+            if p.next() != Some("edge") {
+                return Err(format!("line {}: expected `edge`", ln + 1));
+            }
+            let src: usize = p.next().ok_or("missing src")?.parse().map_err(|e| format!("bad src: {e}"))?;
+            let dst: usize = p.next().ok_or("missing dst")?.parse().map_err(|e| format!("bad dst: {e}"))?;
+            let t: f64 = p.next().ok_or("missing time")?.parse().map_err(|e| format!("bad time: {e}"))?;
+            if src >= n || dst >= n {
+                return Err(format!("line {}: edge endpoint out of bounds", ln + 1));
+            }
+            if !(t.is_finite() && t > 0.0) {
+                return Err(format!("line {}: timestamps must be finite and positive", ln + 1));
+            }
+            g.add_edge(src, dst, t);
+        }
+        ds.graphs.push(LabeledGraph { graph: g, label: label != 0 });
+    }
+    Ok(ds)
+}
+
+/// Write a dataset to `path`.
+pub fn save(ds: &GraphDataset, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_string(ds))
+}
+
+/// Read a dataset from `path`.
+pub fn load(path: impl AsRef<Path>) -> io::Result<GraphDataset> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphDataset {
+        let mut ds = GraphDataset::new("toy set");
+        for label in [true, false] {
+            let mut feats = NodeFeatures::zeros(3, 2);
+            feats.row_mut(0).copy_from_slice(&[0.25, 0.5]);
+            feats.row_mut(2).copy_from_slice(&[1.0, -0.125]);
+            let mut g = Ctdn::new(feats);
+            g.add_edge(0, 1, 1.5);
+            g.add_edge(1, 2, 2.0);
+            ds.graphs.push(LabeledGraph { graph: g, label });
+        }
+        ds
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = sample();
+        let text = to_string(&ds);
+        let back = from_str(&text).expect("parse");
+        assert_eq!(back.name, "toy_set");
+        assert_eq!(back.len(), 2);
+        for (a, b) in ds.graphs.iter().zip(&back.graphs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+            assert_eq!(a.graph.features(), b.graph.features());
+            assert_eq!(a.graph.edges(), b.graph.edges());
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_str("").is_err());
+        assert!(from_str("nope 1 2").is_err());
+        assert!(from_str("dataset x 1\nbogus").is_err());
+        assert!(from_str("dataset x 1\ngraph 0 1 1 0\n").is_err()); // missing node line
+        assert!(from_str("dataset x 1\ngraph 0 2 1 0\nnode 0.0").is_err()); // too few node lines
+        assert!(from_str("dataset x 1\ngraph 0 1 1 1\nnode 0.0\nedge 0 5 1.0").is_err()); // bad endpoint
+    }
+
+    #[test]
+    fn label_parsing() {
+        let text = "dataset d 1\ngraph 1 1 1 0\nnode 0.5\n";
+        let ds = from_str(text).expect("parse");
+        assert!(ds.graphs[0].label);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = sample();
+        let dir = std::env::temp_dir().join("tpgnn_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("toy.ds");
+        save(&ds, &path).expect("save");
+        let back = load(&path).expect("load");
+        assert_eq!(back.len(), ds.len());
+        std::fs::remove_file(path).ok();
+    }
+}

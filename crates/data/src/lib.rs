@@ -1,0 +1,28 @@
+//! # tpgnn-data
+//!
+//! Synthetic equivalents of the paper's five evaluation datasets plus the
+//! negative-sampling machinery of Sec. V-A.
+//!
+//! The real corpora (Forum-java logs, HDFS logs, Brightkite / Gowalla /
+//! FourSquare check-ins) are either unpublished or far too large for a
+//! self-contained reproduction, so each dataset is simulated by a generator
+//! that matches its Table I statistics and — crucially — the *kind* of
+//! signal that separates the classes: structural anomalies, feature
+//! anomalies, and purely temporal anomalies (edge-order shuffles that leave
+//! the static topology untouched, the Fig. 1 situation).
+//!
+//! Entry point: [`DatasetKind::generate`].
+
+#![warn(missing_docs)]
+
+mod dataset;
+pub mod fig1;
+pub mod forum_java;
+pub mod hdfs;
+pub mod io;
+pub mod negative;
+mod registry;
+pub mod trajectory;
+
+pub use dataset::{DatasetStats, GraphDataset, LabeledGraph};
+pub use registry::{DatasetKind, MIN_RECORDS};

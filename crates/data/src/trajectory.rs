@@ -1,0 +1,212 @@
+//! User-trajectory dataset simulators (Brightkite, Gowalla, FourSquare).
+//!
+//! The paper builds per-user dynamic networks from public location-based
+//! social-network check-ins [5], [43]: nodes are check-in POIs with
+//! (longitude, latitude, country id) features, edges trace movements between
+//! POIs. The raw check-in corpora are too large to redistribute, so this
+//! module generates trajectories with the behavioural regularities the
+//! classification task depends on: anchor POIs (home/work) that users return
+//! to, spatial locality of exploration, and country clusters. Negatives are
+//! produced exactly as in the paper (Sec. V-A): context-dependent structural
+//! rewiring or random temporal shuffling of the edge order.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tpgnn_graph::{Ctdn, NodeFeatures};
+
+/// Trajectory generator tunables. Per-dataset presets live in
+/// [`TrajectoryConfig::gowalla`], [`TrajectoryConfig::foursquare`], and
+/// [`TrajectoryConfig::brightkite`] and match the Table I averages.
+#[derive(Clone, Debug)]
+pub struct TrajectoryConfig {
+    /// Mean number of distinct POIs (nodes) per user.
+    pub avg_pois: f64,
+    /// Mean number of movements (edges) per user.
+    pub avg_moves: f64,
+    /// Probability a movement returns to an anchor POI instead of exploring.
+    pub return_prob: f64,
+    /// Number of country clusters in the POI universe.
+    pub num_countries: usize,
+}
+
+impl TrajectoryConfig {
+    /// Gowalla preset: avg ≈ 72 nodes, ≈ 117 edges.
+    pub fn gowalla() -> Self {
+        Self { avg_pois: 72.0, avg_moves: 117.0, return_prob: 0.30, num_countries: 6 }
+    }
+
+    /// FourSquare preset: avg ≈ 61 nodes, ≈ 135 edges.
+    pub fn foursquare() -> Self {
+        Self { avg_pois: 61.0, avg_moves: 135.0, return_prob: 0.42, num_countries: 8 }
+    }
+
+    /// Brightkite preset: avg ≈ 46 nodes, ≈ 188 edges — the densest graphs.
+    pub fn brightkite() -> Self {
+        Self { avg_pois: 46.0, avg_moves: 188.0, return_prob: 0.60, num_countries: 5 }
+    }
+}
+
+/// Generate one *positive* user-trajectory network.
+///
+/// The walk starts at a home anchor; each move either returns to an anchor
+/// (with `return_prob`) or explores a new POI placed near the current
+/// position. Node features are (longitude, latitude, country id), all scaled
+/// into `[0, 1]`.
+pub fn generate_trajectory(cfg: &TrajectoryConfig, rng: &mut StdRng) -> Ctdn {
+    let n_target = ((cfg.avg_pois + rng.random_range(-0.25..0.25) * cfg.avg_pois).round() as usize).max(4);
+    let m_target = (((cfg.avg_moves / cfg.avg_pois) * n_target as f64
+        + rng.random_range(-4.0..4.0))
+        .round() as usize)
+        .max(n_target);
+
+    // Home country cluster center.
+    let country = rng.random_range(0..cfg.num_countries);
+    let cx = (country as f32 + 0.5) / cfg.num_countries as f32;
+    let cy = rng.random_range(0.2..0.8);
+
+    // POI positions, grown lazily as the walk explores.
+    let mut lon = Vec::with_capacity(n_target);
+    let mut lat = Vec::with_capacity(n_target);
+    let push_poi = |lon_v: f32, lat_v: f32, lon: &mut Vec<f32>, lat: &mut Vec<f32>| -> usize {
+        lon.push(lon_v.clamp(0.0, 1.0));
+        lat.push(lat_v.clamp(0.0, 1.0));
+        lon.len() - 1
+    };
+
+    // Two anchors: home and work, near the country center.
+    let home = push_poi(
+        cx + rng.random_range(-0.05..0.05),
+        cy + rng.random_range(-0.05..0.05),
+        &mut lon,
+        &mut lat,
+    );
+    let work = push_poi(
+        cx + rng.random_range(-0.08..0.08),
+        cy + rng.random_range(-0.08..0.08),
+        &mut lon,
+        &mut lat,
+    );
+
+    let mut moves: Vec<(usize, usize)> = Vec::with_capacity(m_target);
+    let mut cur = home;
+    while moves.len() < m_target {
+        let next = if lon.len() >= n_target || rng.random_bool(cfg.return_prob) {
+            // Return to an anchor or a previously visited POI.
+            if rng.random_bool(0.6) {
+                if cur == home { work } else { home }
+            } else {
+                rng.random_range(0..lon.len())
+            }
+        } else {
+            // Explore: a new POI near the current one.
+            push_poi(
+                lon[cur] + rng.random_range(-0.06..0.06),
+                lat[cur] + rng.random_range(-0.06..0.06),
+                &mut lon,
+                &mut lat,
+            )
+        };
+        if next != cur {
+            moves.push((cur, next));
+            cur = next;
+        }
+    }
+
+    let n = lon.len();
+    let mut features = NodeFeatures::zeros(n, 3);
+    let country_feat = country as f32 / cfg.num_countries.max(1) as f32;
+    for v in 0..n {
+        features.row_mut(v).copy_from_slice(&[lon[v], lat[v], country_feat]);
+    }
+    let mut g = Ctdn::new(features);
+    let mut t = 0.0f64;
+    for (s, d) in moves {
+        t += rng.random_range(0.1..1.0);
+        g.add_edge(s, d, t);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn scale_check(cfg: &TrajectoryConfig, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut nodes, mut edges) = (0usize, 0usize);
+        let reps = 100;
+        for _ in 0..reps {
+            let g = generate_trajectory(cfg, &mut rng);
+            nodes += g.num_nodes();
+            edges += g.num_edges();
+        }
+        (nodes as f64 / reps as f64, edges as f64 / reps as f64)
+    }
+
+    #[test]
+    fn gowalla_scale() {
+        let (n, m) = scale_check(&TrajectoryConfig::gowalla(), 1);
+        assert!((n - 72.0).abs() < 12.0, "avg nodes = {n}");
+        assert!((m - 117.0).abs() < 20.0, "avg edges = {m}");
+    }
+
+    #[test]
+    fn foursquare_scale() {
+        let (n, m) = scale_check(&TrajectoryConfig::foursquare(), 2);
+        assert!((n - 61.0).abs() < 12.0, "avg nodes = {n}");
+        assert!((m - 135.0).abs() < 25.0, "avg edges = {m}");
+    }
+
+    #[test]
+    fn brightkite_scale_is_dense() {
+        let (n, m) = scale_check(&TrajectoryConfig::brightkite(), 3);
+        assert!((n - 46.0).abs() < 10.0, "avg nodes = {n}");
+        assert!((m - 188.0).abs() < 35.0, "avg edges = {m}");
+        assert!(m / n > 3.0, "Brightkite graphs should be the densest");
+    }
+
+    #[test]
+    fn trajectories_are_valid_ctdns() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let mut g = generate_trajectory(&TrajectoryConfig::gowalla(), &mut rng);
+            for w in g.edges_chronological().windows(2) {
+                assert!(w[0].time <= w[1].time);
+            }
+            for e in g.edges() {
+                assert_ne!(e.src, e.dst, "moves must change POI");
+            }
+        }
+    }
+
+    #[test]
+    fn features_encode_position_and_country() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generate_trajectory(&TrajectoryConfig::brightkite(), &mut rng);
+        let country = g.features().row(0)[2];
+        for v in 0..g.num_nodes() {
+            let f = g.features().row(v);
+            assert!((0.0..=1.0).contains(&f[0]) && (0.0..=1.0).contains(&f[1]));
+            assert_eq!(f[2], country, "one user stays in one country");
+        }
+    }
+
+    #[test]
+    fn anchors_are_revisited() {
+        // With a high return probability, home/work should be endpoints of
+        // many edges — the revisit structure Brightkite's density comes from.
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generate_trajectory(&TrajectoryConfig::brightkite(), &mut rng);
+        let anchor_touches = g
+            .edges()
+            .iter()
+            .filter(|e| e.src <= 1 || e.dst <= 1)
+            .count();
+        assert!(
+            anchor_touches as f64 > g.num_edges() as f64 * 0.3,
+            "anchors touched by only {anchor_touches}/{} edges",
+            g.num_edges()
+        );
+    }
+}

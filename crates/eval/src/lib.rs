@@ -1,0 +1,19 @@
+//! # tpgnn-eval
+//!
+//! Evaluation harness for the TP-GNN reproduction:
+//!
+//! * [`Metrics`] / [`MeanStd`] — Precision, Recall, F₁ (Sec. V-C) with
+//!   multi-run aggregation,
+//! * [`runner`] — the Sec. V-D experiment protocol (30/70 chronological
+//!   split, 10 epochs, identical data per model, wall-clock timing),
+//! * [`table`] — plain-text rendering in the layout of the paper's tables
+//!   and figures.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod runner;
+pub mod table;
+
+pub use metrics::{roc_auc, MeanStd, Metrics};
+pub use runner::{run_cell, run_cell_with, to_pairs, CellResult, ExperimentConfig};

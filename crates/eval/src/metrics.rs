@@ -1,0 +1,198 @@
+//! Evaluation metrics — Sec. V-C of the paper.
+//!
+//! Precision, Recall and F₁ Score over binary predictions, plus mean ± std
+//! aggregation across the five runs the paper averages (Sec. V-D).
+
+/// Binary-classification metrics at a fixed threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Metrics {
+    /// `TP / (TP + FP)`; 0 when nothing was predicted positive.
+    pub precision: f64,
+    /// `TP / (TP + FN)`; 0 when there are no positive samples.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+}
+
+impl Metrics {
+    /// Compute metrics from `(probability, truth)` pairs at `threshold`.
+    pub fn from_predictions(preds: &[(f32, bool)], threshold: f32) -> Self {
+        let (mut tp, mut fp, mut tn, mut fne) = (0u64, 0u64, 0u64, 0u64);
+        for &(p, truth) in preds {
+            let pred = p >= threshold;
+            match (pred, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fne += 1,
+            }
+        }
+        let precision = if tp + fp > 0 { tp as f64 / (tp + fp) as f64 } else { 0.0 };
+        let recall = if tp + fne > 0 { tp as f64 / (tp + fne) as f64 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        let total = preds.len() as f64;
+        let accuracy = if total > 0.0 { (tp + tn) as f64 / total } else { 0.0 };
+        Self { precision, recall, f1, accuracy }
+    }
+}
+
+/// Area under the ROC curve via the rank statistic (equivalent to the
+/// Mann–Whitney U normalization); ties share rank. Returns 0.5 when either
+/// class is absent.
+pub fn roc_auc(preds: &[(f32, bool)]) -> f64 {
+    let pos = preds.iter().filter(|(_, t)| *t).count();
+    let neg = preds.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut sorted: Vec<(f32, bool)> = preds.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    // Average ranks within tie groups.
+    let mut rank_sum_pos = 0.0_f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j].0 == sorted[i].0 {
+            j += 1;
+        }
+        let avg_rank = ((i + 1 + j) as f64) / 2.0; // ranks are 1-based
+        for item in &sorted[i..j] {
+            if item.1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j;
+    }
+    let u = rank_sum_pos - (pos * (pos + 1)) as f64 / 2.0;
+    u / (pos as f64 * neg as f64)
+}
+
+/// Mean ± (population) standard deviation over repeated runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Aggregate a slice of observations (empty slices give 0 ± 0).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { mean: 0.0, std: 0.0 };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self { mean, std: var.sqrt() }
+    }
+
+    /// Render as the paper's `mm.mm±s.ss` percent format.
+    pub fn percent(&self) -> String {
+        format!("{:.2}±{:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let preds = vec![(0.9, true), (0.1, false), (0.8, true)];
+        let m = Metrics::from_predictions(&preds, 0.5);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn textbook_confusion_matrix() {
+        // TP=2, FP=1, FN=1, TN=1.
+        let preds = vec![
+            (0.9, true),
+            (0.8, true),
+            (0.7, false), // FP
+            (0.2, true),  // FN
+            (0.1, false), // TN
+        ];
+        let m = Metrics::from_predictions(&preds, 0.5);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        // Nothing predicted positive.
+        let m = Metrics::from_predictions(&[(0.1, true), (0.2, false)], 0.5);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f1, 0.0);
+        // No positive samples at all.
+        let m2 = Metrics::from_predictions(&[(0.9, false)], 0.5);
+        assert_eq!(m2.recall, 0.0);
+        // Empty input.
+        let m3 = Metrics::from_predictions(&[], 0.5);
+        assert_eq!(m3.accuracy, 0.0);
+    }
+
+    #[test]
+    fn threshold_moves_the_tradeoff() {
+        let preds = vec![(0.6, true), (0.4, true), (0.6, false), (0.4, false)];
+        let strict = Metrics::from_predictions(&preds, 0.7);
+        assert_eq!(strict.recall, 0.0);
+        let lax = Metrics::from_predictions(&preds, 0.3);
+        assert_eq!(lax.recall, 1.0);
+        assert_eq!(lax.precision, 0.5);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let perfect = vec![(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((roc_auc(&perfect) - 1.0).abs() < 1e-12);
+        let inverted: Vec<(f32, bool)> = perfect.iter().map(|&(p, t)| (1.0 - p, t)).collect();
+        assert!(roc_auc(&inverted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // All scores identical: every ordering equally likely -> 0.5.
+        let preds = vec![(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((roc_auc(&preds) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_known_value_with_partial_overlap() {
+        // pos scores {0.8, 0.4}, neg scores {0.6, 0.2}:
+        // pairs won = (0.8>0.6)+(0.8>0.2)+(0.4>0.2) = 3 of 4 -> 0.75.
+        let preds = vec![(0.8, true), (0.4, true), (0.6, false), (0.2, false)];
+        assert!((roc_auc(&preds) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_degenerate_single_class() {
+        assert_eq!(roc_auc(&[(0.9, true)]), 0.5);
+        assert_eq!(roc_auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn mean_std_aggregation() {
+        let ms = MeanStd::of(&[0.9, 0.9, 0.9]);
+        assert!((ms.mean - 0.9).abs() < 1e-12);
+        assert!(ms.std < 1e-12);
+        let ms2 = MeanStd::of(&[0.8, 1.0]);
+        assert!((ms2.mean - 0.9).abs() < 1e-12);
+        assert!((ms2.std - 0.1).abs() < 1e-12);
+        assert_eq!(ms2.percent(), "90.00±10.00");
+        assert_eq!(MeanStd::of(&[]).mean, 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Experiment runner implementing the protocol of Sec. V-D.
+//!
+//! Each experiment run generates a dataset (fixed seed per run index, so
+//! every model sees identical data), splits it 30 / 70 chronologically,
+//! trains for 10 epochs of Adam with same-timestamp shuffling, and scores
+//! Precision / Recall / F₁ on the held-out 70%. Results aggregate over
+//! `runs` repetitions as mean ± std, matching the paper's five-run averages.
+
+use std::time::{Duration, Instant};
+
+use tpgnn_core::{GraphClassifier, TrainConfig};
+use tpgnn_data::{DatasetKind, GraphDataset};
+use tpgnn_graph::Ctdn;
+
+use crate::metrics::{MeanStd, Metrics};
+
+/// Experiment-scale settings.
+///
+/// The paper trains on the full corpora (44k–575k graphs); this harness
+/// defaults to a laptop-scale slice and can be scaled via the environment:
+/// `TPGNN_GRAPHS`, `TPGNN_RUNS`, and `TPGNN_EPOCHS`.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Graphs generated per dataset per run.
+    pub num_graphs: usize,
+    /// Independent repetitions (paper: 5).
+    pub runs: usize,
+    /// Training epochs (paper: 10).
+    pub epochs: usize,
+    /// Chronological train fraction (paper: 0.3).
+    pub train_frac: f64,
+    /// Learning rate applied uniformly to every model (`TPGNN_LR`).
+    ///
+    /// The paper uses `1e-3` with ~1000× more gradient steps than our
+    /// scaled-down corpora provide; `3e-3` compensates without changing the
+    /// relative comparison (all models get the same rate).
+    pub learning_rate: f32,
+    /// Base seed; run `r` uses `base_seed + r` for data and models.
+    pub base_seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            num_graphs: env_usize("TPGNN_GRAPHS", 300),
+            runs: env_usize("TPGNN_RUNS", 3),
+            epochs: env_usize("TPGNN_EPOCHS", 10),
+            train_frac: 0.3,
+            learning_rate: std::env::var("TPGNN_LR")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3e-3),
+            base_seed: 42,
+        }
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Outcome of one (model, dataset) cell, aggregated over runs.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Model display name.
+    pub model: String,
+    /// Dataset display name.
+    pub dataset: String,
+    /// F₁ Score over runs.
+    pub f1: MeanStd,
+    /// Precision over runs.
+    pub precision: MeanStd,
+    /// Recall over runs.
+    pub recall: MeanStd,
+    /// Mean wall-clock inference time per test graph.
+    pub time_per_graph: Duration,
+    /// Mean wall-clock training time per run.
+    pub train_time: Duration,
+}
+
+/// Convert a labeled split into the `(graph, target)` pairs the trainer
+/// consumes.
+pub fn to_pairs(split: &[tpgnn_data::LabeledGraph]) -> Vec<(Ctdn, f32)> {
+    split.iter().map(|lg| (lg.graph.clone(), lg.target())).collect()
+}
+
+/// Run one model (by zoo name) on one dataset kind under `cfg`.
+///
+/// `build` receives `(feature_dim, snapshot_size, seed)` so callers can
+/// inject arbitrary models (e.g. ablation variants) while the common path
+/// uses [`tpgnn_baselines::zoo::build`].
+pub fn run_cell_with(
+    model_name: &str,
+    kind: DatasetKind,
+    cfg: &ExperimentConfig,
+    build: impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier>,
+) -> CellResult {
+    let mut f1s = Vec::with_capacity(cfg.runs);
+    let mut precisions = Vec::with_capacity(cfg.runs);
+    let mut recalls = Vec::with_capacity(cfg.runs);
+    let mut total_predict = Duration::ZERO;
+    let mut total_train = Duration::ZERO;
+    let mut total_test_graphs = 0usize;
+
+    for run in 0..cfg.runs {
+        let seed = cfg.base_seed + run as u64;
+        let ds = kind.generate(cfg.num_graphs, seed);
+        let (metrics, predict_time, train_time, n_test) =
+            run_once(model_name, &ds, kind, cfg, seed, &build);
+        f1s.push(metrics.f1);
+        precisions.push(metrics.precision);
+        recalls.push(metrics.recall);
+        total_predict += predict_time;
+        total_train += train_time;
+        total_test_graphs += n_test;
+    }
+
+    CellResult {
+        model: model_name.to_string(),
+        dataset: kind.name().to_string(),
+        f1: MeanStd::of(&f1s),
+        precision: MeanStd::of(&precisions),
+        recall: MeanStd::of(&recalls),
+        time_per_graph: if total_test_graphs > 0 {
+            total_predict / total_test_graphs as u32
+        } else {
+            Duration::ZERO
+        },
+        train_time: total_train / cfg.runs.max(1) as u32,
+    }
+}
+
+/// [`run_cell_with`] using the standard model zoo.
+pub fn run_cell(model_name: &str, kind: DatasetKind, cfg: &ExperimentConfig) -> CellResult {
+    run_cell_with(model_name, kind, cfg, |feature_dim, snapshot_size, seed| {
+        tpgnn_baselines::zoo::build(model_name, feature_dim, snapshot_size, seed)
+    })
+}
+
+fn run_once(
+    _model_name: &str,
+    ds: &GraphDataset,
+    kind: DatasetKind,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    build: &impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier>,
+) -> (Metrics, Duration, Duration, usize) {
+    let feature_dim = ds
+        .graphs
+        .first()
+        .map_or(3, |g| g.graph.feature_dim());
+    let (train_split, test_split) = ds.split(cfg.train_frac);
+    let train_pairs = to_pairs(train_split);
+    let test_pairs = to_pairs(test_split);
+
+    let mut model = build(feature_dim, kind.snapshot_size(), seed);
+    model.set_learning_rate(cfg.learning_rate);
+    let train_cfg = TrainConfig { epochs: cfg.epochs, shuffle_ties: true, seed };
+
+    let t0 = Instant::now();
+    tpgnn_core::train(model.as_mut(), &train_pairs, &train_cfg);
+    let train_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let preds = tpgnn_core::predict_all(model.as_mut(), &test_pairs);
+    let predict_time = t1.elapsed();
+
+    (Metrics::from_predictions(&preds, 0.5), predict_time, train_time, test_pairs.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            num_graphs: 24,
+            runs: 1,
+            epochs: 2,
+            train_frac: 0.5,
+            base_seed: 1,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn run_cell_produces_sane_metrics() {
+        let cfg = tiny_cfg();
+        let cell = run_cell("GCN", DatasetKind::Hdfs, &cfg);
+        assert_eq!(cell.model, "GCN");
+        assert_eq!(cell.dataset, "HDFS");
+        assert!((0.0..=1.0).contains(&cell.f1.mean));
+        assert!((0.0..=1.0).contains(&cell.precision.mean));
+        assert!((0.0..=1.0).contains(&cell.recall.mean));
+        assert!(cell.time_per_graph > Duration::ZERO);
+    }
+
+    #[test]
+    fn same_seed_same_data_for_all_models() {
+        let a = DatasetKind::Hdfs.generate(10, 42);
+        let b = DatasetKind::Hdfs.generate(10, 42);
+        for (x, y) in a.graphs.iter().zip(&b.graphs) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.graph.edges(), y.graph.edges());
+        }
+    }
+
+    #[test]
+    fn custom_builder_is_used() {
+        let cfg = tiny_cfg();
+        let cell = run_cell_with("custom", DatasetKind::Hdfs, &cfg, |fd, _snap, seed| {
+            Box::new(tpgnn_core::TpGnn::new(
+                tpgnn_core::TpGnnConfig::sum(fd).with_seed(seed),
+            ))
+        });
+        assert_eq!(cell.model, "custom");
+        assert!((0.0..=1.0).contains(&cell.f1.mean));
+    }
+}

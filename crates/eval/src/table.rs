@@ -1,0 +1,146 @@
+//! Plain-text rendering of result tables, heatmaps and scatter series in the
+//! layout of the paper's tables and figures.
+
+use crate::metrics::MeanStd;
+use crate::runner::CellResult;
+
+/// Render a Table II-style block for one dataset: one row per model with
+/// F₁ / Precision / Recall as `mean±std` percentages.
+pub fn render_metric_table(dataset: &str, cells: &[CellResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{dataset}\n{:<22} {:>14} {:>14} {:>14}\n",
+        "Model", "F1 Score", "Precision", "Recall"
+    ));
+    out.push_str(&"-".repeat(68));
+    out.push('\n');
+    for cell in cells {
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>14} {:>14}\n",
+            cell.model,
+            cell.f1.percent(),
+            cell.precision.percent(),
+            cell.recall.percent()
+        ));
+    }
+    out
+}
+
+/// Render a Fig. 5-style heatmap: rows = one sweep axis, cols = the other,
+/// cells = mean F₁ (%).
+pub fn render_heatmap(
+    title: &str,
+    row_label: &str,
+    rows: &[usize],
+    col_label: &str,
+    cols: &[usize],
+    values: &[Vec<MeanStd>],
+) -> String {
+    let mut out = format!("{title}  (rows: {row_label}, cols: {col_label})\n");
+    out.push_str(&format!("{:>8}", ""));
+    for c in cols {
+        out.push_str(&format!("{c:>9}"));
+    }
+    out.push('\n');
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!("{r:>8}"));
+        for j in 0..cols.len() {
+            out.push_str(&format!("{:>9.2}", values[i][j].mean * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a Fig. 6-style series: per model, runtime per graph (µs) vs F₁.
+pub fn render_scatter(dataset: &str, cells: &[CellResult]) -> String {
+    let mut out = format!("{dataset}: runtime-per-graph (µs) vs F1 (%)\n");
+    for cell in cells {
+        out.push_str(&format!(
+            "  {:<14} time/graph = {:>10.1} µs   F1 = {:>6.2}%\n",
+            cell.model,
+            cell.time_per_graph.as_secs_f64() * 1e6,
+            cell.f1.mean * 100.0
+        ));
+    }
+    out
+}
+
+/// Render a Fig. 3/4-style ablation block: one row per variant.
+pub fn render_ablation(dataset: &str, rows: &[(String, MeanStd, MeanStd, MeanStd)]) -> String {
+    let mut out = format!(
+        "{dataset}\n{:<12} {:>14} {:>14} {:>14}\n",
+        "Variant", "F1 Score", "Precision", "Recall"
+    );
+    out.push_str(&"-".repeat(58));
+    out.push('\n');
+    for (label, f1, p, r) in rows {
+        out.push_str(&format!(
+            "{:<12} {:>14} {:>14} {:>14}\n",
+            label,
+            f1.percent(),
+            p.percent(),
+            r.percent()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn cell(model: &str, f1: f64) -> CellResult {
+        CellResult {
+            model: model.into(),
+            dataset: "D".into(),
+            f1: MeanStd { mean: f1, std: 0.01 },
+            precision: MeanStd { mean: f1, std: 0.0 },
+            recall: MeanStd { mean: f1, std: 0.0 },
+            time_per_graph: Duration::from_micros(150),
+            train_time: Duration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn metric_table_contains_all_models() {
+        let t = render_metric_table("HDFS", &[cell("GCN", 0.84), cell("TP-GNN-SUM", 0.98)]);
+        assert!(t.contains("HDFS"));
+        assert!(t.contains("GCN"));
+        assert!(t.contains("TP-GNN-SUM"));
+        assert!(t.contains("98.00±0.00"));
+    }
+
+    #[test]
+    fn heatmap_layout() {
+        let vals = vec![
+            vec![MeanStd { mean: 0.9, std: 0.0 }, MeanStd { mean: 0.95, std: 0.0 }],
+            vec![MeanStd { mean: 0.92, std: 0.0 }, MeanStd { mean: 0.97, std: 0.0 }],
+        ];
+        let h = render_heatmap("Fig5", "d", &[8, 16], "d_t", &[2, 4], &vals);
+        assert!(h.contains("Fig5"));
+        assert!(h.contains("97.00"));
+        assert_eq!(h.lines().count(), 4);
+    }
+
+    #[test]
+    fn scatter_shows_microseconds() {
+        let s = render_scatter("Gowalla", &[cell("TGN", 0.93)]);
+        assert!(s.contains("150.0 µs"));
+        assert!(s.contains("93.00%"));
+    }
+
+    #[test]
+    fn ablation_rows_render() {
+        let rows = vec![(
+            "full".to_string(),
+            MeanStd { mean: 0.99, std: 0.001 },
+            MeanStd { mean: 0.99, std: 0.0 },
+            MeanStd { mean: 0.99, std: 0.0 },
+        )];
+        let a = render_ablation("Forum-java", &rows);
+        assert!(a.contains("full"));
+        assert!(a.contains("99.00"));
+    }
+}

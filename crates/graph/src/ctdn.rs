@@ -1,0 +1,320 @@
+//! Continuous-Time Dynamic Network — Definition 1 of the paper.
+//!
+//! A CTDN is `G = (V, E^T, X, T)`: a node set, a set of `T`-labelled directed
+//! temporal edges `(u, v, t)`, and a `n × q` node feature matrix. Edge
+//! direction denotes information flow (Sec. III).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// A directed temporal edge `(u, v, t)`: information flows from `src` to
+/// `dst` at time `time`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemporalEdge {
+    /// Source node index (information origin).
+    pub src: usize,
+    /// Target node index (information destination).
+    pub dst: usize,
+    /// Interaction timestamp; the paper requires `t > 0`.
+    pub time: f64,
+}
+
+impl TemporalEdge {
+    /// Convenience constructor.
+    pub fn new(src: usize, dst: usize, time: f64) -> Self {
+        Self { src, dst, time }
+    }
+}
+
+/// Per-node feature storage: a dense `n × q` row-major matrix kept as plain
+/// `Vec<f32>` so the graph crate does not depend on the tensor crate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeFeatures {
+    data: Vec<f32>,
+    num_nodes: usize,
+    dim: usize,
+}
+
+impl NodeFeatures {
+    /// All-zero features for `num_nodes` nodes of dimension `dim`.
+    pub fn zeros(num_nodes: usize, dim: usize) -> Self {
+        Self { data: vec![0.0; num_nodes * dim], num_nodes, dim }
+    }
+
+    /// Build from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != num_nodes * dim`.
+    pub fn from_vec(num_nodes: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), num_nodes * dim, "feature data length mismatch");
+        Self { data, num_nodes, dim }
+    }
+
+    /// Feature dimension `q`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Feature row of node `v`.
+    pub fn row(&self, v: usize) -> &[f32] {
+        assert!(v < self.num_nodes, "node {v} out of bounds");
+        &self.data[v * self.dim..(v + 1) * self.dim]
+    }
+
+    /// Mutable feature row of node `v`.
+    pub fn row_mut(&mut self, v: usize) -> &mut [f32] {
+        assert!(v < self.num_nodes, "node {v} out of bounds");
+        &mut self.data[v * self.dim..(v + 1) * self.dim]
+    }
+
+    /// Underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// Continuous-Time Dynamic Network (Definition 1).
+///
+/// Edges are stored in chronological order (stable under insertion order for
+/// equal timestamps). [`Ctdn::add_edge`] may append out of order; the edge
+/// list is re-sorted lazily before any chronological traversal.
+#[derive(Clone, Debug)]
+pub struct Ctdn {
+    features: NodeFeatures,
+    edges: Vec<TemporalEdge>,
+    sorted: bool,
+}
+
+impl Ctdn {
+    /// Creates a CTDN over the nodes described by `features`, with no edges.
+    pub fn new(features: NodeFeatures) -> Self {
+        Self { features, edges: Vec::new(), sorted: true }
+    }
+
+    /// Creates a CTDN with `num_nodes` zero-feature nodes of dimension `dim`.
+    pub fn with_zero_features(num_nodes: usize, dim: usize) -> Self {
+        Self::new(NodeFeatures::zeros(num_nodes, dim))
+    }
+
+    /// Number of nodes `n = |V|`.
+    pub fn num_nodes(&self) -> usize {
+        self.features.num_nodes()
+    }
+
+    /// Number of temporal edges `m = |E^T|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Feature dimension `q`.
+    pub fn feature_dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    /// Borrow the node feature matrix.
+    pub fn features(&self) -> &NodeFeatures {
+        &self.features
+    }
+
+    /// Mutably borrow the node feature matrix.
+    pub fn features_mut(&mut self) -> &mut NodeFeatures {
+        &mut self.features
+    }
+
+    /// Append a temporal edge.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of bounds, the timestamp is not positive,
+    /// or the timestamp is not finite.
+    pub fn add_edge(&mut self, src: usize, dst: usize, time: f64) {
+        assert!(src < self.num_nodes(), "edge source {src} out of bounds");
+        assert!(dst < self.num_nodes(), "edge target {dst} out of bounds");
+        assert!(time.is_finite() && time > 0.0, "timestamps must be finite and > 0, got {time}");
+        if let Some(last) = self.edges.last() {
+            if time < last.time {
+                self.sorted = false;
+            }
+        }
+        self.edges.push(TemporalEdge::new(src, dst, time));
+    }
+
+    /// Ensure the edge list is chronologically sorted (stable for ties).
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.edges
+                .sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite timestamps"));
+            self.sorted = true;
+        }
+    }
+
+    /// Edges in chronological order — line 1 of Algorithm 1.
+    pub fn edges_chronological(&mut self) -> &[TemporalEdge] {
+        self.ensure_sorted();
+        &self.edges
+    }
+
+    /// Edges in their current stored order (chronological unless edges were
+    /// appended out of order and not yet re-sorted).
+    pub fn edges(&self) -> &[TemporalEdge] {
+        &self.edges
+    }
+
+    /// Replace the whole edge list (used by negative samplers).
+    pub fn set_edges(&mut self, edges: Vec<TemporalEdge>) {
+        for e in &edges {
+            assert!(e.src < self.num_nodes() && e.dst < self.num_nodes(), "edge endpoint out of bounds");
+        }
+        self.edges = edges;
+        self.sorted = self
+            .edges
+            .windows(2)
+            .all(|w| w[0].time <= w[1].time);
+    }
+
+    /// Earliest and latest timestamps, or `None` if the graph has no edges.
+    pub fn time_span(&mut self) -> Option<(f64, f64)> {
+        self.ensure_sorted();
+        match (self.edges.first(), self.edges.last()) {
+            (Some(a), Some(b)) => Some((a.time, b.time)),
+            _ => None,
+        }
+    }
+
+    /// Shuffle the relative order of edges that share a timestamp
+    /// (Sec. V-D: "our model shuffles the edge order at the same timestamp
+    /// before each training [epoch]"). Chronological order across distinct
+    /// timestamps is preserved.
+    pub fn shuffle_same_timestamp(&mut self, rng: &mut StdRng) {
+        self.ensure_sorted();
+        let mut start = 0;
+        while start < self.edges.len() {
+            let t = self.edges[start].time;
+            let mut end = start + 1;
+            while end < self.edges.len() && self.edges[end].time == t {
+                end += 1;
+            }
+            if end - start > 1 {
+                self.edges[start..end].shuffle(rng);
+            }
+            start = end;
+        }
+    }
+
+    /// Nodes that appear as an endpoint of at least one edge.
+    pub fn active_nodes(&self) -> Vec<usize> {
+        let mut seen = vec![false; self.num_nodes()];
+        for e in &self.edges {
+            seen[e.src] = true;
+            seen[e.dst] = true;
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(i, &s)| s.then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn chain_graph() -> Ctdn {
+        let mut g = Ctdn::with_zero_features(4, 2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        g
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = chain_graph();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.feature_dim(), 2);
+    }
+
+    #[test]
+    fn edges_resorted_after_out_of_order_insert() {
+        let mut g = Ctdn::with_zero_features(3, 1);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 1.0);
+        let times: Vec<f64> = g.edges_chronological().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn stable_order_for_equal_timestamps() {
+        let mut g = Ctdn::with_zero_features(3, 1);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let dsts: Vec<usize> = g.edges_chronological().iter().map(|e| e.dst).collect();
+        assert_eq!(dsts, vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamps must be finite and > 0")]
+    fn zero_timestamp_rejected() {
+        let mut g = Ctdn::with_zero_features(2, 1);
+        g.add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_rejected() {
+        let mut g = Ctdn::with_zero_features(2, 1);
+        g.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    fn time_span_and_active_nodes() {
+        let mut g = chain_graph();
+        assert_eq!(g.time_span(), Some((1.0, 3.0)));
+        assert_eq!(g.active_nodes(), vec![0, 1, 2, 3]);
+        let mut empty = Ctdn::with_zero_features(2, 1);
+        assert_eq!(empty.time_span(), None);
+        assert!(empty.active_nodes().is_empty());
+    }
+
+    #[test]
+    fn shuffle_preserves_cross_timestamp_order() {
+        let mut g = Ctdn::with_zero_features(6, 1);
+        for i in 0..5 {
+            g.add_edge(i, i + 1, 1.0); // five ties at t=1
+        }
+        g.add_edge(0, 5, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        g.shuffle_same_timestamp(&mut rng);
+        let edges = g.edges();
+        assert!(edges[..5].iter().all(|e| e.time == 1.0));
+        assert_eq!(edges[5].time, 2.0);
+        // The tie group must be a permutation of the original five edges.
+        let mut srcs: Vec<usize> = edges[..5].iter().map(|e| e.src).collect();
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn features_row_access() {
+        let mut f = NodeFeatures::zeros(3, 2);
+        f.row_mut(1).copy_from_slice(&[1.0, 2.0]);
+        let g = Ctdn::new(f);
+        assert_eq!(g.features().row(1), &[1.0, 2.0]);
+        assert_eq!(g.features().row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn set_edges_revalidates_sortedness() {
+        let mut g = Ctdn::with_zero_features(3, 1);
+        g.set_edges(vec![TemporalEdge::new(0, 1, 3.0), TemporalEdge::new(1, 2, 1.0)]);
+        let times: Vec<f64> = g.edges_chronological().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1.0, 3.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # tpgnn-graph
+//!
+//! Continuous-Time Dynamic Network substrate for the TP-GNN reproduction.
+//!
+//! * [`Ctdn`] — Definition 1's `G = (V, E^T, X, T)` with chronological edge
+//!   iteration and same-timestamp shuffling,
+//! * [`influence`] — Definition 4's influential nodes and the valid-path
+//!   machinery behind Theorem 1,
+//! * [`StaticView`] — timestamp-discarding projection for static baselines,
+//! * [`snapshot`] — windowed partitioning for discrete DGNN baselines,
+//! * [`TemporalNeighborIndex`] — recent-neighbor queries for continuous
+//!   DGNN baselines (TGAT, TGN, GraphMixer),
+//! * [`GraphStats`] — per-graph statistics feeding the Table I harness.
+
+#![warn(missing_docs)]
+
+mod ctdn;
+pub mod influence;
+mod neighbor;
+pub mod snapshot;
+mod static_view;
+mod stats;
+
+pub use ctdn::{Ctdn, NodeFeatures, TemporalEdge};
+pub use influence::{InfluenceAnalysis, NodeSet};
+pub use neighbor::{NeighborEvent, TemporalNeighborIndex};
+pub use snapshot::{snapshots, Snapshot, SnapshotSpec};
+pub use static_view::StaticView;
+pub use stats::GraphStats;

@@ -1,0 +1,152 @@
+//! Temporal neighbor indexing for continuous DGNN baselines.
+//!
+//! TGAT/TGN aggregate the most recent temporal neighbors of a node before a
+//! query time; GraphMixer aggregates the "most recent 1-hop neighbor" links.
+//! This index answers those queries in `O(log m + k)` per call.
+
+use crate::ctdn::Ctdn;
+
+/// One historical interaction touching an indexed node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NeighborEvent {
+    /// The other endpoint.
+    pub neighbor: usize,
+    /// Interaction time.
+    pub time: f64,
+    /// Index of the originating edge in the chronological edge list.
+    pub edge_idx: usize,
+    /// Whether the indexed node was the edge's target (information receiver).
+    pub incoming: bool,
+}
+
+/// Per-node chronological interaction lists over a CTDN.
+pub struct TemporalNeighborIndex {
+    /// `events[v]` sorted ascending by time (stable by edge index).
+    events: Vec<Vec<NeighborEvent>>,
+}
+
+impl TemporalNeighborIndex {
+    /// Build the index from `g`'s chronological edge list.
+    ///
+    /// Both endpoints of every edge are indexed: models that treat the graph
+    /// as an interaction stream (TGAT, TGN) see an edge as an event for source
+    /// and target alike.
+    pub fn new(g: &mut Ctdn) -> Self {
+        let mut events: Vec<Vec<NeighborEvent>> = vec![Vec::new(); g.num_nodes()];
+        for (i, e) in g.edges_chronological().iter().enumerate() {
+            events[e.dst].push(NeighborEvent { neighbor: e.src, time: e.time, edge_idx: i, incoming: true });
+            if e.src != e.dst {
+                events[e.src].push(NeighborEvent { neighbor: e.dst, time: e.time, edge_idx: i, incoming: false });
+            }
+        }
+        // Edges were visited chronologically, so each list is already sorted.
+        Self { events }
+    }
+
+    /// All interactions of `v`, chronological.
+    pub fn events(&self, v: usize) -> &[NeighborEvent] {
+        &self.events[v]
+    }
+
+    /// The `k` most recent interactions of `v` strictly before time `t`,
+    /// most recent first.
+    pub fn recent_before(&self, v: usize, t: f64, k: usize) -> Vec<NeighborEvent> {
+        let evs = &self.events[v];
+        // Find the first event with time >= t.
+        let cut = evs.partition_point(|e| e.time < t);
+        evs[..cut].iter().rev().take(k).copied().collect()
+    }
+
+    /// The `k` most recent *incoming* interactions of `v` strictly before `t`
+    /// (information-flow neighbors), most recent first.
+    pub fn recent_incoming_before(&self, v: usize, t: f64, k: usize) -> Vec<NeighborEvent> {
+        let evs = &self.events[v];
+        let cut = evs.partition_point(|e| e.time < t);
+        evs[..cut]
+            .iter()
+            .rev()
+            .filter(|e| e.incoming)
+            .take(k)
+            .copied()
+            .collect()
+    }
+
+    /// Time of the last interaction of `v` at or before `t`, if any.
+    pub fn last_interaction_before(&self, v: usize, t: f64) -> Option<f64> {
+        let evs = &self.events[v];
+        let cut = evs.partition_point(|e| e.time <= t);
+        (cut > 0).then(|| evs[cut - 1].time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ctdn {
+        let mut g = Ctdn::with_zero_features(4, 1);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 1, 2.0);
+        g.add_edge(1, 3, 3.0);
+        g.add_edge(0, 1, 4.0);
+        g
+    }
+
+    #[test]
+    fn events_indexed_for_both_endpoints() {
+        let mut g = sample();
+        let idx = TemporalNeighborIndex::new(&mut g);
+        assert_eq!(idx.events(1).len(), 4); // three incoming + one outgoing
+        assert_eq!(idx.events(0).len(), 2);
+        assert_eq!(idx.events(3).len(), 1);
+        assert!(idx.events(3)[0].incoming);
+    }
+
+    #[test]
+    fn recent_before_excludes_boundary() {
+        let mut g = sample();
+        let idx = TemporalNeighborIndex::new(&mut g);
+        let r = idx.recent_before(1, 2.0, 10);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].neighbor, 0);
+        assert_eq!(r[0].time, 1.0);
+    }
+
+    #[test]
+    fn recent_before_orders_most_recent_first_and_caps_k() {
+        let mut g = sample();
+        let idx = TemporalNeighborIndex::new(&mut g);
+        let r = idx.recent_before(1, 5.0, 2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].time, 4.0);
+        assert_eq!(r[1].time, 3.0);
+    }
+
+    #[test]
+    fn incoming_filter() {
+        let mut g = sample();
+        let idx = TemporalNeighborIndex::new(&mut g);
+        let r = idx.recent_incoming_before(1, 5.0, 10);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|e| e.incoming));
+        assert_eq!(r[0].time, 4.0);
+    }
+
+    #[test]
+    fn last_interaction_inclusive() {
+        let mut g = sample();
+        let idx = TemporalNeighborIndex::new(&mut g);
+        assert_eq!(idx.last_interaction_before(1, 2.0), Some(2.0));
+        assert_eq!(idx.last_interaction_before(1, 0.5), None);
+        assert_eq!(idx.last_interaction_before(3, 10.0), Some(3.0));
+    }
+
+    #[test]
+    fn self_loop_indexed_once() {
+        let mut g = Ctdn::with_zero_features(2, 1);
+        g.add_edge(0, 0, 1.0);
+        let idx = TemporalNeighborIndex::new(&mut g);
+        assert_eq!(idx.events(0).len(), 1);
+        assert!(idx.events(0)[0].incoming);
+    }
+}

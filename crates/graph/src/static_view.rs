@@ -1,0 +1,190 @@
+//! Static projections of a CTDN.
+//!
+//! The four static baselines (Spectral Clustering, GCN, GraphSage, GAT)
+//! "ignore the edge timestamps in datasets and treat data as static
+//! networks" (Sec. V-D). A [`StaticView`] collapses a CTDN's temporal edges
+//! into adjacency structure, optionally symmetrized.
+
+use crate::ctdn::Ctdn;
+
+/// Adjacency-structure snapshot of a CTDN with timestamps discarded.
+#[derive(Clone, Debug)]
+pub struct StaticView {
+    num_nodes: usize,
+    /// `out_neighbors[u]` = targets of edges leaving `u` (deduplicated).
+    out_neighbors: Vec<Vec<usize>>,
+    /// `in_neighbors[v]` = sources of edges entering `v` (deduplicated).
+    in_neighbors: Vec<Vec<usize>>,
+    /// Multiplicity-weighted adjacency: `weight[u][k]` pairs with
+    /// `out_neighbors[u][k]` and counts parallel temporal edges.
+    out_weights: Vec<Vec<f32>>,
+}
+
+impl StaticView {
+    /// Project `g` onto its static directed structure.
+    pub fn from_ctdn(g: &Ctdn) -> Self {
+        let n = g.num_nodes();
+        let mut out: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n];
+        let mut inn: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            match out[e.src].iter_mut().find(|(v, _)| *v == e.dst) {
+                Some((_, w)) => *w += 1.0,
+                None => {
+                    out[e.src].push((e.dst, 1.0));
+                    inn[e.dst].push(e.src);
+                }
+            }
+        }
+        let mut out_neighbors = Vec::with_capacity(n);
+        let mut out_weights = Vec::with_capacity(n);
+        for adj in out {
+            let (vs, ws): (Vec<usize>, Vec<f32>) = adj.into_iter().unzip();
+            out_neighbors.push(vs);
+            out_weights.push(ws);
+        }
+        Self { num_nodes: n, out_neighbors, in_neighbors: inn, out_weights }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Deduplicated out-neighbors of `u`.
+    pub fn out_neighbors(&self, u: usize) -> &[usize] {
+        &self.out_neighbors[u]
+    }
+
+    /// Deduplicated in-neighbors of `v`.
+    pub fn in_neighbors(&self, v: usize) -> &[usize] {
+        &self.in_neighbors[v]
+    }
+
+    /// Parallel-edge multiplicities aligned with [`StaticView::out_neighbors`].
+    pub fn out_weights(&self, u: usize) -> &[f32] {
+        &self.out_weights[u]
+    }
+
+    /// Out-degree (distinct targets).
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.out_neighbors[u].len()
+    }
+
+    /// In-degree (distinct sources).
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_neighbors[v].len()
+    }
+
+    /// Undirected neighbor lists (union of in and out, deduplicated).
+    pub fn undirected_neighbors(&self) -> Vec<Vec<usize>> {
+        let mut und: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes];
+        for u in 0..self.num_nodes {
+            for &v in &self.out_neighbors[u] {
+                if u == v {
+                    continue;
+                }
+                if !und[u].contains(&v) {
+                    und[u].push(v);
+                }
+                if !und[v].contains(&u) {
+                    und[v].push(u);
+                }
+            }
+        }
+        und
+    }
+
+    /// Dense directed adjacency matrix (row = source), multiplicity-weighted
+    /// when `weighted`, 0/1 otherwise. Row-major `n × n` buffer.
+    pub fn adjacency_dense(&self, weighted: bool) -> Vec<f32> {
+        let n = self.num_nodes;
+        let mut adj = vec![0.0; n * n];
+        for u in 0..n {
+            for (k, &v) in self.out_neighbors[u].iter().enumerate() {
+                adj[u * n + v] = if weighted { self.out_weights[u][k] } else { 1.0 };
+            }
+        }
+        adj
+    }
+
+    /// Dense symmetric (undirected) 0/1 adjacency matrix.
+    pub fn adjacency_dense_undirected(&self) -> Vec<f32> {
+        let n = self.num_nodes;
+        let mut adj = vec![0.0; n * n];
+        for u in 0..n {
+            for &v in &self.out_neighbors[u] {
+                if u != v {
+                    adj[u * n + v] = 1.0;
+                    adj[v * n + u] = 1.0;
+                }
+            }
+        }
+        adj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ctdn {
+        let mut g = Ctdn::with_zero_features(4, 1);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0); // parallel temporal edge
+        g.add_edge(1, 2, 3.0);
+        g.add_edge(3, 2, 4.0);
+        g
+    }
+
+    #[test]
+    fn dedup_and_multiplicity() {
+        let v = StaticView::from_ctdn(&sample());
+        assert_eq!(v.out_neighbors(0), &[1]);
+        assert_eq!(v.out_weights(0), &[2.0]);
+        assert_eq!(v.out_degree(0), 1);
+        assert_eq!(v.in_degree(2), 2);
+        assert_eq!(v.in_neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn dense_matrices() {
+        let v = StaticView::from_ctdn(&sample());
+        let a = v.adjacency_dense(true);
+        assert_eq!(a[1], 2.0); // (0,1) with multiplicity 2
+        let b = v.adjacency_dense(false);
+        assert_eq!(b[1], 1.0);
+        let u = v.adjacency_dense_undirected();
+        assert_eq!(u[1], 1.0);
+        assert_eq!(u[4], 1.0); // symmetric (1,0)
+        assert_eq!(u[0], 0.0); // no self entries
+    }
+
+    #[test]
+    fn undirected_neighbors_symmetric() {
+        let v = StaticView::from_ctdn(&sample());
+        let und = v.undirected_neighbors();
+        assert!(und[0].contains(&1) && und[1].contains(&0));
+        assert!(und[2].contains(&1) && und[2].contains(&3));
+        assert_eq!(und[2].len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Ctdn::with_zero_features(3, 1);
+        let v = StaticView::from_ctdn(&g);
+        assert_eq!(v.out_degree(0), 0);
+        assert!(v.adjacency_dense(false).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn self_loop_excluded_from_undirected() {
+        let mut g = Ctdn::with_zero_features(2, 1);
+        g.add_edge(0, 0, 1.0);
+        g.add_edge(0, 1, 2.0);
+        let v = StaticView::from_ctdn(&g);
+        let und = v.undirected_neighbors();
+        assert_eq!(und[0], vec![1]);
+        let u = v.adjacency_dense_undirected();
+        assert_eq!(u[0], 0.0);
+    }
+}

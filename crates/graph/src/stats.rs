@@ -1,0 +1,84 @@
+//! Per-graph structural statistics (feeds the Table I harness).
+
+use crate::ctdn::Ctdn;
+use crate::static_view::StaticView;
+
+/// Summary statistics of one CTDN.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|` (nodes that appear on at least one edge).
+    pub active_nodes: usize,
+    /// Declared node-universe size.
+    pub num_nodes: usize,
+    /// `|E^T|` (temporal edges, parallel edges counted).
+    pub num_edges: usize,
+    /// Distinct static (directed) edges.
+    pub distinct_edges: usize,
+    /// `t_max - t_min`, 0 for graphs with < 2 edges.
+    pub time_span: f64,
+    /// Number of timestamps shared by more than one edge.
+    pub tied_timestamps: usize,
+    /// Node feature dimension `q`.
+    pub feature_dim: usize,
+}
+
+impl GraphStats {
+    /// Compute statistics for `g`.
+    pub fn compute(g: &mut Ctdn) -> Self {
+        let view = StaticView::from_ctdn(g);
+        let distinct_edges = (0..g.num_nodes()).map(|u| view.out_degree(u)).sum();
+        let span = g.time_span().map_or(0.0, |(a, b)| b - a);
+        let edges = g.edges_chronological();
+        let mut tied = 0;
+        let mut i = 0;
+        while i < edges.len() {
+            let mut j = i + 1;
+            while j < edges.len() && edges[j].time == edges[i].time {
+                j += 1;
+            }
+            if j - i > 1 {
+                tied += 1;
+            }
+            i = j;
+        }
+        Self {
+            active_nodes: g.active_nodes().len(),
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+            distinct_edges,
+            time_span: span,
+            tied_timestamps: tied,
+            feature_dim: g.feature_dim(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut g = Ctdn::with_zero_features(5, 3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 2.0);
+        let s = GraphStats::compute(&mut g);
+        assert_eq!(s.num_nodes, 5);
+        assert_eq!(s.active_nodes, 3);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.distinct_edges, 2);
+        assert_eq!(s.time_span, 1.0);
+        assert_eq!(s.tied_timestamps, 1);
+        assert_eq!(s.feature_dim, 3);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let mut g = Ctdn::with_zero_features(2, 1);
+        let s = GraphStats::compute(&mut g);
+        assert_eq!(s.num_edges, 0);
+        assert_eq!(s.time_span, 0.0);
+        assert_eq!(s.active_nodes, 0);
+    }
+}

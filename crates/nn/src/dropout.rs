@@ -1,0 +1,124 @@
+//! Inverted dropout for regularizing small-corpus training.
+//!
+//! The paper does not use dropout, but at this reproduction's deliberately
+//! reduced corpus sizes (DESIGN.md §2) the deeper models overfit; dropout
+//! is provided as an opt-in regularizer for downstream users.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tpgnn_tensor::{Tape, Tensor, Var};
+
+/// Inverted dropout: during training, zero each element with probability
+/// `p` and scale survivors by `1 / (1 - p)` so activations keep their
+/// expectation; at evaluation time it is the identity.
+#[derive(Clone, Debug)]
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    /// Create a dropout layer with drop probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1), got {p}");
+        Self { p }
+    }
+
+    /// Drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+
+    /// Apply dropout to `x` with a fresh mask from `rng` (training mode).
+    ///
+    /// The mask is a constant on the tape, so gradients flow only through
+    /// the surviving elements — the standard straight-through treatment.
+    pub fn forward_train(&self, tape: &mut Tape, x: Var, rng: &mut StdRng) -> Var {
+        if self.p == 0.0 {
+            return x;
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(x.rows(), x.cols(), |_, _| {
+            if rng.random_range(0.0f32..1.0) < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let mask_var = tape.input(mask);
+        tape.mul(x, mask_var)
+    }
+
+    /// Evaluation mode: the identity.
+    pub fn forward_eval(&self, _tape: &mut Tape, x: Var) -> Var {
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let d = Dropout::new(0.5);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row_vector(&[1.0, 2.0, 3.0]));
+        let y = d.forward_eval(&mut tape, x);
+        assert_eq!(tape.value(y).data(), tape.value(x).data());
+    }
+
+    #[test]
+    fn zero_probability_is_identity_in_training_too() {
+        let d = Dropout::new(0.0);
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = tape.input(Tensor::row_vector(&[1.0, -2.0]));
+        let y = d.forward_train(&mut tape, x, &mut rng);
+        assert_eq!(tape.value(y).data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn surviving_elements_are_rescaled() {
+        let d = Dropout::new(0.5);
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = tape.input(Tensor::ones(1, 64));
+        let y = d.forward_train(&mut tape, x, &mut rng);
+        for &v in tape.value(y).data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6, "unexpected value {v}");
+        }
+        // Expectation preserved (loose bound over 64 samples).
+        let mean = tape.value(y).mean();
+        assert!((mean - 1.0).abs() < 0.4, "mean = {mean}");
+    }
+
+    #[test]
+    fn gradients_blocked_at_dropped_elements() {
+        let d = Dropout::new(0.5);
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = tape.input(Tensor::ones(1, 32));
+        let y = d.forward_train(&mut tape, x, &mut rng);
+        let loss = tape.mean_all(y);
+        let grads = tape.backward(loss);
+        let out = tape.value(y).clone();
+        for (g, &v) in grads.wrt(x).data().iter().zip(out.data()) {
+            if v == 0.0 {
+                assert_eq!(*g, 0.0, "dropped element must receive zero gradient");
+            } else {
+                assert!(*g > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_probability_rejected() {
+        let _ = Dropout::new(1.0);
+    }
+}

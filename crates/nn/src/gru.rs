@@ -1,0 +1,223 @@
+//! Gated Recurrent Unit cell — eqs. 7–10 of the paper.
+
+use rand::rngs::StdRng;
+use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// GRU cell with the paper's gating (eqs. 7–10):
+///
+/// ```text
+/// z = σ(W_z x + U_z h + b_z)
+/// r = σ(W_r x + U_r h + b_r)
+/// ĥ = tanh(W_s x + r ∘ (U_s h) + b_s)
+/// h' = z ∘ h + (1 - z) ∘ ĥ
+/// ```
+///
+/// Used twice in TP-GNN: as the node-feature updater of temporal
+/// propagation (eq. 6) and as the sequence model of the global temporal
+/// embedding extractor (Sec. IV-C).
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    wz: ParamId,
+    uz: ParamId,
+    bz: ParamId,
+    wr: ParamId,
+    ur: ParamId,
+    br: ParamId,
+    ws: ParamId,
+    us: ParamId,
+    bs: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Register a new cell's parameters under `prefix` in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let reg_w = |name: &str, r: usize, c: usize, rng: &mut StdRng, store: &mut ParamStore| {
+            store.register(format!("{prefix}.{name}"), init::xavier_uniform(r, c, rng))
+        };
+        let wz = reg_w("wz", in_dim, hidden, rng, store);
+        let uz = reg_w("uz", hidden, hidden, rng, store);
+        let wr = reg_w("wr", in_dim, hidden, rng, store);
+        let ur = reg_w("ur", hidden, hidden, rng, store);
+        let ws = reg_w("ws", in_dim, hidden, rng, store);
+        let us = reg_w("us", hidden, hidden, rng, store);
+        let bz = store.register(format!("{prefix}.bz"), Tensor::zeros(1, hidden));
+        let br = store.register(format!("{prefix}.br"), Tensor::zeros(1, hidden));
+        let bs = store.register(format!("{prefix}.bs"), Tensor::zeros(1, hidden));
+        Self { wz, uz, bz, wr, ur, br, ws, us, bs, in_dim, hidden }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// A fresh all-zero hidden state on `tape`.
+    pub fn zero_state(&self, tape: &mut Tape) -> Var {
+        tape.input(Tensor::zeros(1, self.hidden))
+    }
+
+    /// One step: `h' = GRU(h, x)` with `h (1, hidden)` and `x (1, in_dim)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, h: Var, x: Var) -> Var {
+        assert_eq!(x.cols(), self.in_dim, "GRU input width mismatch");
+        assert_eq!(h.cols(), self.hidden, "GRU state width mismatch");
+        let wz = tape.param(store, self.wz);
+        let uz = tape.param(store, self.uz);
+        let bz = tape.param(store, self.bz);
+        let wr = tape.param(store, self.wr);
+        let ur = tape.param(store, self.ur);
+        let br = tape.param(store, self.br);
+        let ws = tape.param(store, self.ws);
+        let us = tape.param(store, self.us);
+        let bs = tape.param(store, self.bs);
+
+        // z = σ(W_z x + U_z h + b_z)                                (eq. 7)
+        let xz = tape.matmul(x, wz);
+        let hz = tape.matmul(h, uz);
+        let zsum = tape.add(xz, hz);
+        let zpre = tape.add_row(zsum, bz);
+        let z = tape.sigmoid(zpre);
+
+        // r = σ(W_r x + U_r h + b_r)                                (eq. 8)
+        let xr = tape.matmul(x, wr);
+        let hr = tape.matmul(h, ur);
+        let rsum = tape.add(xr, hr);
+        let rpre = tape.add_row(rsum, br);
+        let r = tape.sigmoid(rpre);
+
+        // ĥ = tanh(W_s x + r ∘ (U_s h) + b_s)                      (eq. 9)
+        let xs = tape.matmul(x, ws);
+        let hs = tape.matmul(h, us);
+        let rhs = tape.mul(r, hs);
+        let ssum = tape.add(xs, rhs);
+        let spre = tape.add_row(ssum, bs);
+        let s_hat = tape.tanh(spre);
+
+        // h' = z ∘ h + (1 - z) ∘ ĥ                                  (eq. 10)
+        let keep = tape.mul(z, h);
+        let zinv = tape.one_minus(z);
+        let update = tape.mul(zinv, s_hat);
+        tape.add(keep, update)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpgnn_tensor::{Adam, Optimizer};
+
+    fn cell(in_dim: usize, hidden: usize, seed: u64) -> (ParamStore, GruCell) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = GruCell::new(&mut store, "gru", in_dim, hidden, &mut rng);
+        (store, cell)
+    }
+
+    #[test]
+    fn output_shape_and_bounds() {
+        let (store, cell) = cell(3, 4, 1);
+        let mut tape = Tape::new();
+        let h = cell.zero_state(&mut tape);
+        let x = tape.input(Tensor::row_vector(&[1.0, -1.0, 0.5]));
+        let h1 = cell.forward(&mut tape, &store, h, x);
+        assert_eq!(h1.shape(), (1, 4));
+        // h' is a convex combination of h (=0) and tanh(..) ∈ (-1, 1).
+        assert!(tape.value(h1).data().iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_input_keeps_state_bounded_over_steps() {
+        let (store, cell) = cell(2, 3, 2);
+        let mut tape = Tape::new();
+        let mut h = cell.zero_state(&mut tape);
+        let x = tape.input(Tensor::zeros(1, 2));
+        for _ in 0..50 {
+            h = cell.forward(&mut tape, &store, h, x);
+        }
+        assert!(tape.value(h).data().iter().all(|&v| v.abs() <= 1.0));
+        assert!(!tape.value(h).has_non_finite());
+    }
+
+    #[test]
+    fn state_depends_on_input_order() {
+        // The whole point of using a GRU over edge sequences: order matters.
+        let (store, cell) = cell(2, 4, 3);
+        let a = Tensor::row_vector(&[1.0, 0.0]);
+        let b = Tensor::row_vector(&[0.0, 1.0]);
+        let run = |first: &Tensor, second: &Tensor| -> Tensor {
+            let mut tape = Tape::new();
+            let h0 = cell.zero_state(&mut tape);
+            let x1 = tape.input(first.clone());
+            let x2 = tape.input(second.clone());
+            let h1 = cell.forward(&mut tape, &store, h0, x1);
+            let h2 = cell.forward(&mut tape, &store, h1, x2);
+            tape.value(h2).clone()
+        };
+        let ab = run(&a, &b);
+        let ba = run(&b, &a);
+        assert!(ab.sub(&ba).max_abs() > 1e-4, "GRU must be order-sensitive");
+    }
+
+    #[test]
+    fn learns_to_remember_first_token() {
+        // Tiny memory task: output sign of the first input after 4 steps.
+        let (mut store, cell) = cell(1, 8, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let head = crate::Linear::new(&mut store, "head", 8, 1, &mut rng);
+        let mut opt = Adam::new(0.02);
+        let mut final_loss = f32::MAX;
+        for step in 0..300 {
+            let first = if step % 2 == 0 { 1.0f32 } else { -1.0 };
+            let target = if first > 0.0 { 1.0 } else { 0.0 };
+            let mut tape = Tape::new();
+            let mut h = cell.zero_state(&mut tape);
+            for i in 0..4 {
+                let x_val = if i == 0 { first } else { 0.0 };
+                let x = tape.input(Tensor::scalar(x_val));
+                h = cell.forward(&mut tape, &store, h, x);
+            }
+            let logit = head.forward(&mut tape, &store, h);
+            let loss = tape.bce_with_logits(logit, target);
+            final_loss = tape.value(loss).item();
+            let grads = tape.backward(loss);
+            tape.flush_grads(&grads, &mut store);
+            opt.step(&mut store);
+        }
+        assert!(final_loss < 0.1, "GRU failed to learn memory task: loss {final_loss}");
+    }
+
+    #[test]
+    fn gradients_flow_through_multiple_steps() {
+        let (mut store, cell) = cell(2, 3, 6);
+        let mut tape = Tape::new();
+        let mut h = cell.zero_state(&mut tape);
+        let x = tape.input(Tensor::row_vector(&[0.3, -0.7]));
+        for _ in 0..5 {
+            h = cell.forward(&mut tape, &store, h, x);
+        }
+        let sq = tape.mul(h, h);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        tape.flush_grads(&grads, &mut store);
+        for id in store.ids().collect::<Vec<_>>() {
+            assert!(
+                store.grad(id).max_abs() > 0.0 || store.name(id).ends_with('b'),
+                "no gradient reached {}",
+                store.name(id)
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # tpgnn-nn
+//!
+//! Neural layers on top of the [`tpgnn_tensor`] autodiff engine:
+//!
+//! * [`Linear`] — affine projection (node-feature embedding layer, eq. 1;
+//!   classifier head, eq. 11),
+//! * [`GruCell`] — the paper's GRU (eqs. 7–10), used by both the
+//!   temporal-propagation GRU updater and the global temporal embedding
+//!   extractor,
+//! * [`LstmCell`] — for the GC-LSTM and DyGNN baselines,
+//! * [`Time2Vec`] — functional time encoding (eq. 2),
+//! * [`Mlp`] — for GraphMixer and prediction heads,
+//! * [`AttentionHead`] / [`MultiHeadAttention`] — for TGAT, TGN, TADDY,
+//! * [`EdgeAgg`] / [`mean_pool`] — edge aggregation (Sec. IV-C) and *Mean*
+//!   graph pooling (Sec. V-D).
+//!
+//! Every layer follows the same protocol: parameters are registered once in
+//! a [`ParamStore`](tpgnn_tensor::ParamStore) at construction, and
+//! `forward` re-leases them onto the per-graph [`Tape`](tpgnn_tensor::Tape).
+
+#![warn(missing_docs)]
+
+mod attention;
+mod dropout;
+mod gru;
+mod linear;
+mod lstm;
+mod mlp;
+mod pooling;
+mod time2vec;
+
+pub use attention::{AttentionHead, MultiHeadAttention};
+pub use dropout::Dropout;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use lstm::{LstmCell, LstmState};
+pub use mlp::{Activation, Mlp};
+pub use pooling::{mean_pool, EdgeAgg};
+pub use time2vec::Time2Vec;

@@ -1,0 +1,100 @@
+//! Fully-connected (affine) layer.
+
+use rand::rngs::StdRng;
+use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// `y = x · W + b` with `W ∈ R^{in × out}`, `b ∈ R^{1 × out}`.
+///
+/// Used for the node-feature embedding layer (eq. 1), classifier heads
+/// (eq. 11), and everywhere a projection is needed.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Register a new layer's parameters under `prefix` in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = store.register(format!("{prefix}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let b = store.register(format!("{prefix}.b"), Tensor::zeros(1, out_dim));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Apply the layer to `x` of shape `(r, in_dim)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(x.cols(), self.in_dim, "Linear input width mismatch");
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        tape.affine(x, w, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lin = Linear::new(&mut store, "l", 4, 3, &mut rng);
+        assert_eq!((lin.in_dim(), lin.out_dim()), (4, 3));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(2, 4));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(y.shape(), (2, 3));
+        // Zero bias at init: y = x W.
+        let w = store.value(store.id("l.w").expect("registered"));
+        let expect: f32 = (0..4).map(|k| w.get(k, 0)).sum();
+        assert!((tape.value(y).get(0, 0) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_reaches_both_params() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::row_vector(&[1.0, -0.5, 2.0]));
+        let y = lin.forward(&mut tape, &store, x);
+        let sq = tape.mul(y, y);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        tape.flush_grads(&grads, &mut store);
+        let wid = store.id("l.w").expect("w");
+        let bid = store.id("l.b").expect("b");
+        assert!(store.grad(wid).max_abs() > 0.0);
+        assert!(store.grad(bid).max_abs() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn width_mismatch_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let lin = Linear::new(&mut store, "l", 3, 2, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(1, 5));
+        let _ = lin.forward(&mut tape, &store, x);
+    }
+}

@@ -1,0 +1,175 @@
+//! Long Short-Term Memory cell (used by the GC-LSTM and DyGNN baselines).
+
+use rand::rngs::StdRng;
+use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// Hidden and cell state pair of an LSTM.
+#[derive(Clone, Copy, Debug)]
+pub struct LstmState {
+    /// Hidden state `h (1, hidden)`.
+    pub h: Var,
+    /// Cell state `c (1, hidden)`.
+    pub c: Var,
+}
+
+/// Standard LSTM cell:
+///
+/// ```text
+/// i = σ(W_i x + U_i h + b_i)      f = σ(W_f x + U_f h + b_f)
+/// o = σ(W_o x + U_o h + b_o)      g = tanh(W_g x + U_g h + b_g)
+/// c' = f ∘ c + i ∘ g              h' = o ∘ tanh(c')
+/// ```
+#[derive(Clone, Debug)]
+pub struct LstmCell {
+    gates: [(ParamId, ParamId, ParamId); 4], // (W, U, b) for i, f, o, g
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Register a new cell's parameters under `prefix` in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let gate = |name: &str, rng: &mut StdRng, store: &mut ParamStore| {
+            (
+                store.register(format!("{prefix}.w{name}"), init::xavier_uniform(in_dim, hidden, rng)),
+                store.register(format!("{prefix}.u{name}"), init::xavier_uniform(hidden, hidden, rng)),
+                store.register(format!("{prefix}.b{name}"), Tensor::zeros(1, hidden)),
+            )
+        };
+        let gates = [
+            gate("i", rng, store),
+            gate("f", rng, store),
+            gate("o", rng, store),
+            gate("g", rng, store),
+        ];
+        Self { gates, in_dim, hidden }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden-state dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Fresh all-zero `(h, c)` state on `tape`.
+    pub fn zero_state(&self, tape: &mut Tape) -> LstmState {
+        LstmState {
+            h: tape.input(Tensor::zeros(1, self.hidden)),
+            c: tape.input(Tensor::zeros(1, self.hidden)),
+        }
+    }
+
+    fn gate_pre(&self, tape: &mut Tape, store: &ParamStore, idx: usize, h: Var, x: Var) -> Var {
+        let (w, u, b) = self.gates[idx];
+        let wv = tape.param(store, w);
+        let uv = tape.param(store, u);
+        let bv = tape.param(store, b);
+        let xw = tape.matmul(x, wv);
+        let hu = tape.matmul(h, uv);
+        let s = tape.add(xw, hu);
+        tape.add_row(s, bv)
+    }
+
+    /// One step: `(h', c') = LSTM((h, c), x)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, state: LstmState, x: Var) -> LstmState {
+        assert_eq!(x.cols(), self.in_dim, "LSTM input width mismatch");
+        let i_pre = self.gate_pre(tape, store, 0, state.h, x);
+        let f_pre = self.gate_pre(tape, store, 1, state.h, x);
+        let o_pre = self.gate_pre(tape, store, 2, state.h, x);
+        let g_pre = self.gate_pre(tape, store, 3, state.h, x);
+        let i = tape.sigmoid(i_pre);
+        let f = tape.sigmoid(f_pre);
+        let o = tape.sigmoid(o_pre);
+        let g = tape.tanh(g_pre);
+        let fc = tape.mul(f, state.c);
+        let ig = tape.mul(i, g);
+        let c = tape.add(fc, ig);
+        let ct = tape.tanh(c);
+        let h = tape.mul(o, ct);
+        LstmState { h, c }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cell(in_dim: usize, hidden: usize, seed: u64) -> (ParamStore, LstmCell) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = LstmCell::new(&mut store, "lstm", in_dim, hidden, &mut rng);
+        (store, cell)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let (store, cell) = cell(3, 5, 1);
+        assert_eq!(store.len(), 12); // 4 gates × (W, U, b)
+        let mut tape = Tape::new();
+        let s0 = cell.zero_state(&mut tape);
+        let x = tape.input(Tensor::ones(1, 3));
+        let s1 = cell.forward(&mut tape, &store, s0, x);
+        assert_eq!(s1.h.shape(), (1, 5));
+        assert_eq!(s1.c.shape(), (1, 5));
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        let (store, cell) = cell(2, 4, 2);
+        let mut tape = Tape::new();
+        let mut s = cell.zero_state(&mut tape);
+        let x = tape.input(Tensor::row_vector(&[5.0, -5.0]));
+        for _ in 0..30 {
+            s = cell.forward(&mut tape, &store, s, x);
+        }
+        assert!(tape.value(s.h).data().iter().all(|&v| v.abs() <= 1.0));
+        assert!(!tape.value(s.c).has_non_finite());
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let (store, cell) = cell(2, 4, 3);
+        let a = Tensor::row_vector(&[1.0, 0.0]);
+        let b = Tensor::row_vector(&[0.0, 1.0]);
+        let run = |first: &Tensor, second: &Tensor| -> Tensor {
+            let mut tape = Tape::new();
+            let mut s = cell.zero_state(&mut tape);
+            let x1 = tape.input(first.clone());
+            let x2 = tape.input(second.clone());
+            s = cell.forward(&mut tape, &store, s, x1);
+            s = cell.forward(&mut tape, &store, s, x2);
+            tape.value(s.h).clone()
+        };
+        assert!(run(&a, &b).sub(&run(&b, &a)).max_abs() > 1e-4);
+    }
+
+    #[test]
+    fn gradients_reach_all_gates() {
+        let (mut store, cell) = cell(2, 3, 4);
+        let mut tape = Tape::new();
+        let mut s = cell.zero_state(&mut tape);
+        let x = tape.input(Tensor::row_vector(&[0.4, -0.9]));
+        for _ in 0..3 {
+            s = cell.forward(&mut tape, &store, s, x);
+        }
+        let sq = tape.mul(s.h, s.h);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        tape.flush_grads(&grads, &mut store);
+        let w_ids: Vec<_> = store.ids().filter(|&id| store.name(id).contains(".w")).collect();
+        for id in w_ids {
+            assert!(store.grad(id).max_abs() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+}

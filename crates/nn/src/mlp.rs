@@ -1,0 +1,143 @@
+//! Multi-layer perceptron (used by the GraphMixer baseline and classifier heads).
+
+use rand::rngs::StdRng;
+use tpgnn_tensor::{ParamStore, Tape, Var};
+
+use crate::linear::Linear;
+
+/// Hidden-layer activation of an [`Mlp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// GELU-free identity (no nonlinearity).
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with an activation between them (the last
+/// layer's output is left raw so it can feed a loss or further layers).
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Register an MLP with the given layer widths, e.g. `[16, 32, 1]`
+    /// builds two layers `16→32` and `32→1`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        widths: &[usize],
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least one layer");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{prefix}.l{i}"), w[0], w[1], rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Apply the stack to `x` of shape `(r, in_dim)`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i < last {
+                h = self.activation.apply(tape, h);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tpgnn_tensor::{Adam, Optimizer, Tensor};
+
+    #[test]
+    fn shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 2], Activation::Relu, &mut rng);
+        assert_eq!((mlp.in_dim(), mlp.out_dim()), (4, 2));
+        let mut tape = Tape::new();
+        let x = tape.input(Tensor::ones(3, 4));
+        let y = mlp.forward(&mut tape, &store, x);
+        assert_eq!(y.shape(), (3, 2));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(&mut store, "m", &[2, 8, 1], Activation::Tanh, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let data = [
+            ([0.0f32, 0.0], 0.0f32),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..400 {
+            for (x, y) in &data {
+                let mut tape = Tape::new();
+                let xv = tape.input(Tensor::row_vector(x));
+                let logit = mlp.forward(&mut tape, &store, xv);
+                let loss = tape.bce_with_logits(logit, *y);
+                let grads = tape.backward(loss);
+                tape.flush_grads(&grads, &mut store);
+                opt.step(&mut store);
+            }
+        }
+        for (x, y) in &data {
+            let mut tape = Tape::new();
+            let xv = tape.input(Tensor::row_vector(x));
+            let logit = mlp.forward(&mut tape, &store, xv);
+            let p = 1.0 / (1.0 + (-tape.value(logit).item()).exp());
+            assert!((p - y).abs() < 0.25, "XOR({x:?}) = {p}, want {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn too_few_widths_panics() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = Mlp::new(&mut store, "m", &[4], Activation::Relu, &mut rng);
+    }
+}

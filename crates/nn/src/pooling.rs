@@ -1,0 +1,143 @@
+//! Graph pooling — the *Mean* pooling of Sec. V-D and the EdgeAgg methods
+//! of Sec. IV-C (from reference [23] of the paper).
+
+use tpgnn_tensor::{Tape, Var};
+
+/// The six EdgeAgg methods of [23]: how two node embeddings combine into one
+/// edge embedding. The paper picks *Average* for TP-GNN (Sec. IV-C) and we
+/// implement the remaining five as extension ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeAgg {
+    /// `(h_u + h_v) / 2` — the paper's default.
+    Average,
+    /// `h_u ∘ h_v`.
+    Hadamard,
+    /// `|h_u − h_v|`.
+    WeightedL1,
+    /// `(h_u − h_v)²` elementwise.
+    WeightedL2,
+    /// `tanh(h_u + h_v)`.
+    Activation,
+    /// `h_u ⊕ h_v` (doubles the width).
+    Concatenation,
+}
+
+impl EdgeAgg {
+    /// All six methods.
+    pub const ALL: [EdgeAgg; 6] = [
+        EdgeAgg::Average,
+        EdgeAgg::Hadamard,
+        EdgeAgg::WeightedL1,
+        EdgeAgg::WeightedL2,
+        EdgeAgg::Activation,
+        EdgeAgg::Concatenation,
+    ];
+
+    /// Output width for node embeddings of width `k`.
+    pub fn out_dim(self, k: usize) -> usize {
+        match self {
+            EdgeAgg::Concatenation => 2 * k,
+            _ => k,
+        }
+    }
+
+    /// Combine the two endpoint embeddings `(1, k)` into one edge embedding.
+    pub fn combine(self, tape: &mut Tape, u: Var, v: Var) -> Var {
+        match self {
+            EdgeAgg::Average => tape.average(u, v),
+            EdgeAgg::Hadamard => tape.mul(u, v),
+            EdgeAgg::WeightedL1 => {
+                let d = tape.sub(u, v);
+                tape.abs(d)
+            }
+            EdgeAgg::WeightedL2 => {
+                let d = tape.sub(u, v);
+                tape.mul(d, d)
+            }
+            EdgeAgg::Activation => {
+                let s = tape.add(u, v);
+                tape.tanh(s)
+            }
+            EdgeAgg::Concatenation => tape.concat_cols(u, v),
+        }
+    }
+}
+
+/// *Mean* graph pooling: average the per-node embedding rows into one
+/// `(1, k)` graph embedding (used to adapt node-level baselines to graph
+/// classification, Sec. V-D).
+pub fn mean_pool(tape: &mut Tape, node_rows: &[Var]) -> Var {
+    assert!(!node_rows.is_empty(), "cannot pool zero nodes");
+    let stacked = tape.stack_rows(node_rows);
+    tape.mean_rows(stacked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpgnn_tensor::{Tape, Tensor};
+
+    fn pair(tape: &mut Tape) -> (Var, Var) {
+        let u = tape.input(Tensor::row_vector(&[1.0, -2.0, 3.0]));
+        let v = tape.input(Tensor::row_vector(&[3.0, 2.0, -1.0]));
+        (u, v)
+    }
+
+    #[test]
+    fn average_matches_formula() {
+        let mut tape = Tape::new();
+        let (u, v) = pair(&mut tape);
+        let e = EdgeAgg::Average.combine(&mut tape, u, v);
+        assert_eq!(tape.value(e).data(), &[2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn hadamard_and_l1_l2() {
+        let mut tape = Tape::new();
+        let (u, v) = pair(&mut tape);
+        let h = EdgeAgg::Hadamard.combine(&mut tape, u, v);
+        assert_eq!(tape.value(h).data(), &[3.0, -4.0, -3.0]);
+        let l1 = EdgeAgg::WeightedL1.combine(&mut tape, u, v);
+        assert_eq!(tape.value(l1).data(), &[2.0, 4.0, 4.0]);
+        let l2 = EdgeAgg::WeightedL2.combine(&mut tape, u, v);
+        assert_eq!(tape.value(l2).data(), &[4.0, 16.0, 16.0]);
+    }
+
+    #[test]
+    fn concat_doubles_width() {
+        let mut tape = Tape::new();
+        let (u, v) = pair(&mut tape);
+        let c = EdgeAgg::Concatenation.combine(&mut tape, u, v);
+        assert_eq!(c.shape(), (1, 6));
+        assert_eq!(EdgeAgg::Concatenation.out_dim(3), 6);
+        assert_eq!(EdgeAgg::Average.out_dim(3), 3);
+    }
+
+    #[test]
+    fn activation_is_bounded() {
+        let mut tape = Tape::new();
+        let (u, v) = pair(&mut tape);
+        let a = EdgeAgg::Activation.combine(&mut tape, u, v);
+        assert!(tape.value(a).data().iter().all(|&x| x.abs() <= 1.0));
+    }
+
+    #[test]
+    fn symmetric_aggs_commute() {
+        let mut tape = Tape::new();
+        let (u, v) = pair(&mut tape);
+        for agg in [EdgeAgg::Average, EdgeAgg::Hadamard, EdgeAgg::WeightedL1, EdgeAgg::WeightedL2, EdgeAgg::Activation] {
+            let a = agg.combine(&mut tape, u, v);
+            let b = agg.combine(&mut tape, v, u);
+            assert_eq!(tape.value(a).data(), tape.value(b).data(), "{agg:?} must be symmetric");
+        }
+    }
+
+    #[test]
+    fn mean_pool_averages_rows() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::row_vector(&[1.0, 2.0]));
+        let b = tape.input(Tensor::row_vector(&[3.0, 6.0]));
+        let g = mean_pool(&mut tape, &[a, b]);
+        assert_eq!(tape.value(g).data(), &[2.0, 4.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Time2Vec functional time encoding — eq. 2 of the paper.
+
+use rand::rngs::StdRng;
+use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
+
+/// Time2Vec (Kazemi et al., 2019): maps a scalar timestamp `t` to
+///
+/// ```text
+/// f(t) = (ω₀ t + φ₀) ⊕ sin(ω t + φ) ∈ R^{d_t}
+/// ```
+///
+/// with one linear component and `d_t - 1` periodic components. TP-GNN uses
+/// `d_t = 6` by default (Sec. V-D).
+#[derive(Clone, Debug)]
+pub struct Time2Vec {
+    w0: ParamId,
+    phi0: ParamId,
+    w: ParamId,
+    phi: ParamId,
+    dim: usize,
+}
+
+impl Time2Vec {
+    /// Register a new encoder of output dimension `dim >= 2` under `prefix`.
+    pub fn new(store: &mut ParamStore, prefix: &str, dim: usize, rng: &mut StdRng) -> Self {
+        assert!(dim >= 2, "Time2Vec needs at least one linear and one periodic component");
+        // Periodic frequencies initialized across decades so both fast and
+        // slow temporal patterns are representable from the start.
+        let freqs = Tensor::from_fn(1, dim - 1, |_, j| {
+            let span = (dim - 1).max(1) as f32;
+            10.0_f32.powf(-(j as f32) / span)
+        });
+        let w0 = store.register(format!("{prefix}.w0"), Tensor::scalar(0.1));
+        let phi0 = store.register(format!("{prefix}.phi0"), Tensor::zeros(1, 1));
+        let w = store.register(format!("{prefix}.w"), freqs);
+        let phi = store.register(format!("{prefix}.phi"), init::uniform(1, dim - 1, -0.1, 0.1, rng));
+        Self { w0, phi0, w, phi, dim }
+    }
+
+    /// Output dimension `d_t`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encode timestamp `t` into a `(1, d_t)` vector on `tape`.
+    pub fn encode(&self, tape: &mut Tape, store: &ParamStore, t: f64) -> Var {
+        let tv = tape.scalar_input(t as f32);
+        let w0 = tape.param(store, self.w0);
+        let phi0 = tape.param(store, self.phi0);
+        let w = tape.param(store, self.w);
+        let phi = tape.param(store, self.phi);
+        // Linear component: ω₀ t + φ₀ (1×1).
+        let lin_scaled = tape.mul(tv, w0);
+        let lin = tape.add(lin_scaled, phi0);
+        // Periodic components: sin(ω t + φ) (1×(d_t-1)); t is 1×1 so the
+        // broadcast is a matmul against the 1×(d_t-1) frequency row.
+        let tw = tape.matmul(tv, w);
+        let pre = tape.add(tw, phi);
+        let per = tape.sin(pre);
+        tape.concat_cols(lin, per)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn enc(dim: usize, seed: u64) -> (ParamStore, Time2Vec) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t2v = Time2Vec::new(&mut store, "t2v", dim, &mut rng);
+        (store, t2v)
+    }
+
+    #[test]
+    fn output_shape_and_bounds() {
+        let (store, t2v) = enc(6, 1);
+        let mut tape = Tape::new();
+        let v = t2v.encode(&mut tape, &store, 3.7);
+        assert_eq!(v.shape(), (1, 6));
+        // Periodic components are sines.
+        for &x in &tape.value(v).data()[1..] {
+            assert!(x.abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn distinct_times_get_distinct_codes() {
+        let (store, t2v) = enc(6, 2);
+        let mut tape = Tape::new();
+        let a = t2v.encode(&mut tape, &store, 1.0);
+        let b = t2v.encode(&mut tape, &store, 2.0);
+        let diff = tape.value(a).sub(tape.value(b)).max_abs();
+        assert!(diff > 1e-4, "time codes must separate timestamps");
+    }
+
+    #[test]
+    fn linear_component_is_linear_in_t() {
+        let (store, t2v) = enc(4, 3);
+        let mut tape = Tape::new();
+        let v1 = t2v.encode(&mut tape, &store, 1.0);
+        let v2 = t2v.encode(&mut tape, &store, 2.0);
+        let v3 = t2v.encode(&mut tape, &store, 3.0);
+        let (a, b, c) = (
+            tape.value(v1).get(0, 0),
+            tape.value(v2).get(0, 0),
+            tape.value(v3).get(0, 0),
+        );
+        assert!(((c - b) - (b - a)).abs() < 1e-5, "first component must be affine in t");
+    }
+
+    #[test]
+    fn gradients_reach_all_time2vec_params() {
+        let (mut store, t2v) = enc(5, 4);
+        let mut tape = Tape::new();
+        let v = t2v.encode(&mut tape, &store, 2.5);
+        let sq = tape.mul(v, v);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        tape.flush_grads(&grads, &mut store);
+        for id in store.ids().collect::<Vec<_>>() {
+            assert!(store.grad(id).max_abs() > 0.0, "no grad for {}", store.name(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one linear and one periodic")]
+    fn dim_one_rejected() {
+        let _ = enc(1, 5);
+    }
+}

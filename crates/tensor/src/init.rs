@@ -1,0 +1,60 @@
+//! Parameter initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for weight matrices.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Uniform initialization on `[lo, hi)`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Approximately standard-normal initialization scaled by `std`
+/// (Irwin–Hall sum of 12 uniforms, exact mean 0 and variance 1).
+pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Tensor {
+    Tensor::from_fn(rows, cols, |_, _| {
+        let s: f32 = (0..12).map(|_| rng.random_range(0.0_f32..1.0)).sum();
+        (s - 6.0) * std
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = xavier_uniform(16, 48, &mut rng);
+        let a = (6.0_f32 / 64.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= a));
+        // With 768 samples the extremes should come close to the bound.
+        assert!(t.max_abs() > 0.5 * a);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = normal(100, 100, 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var = {var}");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(xavier_uniform(4, 4, &mut a), xavier_uniform(4, 4, &mut b));
+    }
+}

@@ -1,0 +1,35 @@
+//! # tpgnn-tensor
+//!
+//! CPU autodiff substrate for the TP-GNN reproduction.
+//!
+//! The paper's models were implemented in PyTorch; the Rust ecosystem has no
+//! mature equivalent for dynamically-unrolled compute graphs, so this crate
+//! provides one from scratch:
+//!
+//! * [`Tensor`] — dense row-major `f32` matrices,
+//! * [`Tape`] / [`Var`] — tape-based reverse-mode autodiff with ~25 ops,
+//! * [`ParamStore`] / [`ParamId`] — persistent parameters with Adam state,
+//! * [`optim`] — [`Sgd`](optim::Sgd) and [`Adam`](optim::Adam),
+//! * [`init`] — Xavier / uniform / normal initializers,
+//! * [`linalg`] — Jacobi eigendecomposition and graph Laplacians for the
+//!   Spectral Clustering baseline,
+//! * [`gradcheck`] — finite-difference gradient checking for test suites.
+//!
+//! Usage protocol: build **one tape per dynamic graph**, lease parameters in
+//! with [`Tape::param`], run the forward pass, call [`Tape::backward`], flush
+//! gradients with [`Tape::flush_grads`], and step the optimizer.
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod linalg;
+pub mod optim;
+mod params;
+mod tape;
+mod tensor;
+
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Grads, Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,199 @@
+//! Plain (non-differentiable) linear algebra used by the Spectral Clustering
+//! baseline: cyclic Jacobi eigendecomposition of symmetric matrices and the
+//! normalized graph Laplacian helpers built on it.
+
+use crate::tensor::Tensor;
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted ascending
+/// and eigenvectors as the *columns* of the returned matrix (column `i`
+/// pairs with eigenvalue `i`).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn jacobi_eigh(a: &Tensor, max_sweeps: usize, tol: f32) -> (Vec<f32>, Tensor) {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigh requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Tensor::eye(n);
+
+    for _ in 0..max_sweeps {
+        let mut off = 0.0_f32;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += m.get(p, q) * m.get(p, q);
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= f32::EPSILON {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Standard Jacobi rotation angle: tan(2φ) = 2a_pq / (a_pp - a_qq)
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = phi.sin_cos();
+                // Rotate rows/columns p and q.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp + s * mkq);
+                    m.set(k, q, -s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk + s * mqk);
+                    m.set(q, k, -s * mpk + c * mqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp + s * vkq);
+                    v.set(k, q, -s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigvals: Vec<f32> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| eigvals[i].partial_cmp(&eigvals[j]).expect("non-NaN eigenvalues"));
+    let sorted_vals: Vec<f32> = order.iter().map(|&i| eigvals[i]).collect();
+    let sorted_vecs = Tensor::from_fn(n, n, |r, c| v.get(r, order[c]));
+    (sorted_vals, sorted_vecs)
+}
+
+/// Symmetric normalized Laplacian `L = I - D^{-1/2} A D^{-1/2}` of an
+/// undirected adjacency matrix. Isolated nodes contribute identity rows.
+///
+/// # Panics
+/// Panics if `adj` is not square.
+pub fn normalized_laplacian(adj: &Tensor) -> Tensor {
+    let n = adj.rows();
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    let deg: Vec<f32> = (0..n).map(|i| adj.row(i).iter().sum()).collect();
+    let dinv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    Tensor::from_fn(n, n, |i, j| {
+        let norm = dinv_sqrt[i] * adj.get(i, j) * dinv_sqrt[j];
+        if i == j {
+            1.0 - norm
+        } else {
+            -norm
+        }
+    })
+}
+
+/// GCN propagation matrix `D̃^{-1/2} (A + I) D̃^{-1/2}` (Kipf & Welling).
+///
+/// # Panics
+/// Panics if `adj` is not square.
+pub fn gcn_norm(adj: &Tensor) -> Tensor {
+    let n = adj.rows();
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    let a_hat = Tensor::from_fn(n, n, |i, j| adj.get(i, j) + if i == j { 1.0 } else { 0.0 });
+    let deg: Vec<f32> = (0..n).map(|i| a_hat.row(i).iter().sum()).collect();
+    let dinv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    Tensor::from_fn(n, n, |i, j| dinv_sqrt[i] * a_hat.get(i, j) * dinv_sqrt[j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(vals: &[f32], vecs: &Tensor) -> Tensor {
+        let n = vals.len();
+        Tensor::from_fn(n, n, |i, j| {
+            (0..n).map(|k| vecs.get(i, k) * vals[k] * vecs.get(j, k)).sum()
+        })
+    }
+
+    #[test]
+    fn eigh_diagonal_matrix() {
+        let a = Tensor::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (vals, _) = jacobi_eigh(&a, 50, 1e-7);
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 2.0).abs() < 1e-5);
+        assert!((vals[2] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eigh_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Tensor::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = jacobi_eigh(&a, 50, 1e-7);
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 3.0).abs() < 1e-5);
+        let rec = reconstruct(&vals, &vecs);
+        for (x, y) in rec.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn eigh_reconstructs_random_symmetric() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let raw = crate::init::uniform(6, 6, -1.0, 1.0, &mut rng);
+        let sym = raw.add(&raw.transpose()).scale(0.5);
+        let (vals, vecs) = jacobi_eigh(&sym, 100, 1e-7);
+        let rec = reconstruct(&vals, &vecs);
+        for (x, y) in rec.data().iter().zip(sym.data()) {
+            assert!((x - y).abs() < 1e-3, "reconstruction error: {x} vs {y}");
+        }
+        // Eigenvectors should be orthonormal.
+        for i in 0..6 {
+            for j in 0..6 {
+                let dot: f32 = (0..6).map(|k| vecs.get(k, i) * vecs.get(k, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_of_path_graph() {
+        // Path 0-1-2: degrees 1,2,1.
+        let adj = Tensor::from_vec(3, 3, vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        let lap = normalized_laplacian(&adj);
+        assert!((lap.get(0, 0) - 1.0).abs() < 1e-6);
+        let expect = -1.0 / 2.0_f32.sqrt();
+        assert!((lap.get(0, 1) - expect).abs() < 1e-6);
+        // Smallest eigenvalue of a normalized Laplacian is ~0.
+        let (vals, _) = jacobi_eigh(&lap, 60, 1e-7);
+        assert!(vals[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn laplacian_handles_isolated_nodes() {
+        let adj = Tensor::zeros(2, 2);
+        let lap = normalized_laplacian(&adj);
+        assert_eq!(lap, Tensor::eye(2));
+    }
+
+    #[test]
+    fn gcn_norm_row_sums_bounded() {
+        let adj = Tensor::from_vec(3, 3, vec![0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+        let p = gcn_norm(&adj);
+        // Symmetric and entries in (0, 1].
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((p.get(i, j) - p.get(j, i)).abs() < 1e-6);
+                assert!(p.get(i, j) >= 0.0 && p.get(i, j) <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Optimizers operating over a [`ParamStore`].
+//!
+//! The paper trains every model with Adam at learning rate `1e-3`
+//! (Sec. V-D); plain SGD is provided for tests and ablations.
+
+use crate::params::ParamStore;
+
+/// First-order optimizer stepping a whole [`ParamStore`].
+pub trait Optimizer {
+    /// Apply one update using the store's accumulated gradients, then zero them.
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Stochastic gradient descent with optional momentum-free scaling.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let lr = self.lr;
+            let (value, grad) = store.sgd_state_mut(id);
+            for (v, &g) in value.data_mut().iter_mut().zip(grad.data()) {
+                *v -= lr * g;
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the paper's optimizer.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate (paper default: `1e-3`).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    /// Adam with the standard hyperparameters `β₁=0.9, β₂=0.999, ε=1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0 }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let t = self.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let ids: Vec<_> = store.ids().collect();
+        for id in ids {
+            let (value, m, v, grad) = store.adam_state_mut(id);
+            for (((x, mi), vi), &g) in value
+                .data_mut()
+                .iter_mut()
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+                .zip(grad.data())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * g;
+                *vi = b2 * *vi + (1.0 - b2) * g * g;
+                let m_hat = *mi / bc1;
+                let v_hat = *vi / bc2;
+                *x -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+        store.zero_grads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    /// Minimise (w - 3)² and check convergence near the optimum.
+    fn quadratic_descent(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Tensor::scalar(0.0));
+        for _ in 0..iters {
+            let mut tape = Tape::new();
+            let wv = tape.param(&store, w);
+            let c = tape.scalar_input(3.0);
+            let d = tape.sub(wv, c);
+            let sq = tape.mul(d, d);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            tape.flush_grads(&grads, &mut store);
+            opt.step(&mut store);
+        }
+        store.value(w).item()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = quadratic_descent(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = quadratic_descent(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+        assert_eq!(opt.steps(), 500);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(1.0));
+        store.grad_mut(id).set(0, 0, 1.0);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut store);
+        assert_eq!(store.grad(id).item(), 0.0);
+    }
+
+    #[test]
+    fn adam_handles_sparse_zero_grads() {
+        // A parameter that never receives gradient must not drift.
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(2.5));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..10 {
+            opt.step(&mut store);
+        }
+        assert_eq!(store.value(id).item(), 2.5);
+    }
+}

@@ -1,0 +1,314 @@
+//! Persistent parameter storage shared across tapes.
+//!
+//! Model parameters live in a [`ParamStore`] with stable [`ParamId`]s. A
+//! fresh [`Tape`](crate::Tape) is built per graph; parameters are leased onto
+//! it and their gradients flushed back here, so optimizer state (Adam
+//! moments) survives across tapes.
+
+use std::collections::HashMap;
+
+use crate::tensor::Tensor;
+
+/// Stable identifier of a parameter within a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+struct Entry {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+    /// Adam first moment, lazily kept in lock-step with `value`'s shape.
+    m: Tensor,
+    /// Adam second moment.
+    v: Tensor,
+}
+
+/// Named parameters with gradient buffers and Adam moment state.
+#[derive(Default)]
+pub struct ParamStore {
+    entries: Vec<Entry>,
+    by_name: HashMap<String, ParamId>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter under `name` with initial `value`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "parameter `{name}` registered twice"
+        );
+        let id = ParamId(self.entries.len());
+        let (r, c) = value.shape();
+        self.entries.push(Entry {
+            name: name.clone(),
+            value,
+            grad: Tensor::zeros(r, c),
+            m: Tensor::zeros(r, c),
+            v: Tensor::zeros(r, c),
+        });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar parameters across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.iter().map(|e| e.value.len()).sum()
+    }
+
+    /// Look up a parameter id by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name a parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.entries[id.0].name
+    }
+
+    /// Borrow a parameter value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].value
+    }
+
+    /// Mutably borrow a parameter value (e.g. for manual perturbation in tests).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].value
+    }
+
+    /// Borrow a parameter's accumulated gradient.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.entries[id.0].grad
+    }
+
+    /// Mutably borrow a parameter's gradient buffer.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.entries[id.0].grad
+    }
+
+    /// Zero every gradient buffer (call between optimizer steps).
+    pub fn zero_grads(&mut self) {
+        for e in &mut self.entries {
+            e.grad.fill(0.0);
+        }
+    }
+
+    /// Global gradient-norm clipping: rescales all gradients so that their
+    /// joint L2 norm does not exceed `max_norm`. Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f32 = self
+            .entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|&g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let scale = max_norm / total;
+            for e in &mut self.entries {
+                e.grad.data_mut().iter_mut().for_each(|g| *g *= scale);
+            }
+        }
+        total
+    }
+
+    /// Iterate over all parameter ids.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.entries.len()).map(ParamId)
+    }
+
+    pub(crate) fn adam_state_mut(&mut self, id: ParamId) -> (&mut Tensor, &mut Tensor, &mut Tensor, &Tensor) {
+        let e = &mut self.entries[id.0];
+        (&mut e.value, &mut e.m, &mut e.v, &e.grad)
+    }
+
+    pub(crate) fn sgd_state_mut(&mut self, id: ParamId) -> (&mut Tensor, &Tensor) {
+        let e = &mut self.entries[id.0];
+        (&mut e.value, &e.grad)
+    }
+
+    /// Serialize all parameter values (not optimizer state) to a plain-text
+    /// checkpoint: one `param <name> <rows> <cols>` header per parameter
+    /// followed by its row-major values, one row per line.
+    pub fn to_checkpoint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "checkpoint {}", self.entries.len());
+        for e in &self.entries {
+            let (r, c) = e.value.shape();
+            let _ = writeln!(out, "param {} {} {}", e.name.replace(' ', "_"), r, c);
+            for i in 0..r {
+                let mut first = true;
+                for v in e.value.row(i) {
+                    if !first {
+                        out.push(' ');
+                    }
+                    let _ = write!(out, "{v}");
+                    first = false;
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Load parameter values from a checkpoint produced by
+    /// [`ParamStore::to_checkpoint`]. Parameters are matched **by name**;
+    /// every parameter in the store must be present with a matching shape.
+    /// Optimizer moments are reset.
+    pub fn load_checkpoint(&mut self, text: &str) -> Result<(), String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty checkpoint")?;
+        if !header.starts_with("checkpoint ") {
+            return Err("missing `checkpoint` header".into());
+        }
+        let mut loaded = std::collections::HashMap::new();
+        while let Some(line) = lines.next() {
+            let mut p = line.split_whitespace();
+            if p.next() != Some("param") {
+                return Err(format!("expected `param` line, got `{line}`"));
+            }
+            let name = p.next().ok_or("missing param name")?.to_string();
+            let r: usize = p.next().ok_or("missing rows")?.parse().map_err(|e| format!("bad rows: {e}"))?;
+            let c: usize = p.next().ok_or("missing cols")?.parse().map_err(|e| format!("bad cols: {e}"))?;
+            let mut data = Vec::with_capacity(r * c);
+            for _ in 0..r {
+                let row = lines.next().ok_or("unexpected end of checkpoint")?;
+                for tok in row.split_whitespace() {
+                    data.push(tok.parse::<f32>().map_err(|e| format!("bad value: {e}"))?);
+                }
+            }
+            if data.len() != r * c {
+                return Err(format!("parameter `{name}`: expected {} values, got {}", r * c, data.len()));
+            }
+            loaded.insert(name, Tensor::from_vec(r, c, data));
+        }
+        for e in &mut self.entries {
+            let key = e.name.replace(' ', "_");
+            let t = loaded
+                .remove(&key)
+                .ok_or_else(|| format!("checkpoint is missing parameter `{}`", e.name))?;
+            if t.shape() != e.value.shape() {
+                return Err(format!(
+                    "parameter `{}`: checkpoint shape {:?} != store shape {:?}",
+                    e.name,
+                    t.shape(),
+                    e.value.shape()
+                ));
+            }
+            e.value = t;
+            e.grad.fill(0.0);
+            e.m.fill(0.0);
+            e.v.fill(0.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(2, 3));
+        assert_eq!(store.id("w"), Some(id));
+        assert_eq!(store.id("nope"), None);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.value(id).shape(), (2, 3));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::zeros(1, 1));
+        store.register("w", Tensor::zeros(1, 1));
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(1, 2));
+        store.grad_mut(id).set(0, 0, 5.0);
+        store.zero_grads();
+        assert_eq!(store.grad(id).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut store = ParamStore::new();
+        let w = store.register("layer.w", Tensor::from_vec(2, 2, vec![1.5, -2.25, 0.0, 4.0]));
+        let b = store.register("layer.b", Tensor::row_vector(&[0.125, -7.5]));
+        let text = store.to_checkpoint();
+
+        let mut other = ParamStore::new();
+        let w2 = other.register("layer.w", Tensor::zeros(2, 2));
+        let b2 = other.register("layer.b", Tensor::zeros(1, 2));
+        other.load_checkpoint(&text).expect("load");
+        assert_eq!(other.value(w2), store.value(w));
+        assert_eq!(other.value(b2), store.value(b));
+    }
+
+    #[test]
+    fn checkpoint_rejects_shape_and_name_mismatches() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::zeros(2, 2));
+        let text = store.to_checkpoint();
+
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.register("w", Tensor::zeros(3, 2));
+        assert!(wrong_shape.load_checkpoint(&text).is_err());
+
+        let mut wrong_name = ParamStore::new();
+        wrong_name.register("v", Tensor::zeros(2, 2));
+        assert!(wrong_name.load_checkpoint(&text).is_err());
+
+        assert!(store.load_checkpoint("").is_err());
+        assert!(store.load_checkpoint("bogus").is_err());
+    }
+
+    #[test]
+    fn load_checkpoint_resets_optimizer_state() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(1.0));
+        store.grad_mut(id).set(0, 0, 3.0);
+        let text = store.to_checkpoint();
+        store.load_checkpoint(&text).expect("load");
+        assert_eq!(store.grad(id).item(), 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_rescales_only_above_threshold() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::zeros(1, 2));
+        store.grad_mut(id).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let pre = store.clip_grad_norm(10.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert_eq!(store.grad(id).data(), &[3.0, 4.0]);
+        let pre2 = store.clip_grad_norm(1.0);
+        assert!((pre2 - 5.0).abs() < 1e-6);
+        let g = store.grad(id);
+        assert!((g.norm() - 1.0).abs() < 1e-6);
+    }
+}

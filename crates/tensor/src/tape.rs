@@ -1,0 +1,723 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every differentiable operation of one forward pass as a
+//! node in an arena. [`Var`] is a cheap copyable handle (an index plus a
+//! cached shape) into that arena. Calling [`Tape::backward`] seeds the loss
+//! gradient with 1 and sweeps the arena in reverse, accumulating gradients.
+//!
+//! Dynamic-graph models unroll to a different compute graph per sample (one
+//! GRU step per temporal edge), so the intended usage is **one tape per
+//! graph**: lease parameters in with [`Tape::param`], build the forward pass,
+//! call `backward`, then flush parameter gradients back to the
+//! [`ParamStore`](crate::ParamStore) with [`Tape::flush_grads`].
+
+use crate::params::{ParamId, ParamStore};
+use crate::tensor::{matmul_a_bt_into, matmul_at_b_into, Tensor};
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    idx: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl Var {
+    /// Number of rows of the underlying value.
+    #[inline]
+    pub fn rows(self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the underlying value.
+    #[inline]
+    pub fn cols(self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` of the underlying value.
+    #[inline]
+    pub fn shape(self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+}
+
+/// Recorded operation; payloads are input node indices plus op constants.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Constant input; receives gradient but it is discarded.
+    Leaf,
+    /// Leased parameter; gradient is flushed back to the store.
+    Param(ParamId),
+    MatMul(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    /// `(r,c) + (1,c)` row-broadcast addition.
+    AddRow(usize, usize),
+    Scale(usize, f32),
+    AddScalar(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Relu(usize),
+    LeakyRelu(usize, f32),
+    Sin(usize),
+    Exp(usize),
+    Ln(usize),
+    Abs(usize),
+    /// `1 - x`, used by GRU gates.
+    OneMinus(usize),
+    ConcatCols(usize, usize),
+    /// `(input, start_col, len)` column slice.
+    SliceCols(usize, usize, usize),
+    /// `(input, start_row, len)` row slice.
+    SliceRows(usize, usize, usize),
+    MeanRows(usize),
+    SumRows(usize),
+    /// Mean over all elements, producing `1 × 1`.
+    MeanAll(usize),
+    StackRows(Vec<usize>),
+    /// Softmax over all elements (score vectors are `n × 1` or `1 × n`).
+    Softmax(usize),
+    Transpose(usize),
+    /// Binary cross-entropy with logits; input is `1 × 1`, payload is target.
+    BceWithLogits(usize, f32),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Arena of one forward pass; see the module docs for the usage protocol.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(256) }
+    }
+
+    /// Clears all recorded nodes, keeping the allocation.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow the value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.idx].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        let (rows, cols) = value.shape();
+        let idx = self.nodes.len();
+        self.nodes.push(Node { value, op });
+        Var { idx, rows, cols }
+    }
+
+    /// Record a constant input (no gradient is propagated out of it).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Record a scalar constant as a `1 × 1` input.
+    pub fn scalar_input(&mut self, value: f32) -> Var {
+        self.input(Tensor::scalar(value))
+    }
+
+    /// Lease parameter `id` from `store` onto the tape.
+    ///
+    /// The parameter value is copied in; after [`Tape::backward`], call
+    /// [`Tape::flush_grads`] to accumulate its gradient back into the store.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.idx].value.matmul(&self.nodes[b.idx].value);
+        self.push(v, Op::MatMul(a.idx, b.idx))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.idx].value.add(&self.nodes[b.idx].value);
+        self.push(v, Op::Add(a.idx, b.idx))
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.idx].value.sub(&self.nodes[b.idx].value);
+        self.push(v, Op::Sub(a.idx, b.idx))
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.idx].value.hadamard(&self.nodes[b.idx].value);
+        self.push(v, Op::Mul(a.idx, b.idx))
+    }
+
+    /// Broadcast addition of a `1 × c` row vector to every row of an `r × c` matrix.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        assert_eq!(row.rows, 1, "add_row expects a 1-row broadcast operand");
+        assert_eq!(a.cols, row.cols, "add_row width mismatch");
+        let rv = &self.nodes[row.idx].value;
+        let av = &self.nodes[a.idx].value;
+        let mut v = av.clone();
+        for i in 0..v.rows() {
+            let r = v.row_mut(i);
+            for (x, &b) in r.iter_mut().zip(rv.data()) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a.idx, row.idx))
+    }
+
+    /// `x · w + b` convenience: matmul plus broadcast bias row.
+    pub fn affine(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let xw = self.matmul(x, w);
+        self.add_row(xw, b)
+    }
+
+    /// Multiply by a compile-time-known scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.idx].value.scale(s);
+        self.push(v, Op::Scale(a.idx, s))
+    }
+
+    /// Add a compile-time-known scalar to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.nodes[a.idx].value.map(|x| x + s);
+        self.push(v, Op::AddScalar(a.idx))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a.idx))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(f32::tanh);
+        self.push(v, Op::Tanh(a.idx))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a.idx))
+    }
+
+    /// Leaky ReLU with negative slope `slope`.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.nodes[a.idx].value.map(|x| if x >= 0.0 { x } else { slope * x });
+        self.push(v, Op::LeakyRelu(a.idx, slope))
+    }
+
+    /// Elementwise sine (used by Time2Vec, eq. 2 of the paper).
+    pub fn sin(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(f32::sin);
+        self.push(v, Op::Sin(a.idx))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(f32::exp);
+        self.push(v, Op::Exp(a.idx))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(f32::ln);
+        self.push(v, Op::Ln(a.idx))
+    }
+
+    /// Elementwise absolute value (Weighted-L1 edge aggregation).
+    pub fn abs(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(f32::abs);
+        self.push(v, Op::Abs(a.idx))
+    }
+
+    /// `1 - x`, the complement used by GRU update gates (eq. 10).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.map(|x| 1.0 - x);
+        self.push(v, Op::OneMinus(a.idx))
+    }
+
+    /// Concatenate along columns (`⊕` in the paper).
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = self.nodes[a.idx].value.concat_cols(&self.nodes[b.idx].value);
+        self.push(v, Op::ConcatCols(a.idx, b.idx))
+    }
+
+    /// Columns `[start, start + len)` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        assert!(start + len <= a.cols, "slice_cols out of bounds");
+        let av = &self.nodes[a.idx].value;
+        let mut v = Tensor::zeros(a.rows, len);
+        for i in 0..a.rows {
+            v.row_mut(i).copy_from_slice(&av.row(i)[start..start + len]);
+        }
+        self.push(v, Op::SliceCols(a.idx, start, len))
+    }
+
+    /// Rows `[start, start + len)` of `a`.
+    pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        assert!(start + len <= a.rows, "slice_rows out of bounds");
+        let av = &self.nodes[a.idx].value;
+        let mut v = Tensor::zeros(len, a.cols);
+        for i in 0..len {
+            v.row_mut(i).copy_from_slice(av.row(start + i));
+        }
+        self.push(v, Op::SliceRows(a.idx, start, len))
+    }
+
+    /// Row `i` of `a` as a `1 × c` vector.
+    pub fn row(&mut self, a: Var, i: usize) -> Var {
+        self.slice_rows(a, i, 1)
+    }
+
+    /// Mean over rows, producing a `1 × c` row (the *Mean* graph pooling of Sec. V-D).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.mean_rows();
+        self.push(v, Op::MeanRows(a.idx))
+    }
+
+    /// Sum over rows, producing a `1 × c` row.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.idx].value;
+        let mut v = Tensor::zeros(1, a.cols);
+        for i in 0..a.rows {
+            for (o, &x) in v.row_mut(0).iter_mut().zip(av.row(i)) {
+                *o += x;
+            }
+        }
+        self.push(v, Op::SumRows(a.idx))
+    }
+
+    /// Mean over all elements, producing `1 × 1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.nodes[a.idx].value.mean());
+        self.push(v, Op::MeanAll(a.idx))
+    }
+
+    /// Stack `1 × c` rows into an `n × c` matrix.
+    pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        assert!(!rows.is_empty(), "stack_rows requires at least one row");
+        let tensors: Vec<Tensor> = rows.iter().map(|r| self.nodes[r.idx].value.clone()).collect();
+        let v = Tensor::stack_rows(&tensors);
+        self.push(v, Op::StackRows(rows.iter().map(|r| r.idx).collect()))
+    }
+
+    /// Softmax over **all** elements of `a` (attention score vectors).
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.idx].value;
+        let max = av.data().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut v = av.map(|x| (x - max).exp());
+        let sum: f32 = v.data().iter().sum();
+        let inv = 1.0 / sum;
+        v.data_mut().iter_mut().for_each(|x| *x *= inv);
+        self.push(v, Op::Softmax(a.idx))
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.nodes[a.idx].value.transpose();
+        self.push(v, Op::Transpose(a.idx))
+    }
+
+    /// Binary cross-entropy with logits (eq. 12), numerically stable.
+    ///
+    /// `logit` must be `1 × 1`; `target` is 0.0 or 1.0. Returns the `1 × 1` loss.
+    pub fn bce_with_logits(&mut self, logit: Var, target: f32) -> Var {
+        assert_eq!(logit.shape(), (1, 1), "bce_with_logits expects a scalar logit");
+        let z = self.nodes[logit.idx].value.item();
+        // max(z,0) - z*y + ln(1 + e^{-|z|})
+        let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
+        self.push(Tensor::scalar(loss), Op::BceWithLogits(logit.idx, target))
+    }
+
+    /// Mean of two vars, `(a + b) / 2` — the *Average* EdgeAgg of Sec. IV-C.
+    pub fn average(&mut self, a: Var, b: Var) -> Var {
+        let s = self.add(a, b);
+        self.scale(s, 0.5)
+    }
+
+    /// Reverse sweep: seeds `∂loss/∂loss = 1` and accumulates gradients.
+    ///
+    /// Returns the gradient arena so callers can inspect input gradients via
+    /// [`Grads::wrt`]. Parameter gradients are pulled from the same arena by
+    /// [`Tape::flush_grads`].
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(loss.shape(), (1, 1), "backward expects a scalar loss");
+        let mut grads: Vec<Tensor> = self
+            .nodes
+            .iter()
+            .map(|n| Tensor::zeros(n.value.rows(), n.value.cols()))
+            .collect();
+        grads[loss.idx].set(0, 0, 1.0);
+
+        for i in (0..=loss.idx).rev() {
+            // All inputs of node i have index < i, so a split gives us
+            // simultaneous read access to the output gradient and write
+            // access to the input gradients.
+            let (gin, gout_slice) = grads.split_at_mut(i);
+            let gout = &gout_slice[0];
+            if gout.max_abs() == 0.0 {
+                continue;
+            }
+            self.backward_node(i, gout, gin);
+        }
+        Grads { grads }
+    }
+
+    /// Propagate `gout` (gradient at node `i`) into `gin` (gradients of nodes `< i`).
+    fn backward_node(&self, i: usize, gout: &Tensor, gin: &mut [Tensor]) {
+        let node = &self.nodes[i];
+        match &node.op {
+            Op::Leaf | Op::Param(_) => {}
+            Op::MatMul(a, b) => {
+                // dA += G Bᵀ ; dB += Aᵀ G
+                let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                // Split-borrow dance: a and b may coincide.
+                if a == b {
+                    let mut da = Tensor::zeros(av.rows(), av.cols());
+                    matmul_a_bt_into(gout, bv, &mut da);
+                    matmul_at_b_into(av, gout, &mut da);
+                    gin[*a].add_assign(&da);
+                } else {
+                    {
+                        let da = &mut gin[*a];
+                        matmul_a_bt_into(gout, bv, da);
+                    }
+                    let db = &mut gin[*b];
+                    matmul_at_b_into(av, gout, db);
+                }
+            }
+            Op::Add(a, b) => {
+                gin[*a].add_assign(gout);
+                gin[*b].add_assign(gout);
+            }
+            Op::Sub(a, b) => {
+                gin[*a].add_assign(gout);
+                gin[*b].axpy(-1.0, gout);
+            }
+            Op::Mul(a, b) => {
+                let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                if a == b {
+                    let g = gout.hadamard(av).scale(2.0);
+                    gin[*a].add_assign(&g);
+                } else {
+                    gin[*a].add_assign(&gout.hadamard(bv));
+                    gin[*b].add_assign(&gout.hadamard(av));
+                }
+            }
+            Op::AddRow(a, row) => {
+                gin[*a].add_assign(gout);
+                let grow = &mut gin[*row];
+                for r in 0..gout.rows() {
+                    for (g, &x) in grow.row_mut(0).iter_mut().zip(gout.row(r)) {
+                        *g += x;
+                    }
+                }
+            }
+            Op::Scale(a, s) => gin[*a].axpy(*s, gout),
+            Op::AddScalar(a) => gin[*a].add_assign(gout),
+            Op::Sigmoid(a) => {
+                let g = node.value.zip_map(gout, |y, g| g * y * (1.0 - y));
+                gin[*a].add_assign(&g);
+            }
+            Op::Tanh(a) => {
+                let g = node.value.zip_map(gout, |y, g| g * (1.0 - y * y));
+                gin[*a].add_assign(&g);
+            }
+            Op::Relu(a) => {
+                let g = self.nodes[*a].value.zip_map(gout, |x, g| if x > 0.0 { g } else { 0.0 });
+                gin[*a].add_assign(&g);
+            }
+            Op::LeakyRelu(a, slope) => {
+                let s = *slope;
+                let g = self.nodes[*a].value.zip_map(gout, |x, g| if x >= 0.0 { g } else { s * g });
+                gin[*a].add_assign(&g);
+            }
+            Op::Sin(a) => {
+                let g = self.nodes[*a].value.zip_map(gout, |x, g| g * x.cos());
+                gin[*a].add_assign(&g);
+            }
+            Op::Exp(a) => {
+                let g = node.value.zip_map(gout, |y, g| g * y);
+                gin[*a].add_assign(&g);
+            }
+            Op::Ln(a) => {
+                let g = self.nodes[*a].value.zip_map(gout, |x, g| g / x);
+                gin[*a].add_assign(&g);
+            }
+            Op::Abs(a) => {
+                let g = self.nodes[*a].value.zip_map(gout, |x, g| if x >= 0.0 { g } else { -g });
+                gin[*a].add_assign(&g);
+            }
+            Op::OneMinus(a) => gin[*a].axpy(-1.0, gout),
+            Op::ConcatCols(a, b) => {
+                let ac = self.nodes[*a].value.cols();
+                let bc = self.nodes[*b].value.cols();
+                for r in 0..gout.rows() {
+                    let grow = gout.row(r);
+                    for (g, &x) in gin[*a].row_mut(r).iter_mut().zip(&grow[..ac]) {
+                        *g += x;
+                    }
+                    for (g, &x) in gin[*b].row_mut(r).iter_mut().zip(&grow[ac..ac + bc]) {
+                        *g += x;
+                    }
+                }
+            }
+            Op::SliceCols(a, start, len) => {
+                for r in 0..gout.rows() {
+                    let dst = &mut gin[*a].row_mut(r)[*start..*start + *len];
+                    for (g, &x) in dst.iter_mut().zip(gout.row(r)) {
+                        *g += x;
+                    }
+                }
+            }
+            Op::SliceRows(a, start, _len) => {
+                for r in 0..gout.rows() {
+                    for (g, &x) in gin[*a].row_mut(start + r).iter_mut().zip(gout.row(r)) {
+                        *g += x;
+                    }
+                }
+            }
+            Op::MeanRows(a) => {
+                let n = self.nodes[*a].value.rows();
+                if n > 0 {
+                    let inv = 1.0 / n as f32;
+                    let ga = &mut gin[*a];
+                    for r in 0..n {
+                        for (g, &x) in ga.row_mut(r).iter_mut().zip(gout.row(0)) {
+                            *g += inv * x;
+                        }
+                    }
+                }
+            }
+            Op::SumRows(a) => {
+                let n = self.nodes[*a].value.rows();
+                let ga = &mut gin[*a];
+                for r in 0..n {
+                    for (g, &x) in ga.row_mut(r).iter_mut().zip(gout.row(0)) {
+                        *g += x;
+                    }
+                }
+            }
+            Op::MeanAll(a) => {
+                let n = self.nodes[*a].value.len();
+                if n > 0 {
+                    let g = gout.item() / n as f32;
+                    gin[*a].data_mut().iter_mut().for_each(|x| *x += g);
+                }
+            }
+            Op::StackRows(idxs) => {
+                for (r, &src) in idxs.iter().enumerate() {
+                    for (g, &x) in gin[src].row_mut(0).iter_mut().zip(gout.row(r)) {
+                        *g += x;
+                    }
+                }
+            }
+            Op::Softmax(a) => {
+                // dx = y ⊙ (g - <g, y>)
+                let y = &node.value;
+                let dot: f32 = y.data().iter().zip(gout.data()).map(|(&yi, &gi)| yi * gi).sum();
+                let ga = &mut gin[*a];
+                for ((g, &yi), &gi) in ga.data_mut().iter_mut().zip(y.data()).zip(gout.data()) {
+                    *g += yi * (gi - dot);
+                }
+            }
+            Op::Transpose(a) => {
+                let gt = gout.transpose();
+                gin[*a].add_assign(&gt);
+            }
+            Op::BceWithLogits(a, target) => {
+                let z = self.nodes[*a].value.item();
+                let sig = 1.0 / (1.0 + (-z).exp());
+                let g = gout.item() * (sig - target);
+                let ga = &mut gin[*a];
+                let cur = ga.item();
+                ga.set(0, 0, cur + g);
+            }
+        }
+    }
+
+    /// Accumulate all leased-parameter gradients from `grads` into `store`.
+    pub fn flush_grads(&self, grads: &Grads, store: &mut ParamStore) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Param(id) = node.op {
+                store.grad_mut(id).add_assign(&grads.grads[i]);
+            }
+        }
+    }
+}
+
+/// Gradient arena produced by [`Tape::backward`].
+pub struct Grads {
+    grads: Vec<Tensor>,
+}
+
+impl Grads {
+    /// Gradient of the loss with respect to variable `v`.
+    pub fn wrt(&self, v: Var) -> &Tensor {
+        &self.grads[v.idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+
+    #[test]
+    fn forward_values_match_plain_ops() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = tape.input(Tensor::from_vec(2, 2, vec![0.5, -1.0, 2.0, 0.0]));
+        let c = tape.matmul(a, b);
+        assert_eq!(tape.value(c).data(), &[4.5, -1.0, 9.5, -3.0]);
+        let d = tape.add(a, b);
+        assert_eq!(tape.value(d).data(), &[1.5, 1.0, 5.0, 4.0]);
+        let e = tape.tanh(d);
+        assert!((tape.value(e).get(0, 0) - 1.5_f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_simple_chain() {
+        // loss = mean_all((a*b) + a) ; check against hand-derived gradient.
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::row_vector(&[1.0, 2.0]));
+        let b = tape.input(Tensor::row_vector(&[3.0, 4.0]));
+        let ab = tape.mul(a, b);
+        let s = tape.add(ab, a);
+        let loss = tape.mean_all(s);
+        let grads = tape.backward(loss);
+        // d/da = (b + 1)/2, d/db = a/2
+        assert_eq!(grads.wrt(a).data(), &[2.0, 2.5]);
+        assert_eq!(grads.wrt(b).data(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn backward_square_via_self_mul() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::row_vector(&[3.0]));
+        let sq = tape.mul(a, a);
+        let loss = tape.mean_all(sq);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.wrt(a).data(), &[6.0]);
+    }
+
+    #[test]
+    fn backward_matmul_self_product() {
+        // loss = mean_all(A × A) for square A: gradient must combine both paths.
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let p = tape.matmul(a, a);
+        let loss = tape.mean_all(p);
+        check_gradients(&tape, loss, &[a], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn bce_with_logits_matches_formula() {
+        let mut tape = Tape::new();
+        let z = tape.scalar_input(0.7);
+        let loss = tape.bce_with_logits(z, 1.0);
+        let expected = -(1.0_f32 / (1.0 + (-0.7_f32).exp())).ln();
+        assert!((tape.value(loss).item() - expected).abs() < 1e-6);
+        let grads = tape.backward(loss);
+        let sig = 1.0 / (1.0 + (-0.7_f32).exp());
+        assert!((grads.wrt(z).item() - (sig - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_with_logits_stable_for_large_logits() {
+        let mut tape = Tape::new();
+        let z = tape.scalar_input(80.0);
+        let loss = tape.bce_with_logits(z, 0.0);
+        assert!(tape.value(loss).item().is_finite());
+        assert!((tape.value(loss).item() - 80.0).abs() < 1e-3);
+        let z2 = tape.scalar_input(-80.0);
+        let loss2 = tape.bce_with_logits(z2, 1.0);
+        assert!((tape.value(loss2).item() - 80.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_normalizes_and_orders() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::row_vector(&[1.0, 2.0, 3.0]));
+        let s = tape.softmax(a);
+        let v = tape.value(s);
+        assert!((v.sum() - 1.0).abs() < 1e-6);
+        assert!(v.get(0, 2) > v.get(0, 1) && v.get(0, 1) > v.get(0, 0));
+    }
+
+    #[test]
+    fn concat_slice_roundtrip() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::row_vector(&[1.0, 2.0]));
+        let b = tape.input(Tensor::row_vector(&[3.0]));
+        let c = tape.concat_cols(a, b);
+        let a2 = tape.slice_cols(c, 0, 2);
+        let b2 = tape.slice_cols(c, 2, 1);
+        assert_eq!(tape.value(a2).data(), &[1.0, 2.0]);
+        assert_eq!(tape.value(b2).data(), &[3.0]);
+    }
+
+    #[test]
+    fn slice_rows_values_and_gradients() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let mid = tape.slice_rows(a, 1, 1);
+        assert_eq!(tape.value(mid).data(), &[3.0, 4.0]);
+        let r2 = tape.row(a, 2);
+        assert_eq!(tape.value(r2).data(), &[5.0, 6.0]);
+        let s = tape.add(mid, r2);
+        let loss = tape.mean_all(s);
+        let grads = tape.backward(loss);
+        // Row 0 gets nothing; rows 1 and 2 each get 1/2 per element.
+        assert_eq!(grads.wrt(a).row(0), &[0.0, 0.0]);
+        assert_eq!(grads.wrt(a).row(1), &[0.5, 0.5]);
+        assert_eq!(grads.wrt(a).row(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn stack_rows_gradient_routes_to_sources() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::row_vector(&[1.0, 2.0]));
+        let b = tape.input(Tensor::row_vector(&[3.0, 4.0]));
+        let m = tape.stack_rows(&[a, b]);
+        let pooled = tape.mean_rows(m);
+        let loss = tape.mean_all(pooled);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.wrt(a).data(), &[0.25, 0.25]);
+        assert_eq!(grads.wrt(b).data(), &[0.25, 0.25]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut tape = Tape::new();
+        let a = tape.input(Tensor::zeros(4, 4));
+        let _ = tape.tanh(a);
+        assert_eq!(tape.len(), 2);
+        tape.reset();
+        assert!(tape.is_empty());
+        let _ = tape.input(Tensor::zeros(1, 1));
+        assert_eq!(tape.len(), 1);
+    }
+}

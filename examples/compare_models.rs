@@ -1,0 +1,38 @@
+//! Model family comparison on one dataset: a static GNN, a discrete DGNN, a
+//! continuous DGNN, and TP-GNN, trained under identical conditions — a
+//! miniature of the paper's Table II experiment.
+//!
+//! ```sh
+//! cargo run --release --example compare_models
+//! ```
+
+use tpgnn_data::DatasetKind;
+use tpgnn_eval::{run_cell, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig {
+        num_graphs: 150,
+        runs: 1,
+        epochs: 10,
+        ..ExperimentConfig::default()
+    };
+    println!(
+        "HDFS (synthetic), {} graphs, {} epochs, one run — one model per family:\n",
+        cfg.num_graphs, cfg.epochs
+    );
+
+    let mut cells = Vec::new();
+    for (family, model) in [
+        ("static", "GCN"),
+        ("discrete DGNN", "GC-LSTM"),
+        ("continuous DGNN", "TGN"),
+        ("this paper", "TP-GNN-GRU"),
+    ] {
+        eprintln!("training {model} ({family}) …");
+        cells.push(run_cell(model, DatasetKind::Hdfs, &cfg));
+    }
+    println!("{}", tpgnn_eval::table::render_metric_table("HDFS", &cells));
+    println!("Static models cannot see temporal anomalies at all; discrete DGNNs");
+    println!("lose within-snapshot order; continuous DGNNs see local time deltas;");
+    println!("TP-GNN additionally follows the information flow end-to-end.");
+}

@@ -1,0 +1,88 @@
+//! Bring your own dynamic networks: build a dataset through the public API,
+//! persist it to disk, reload it, and train a model on it.
+//!
+//! ```sh
+//! cargo run --release --example custom_dataset
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_data::{io, negative, GraphDataset, LabeledGraph};
+use tpgnn_eval::Metrics;
+use tpgnn_graph::{Ctdn, NodeFeatures};
+
+/// A toy "sensor network" domain: readings ripple outward from a source
+/// sensor; anomalies are rewired or reordered ripples.
+fn make_ripple(rng: &mut StdRng) -> Ctdn {
+    let n = rng.random_range(8..16);
+    let mut feats = NodeFeatures::zeros(n, 3);
+    for v in 0..n {
+        feats.row_mut(v).copy_from_slice(&[
+            v as f32 / n as f32,
+            rng.random_range(0.0..1.0),
+            if v == 0 { 1.0 } else { 0.0 }, // source marker
+        ]);
+    }
+    let mut g = Ctdn::new(feats);
+    let mut t = 0.0;
+    // Breadth-first ripple: node v hears from its parent.
+    for v in 1..n {
+        let parent = rng.random_range(0..v);
+        t += rng.random_range(0.1..0.6);
+        g.add_edge(parent, v, t);
+    }
+    g
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // 1. Assemble a labeled dataset with the library's negative samplers.
+    let mut ds = GraphDataset::new("sensor-ripples");
+    for i in 0..160 {
+        let pos = make_ripple(&mut rng);
+        if i % 3 == 0 {
+            let neg = negative::make_negative(&pos, 0.2, &mut rng);
+            ds.graphs.push(LabeledGraph { graph: neg, label: false });
+        } else {
+            ds.graphs.push(LabeledGraph { graph: pos, label: true });
+        }
+    }
+    let stats = ds.stats();
+    println!(
+        "built `{}`: {} graphs, avg {:.1} nodes / {:.1} edges, {:.1}% negative",
+        stats.name,
+        stats.graph_number,
+        stats.avg_nodes,
+        stats.avg_edges,
+        stats.negative_ratio * 100.0
+    );
+
+    // 2. Persist and reload (plain-text format, no external dependencies).
+    let path = std::env::temp_dir().join("sensor_ripples.tpgnn");
+    io::save(&ds, &path).expect("save dataset");
+    let reloaded = io::load(&path).expect("load dataset");
+    assert_eq!(reloaded.len(), ds.len());
+    println!("round-tripped through {}", path.display());
+
+    // 3. Train and evaluate.
+    let (train_split, test_split) = reloaded.split(0.3);
+    let train = tpgnn_eval::to_pairs(train_split);
+    let test = tpgnn_eval::to_pairs(test_split);
+    let mut model = TpGnn::new(TpGnnConfig::gru(3).with_seed(5));
+    model.set_learning_rate(5e-3);
+    tpgnn_core::train(
+        &mut model,
+        &train,
+        &TrainConfig { epochs: 15, shuffle_ties: true, seed: 5 },
+    );
+    let m = Metrics::from_predictions(&tpgnn_core::predict_all(&mut model, &test), 0.5);
+    println!(
+        "test F1 = {:.2}%  precision = {:.2}%  recall = {:.2}%",
+        m.f1 * 100.0,
+        m.precision * 100.0,
+        m.recall * 100.0
+    );
+    std::fs::remove_file(&path).ok();
+}

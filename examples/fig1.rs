@@ -1,0 +1,57 @@
+//! The paper's Fig. 1 in executable form: two log-session networks from the
+//! Forum-java scenario that are **topologically identical** and differ only
+//! in edge timestamps — a static GNN provably cannot tell them apart, while
+//! TP-GNN's information-flow propagation assigns them different embeddings
+//! and learns to separate them.
+//!
+//! ```sh
+//! cargo run --release --example fig1
+//! ```
+
+use tpgnn_baselines::Gcn;
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_data::fig1::fig1_graph as fig1;
+use tpgnn_graph::{Ctdn, InfluenceAnalysis};
+
+fn main() {
+    let mut normal = fig1(true);
+    let mut abnormal = fig1(false);
+
+    // Static multiset check: the two graphs are topologically identical.
+    let mut a: Vec<(usize, usize)> = normal.edges().iter().map(|e| (e.src, e.dst)).collect();
+    let mut b: Vec<(usize, usize)> = abnormal.edges().iter().map(|e| (e.src, e.dst)).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    println!("the two session networks share the same static topology\n");
+
+    // Influence view (Definition 4): in the abnormal graph, v8 and v9's
+    // information reaches v6 through the late v7 -> v6 interaction.
+    let inf_n = InfluenceAnalysis::compute(&mut normal);
+    let inf_a = InfluenceAnalysis::compute(&mut abnormal);
+    println!(
+        "influential nodes of v6:  normal = {:?},  abnormal = {:?}",
+        inf_n.set(6).iter().collect::<Vec<_>>(),
+        inf_a.set(6).iter().collect::<Vec<_>>()
+    );
+    assert!(!inf_n.is_influential(9, 6) && inf_a.is_influential(9, 6));
+
+    // A static GCN gives the two graphs *identical* scores.
+    let mut gcn = Gcn::new(3, 1);
+    let (g1, g2) = (gcn.predict_proba(&mut fig1(true)), gcn.predict_proba(&mut fig1(false)));
+    println!("\nstatic GCN:  P(normal graph) = {g1:.6},  P(abnormal graph) = {g2:.6}");
+    assert!((g1 - g2).abs() < 1e-6, "a static model cannot distinguish them");
+
+    // TP-GNN learns to separate them from a handful of examples.
+    let mut model = TpGnn::new(TpGnnConfig::sum(3).with_seed(1));
+    model.set_learning_rate(0.01);
+    let train: Vec<(Ctdn, f32)> = (0..16)
+        .map(|i| (fig1(i % 2 == 0), if i % 2 == 0 { 1.0 } else { 0.0 }))
+        .collect();
+    tpgnn_core::train(&mut model, &train, &TrainConfig { epochs: 40, shuffle_ties: true, seed: 1 });
+    let p_n = model.predict_proba(&mut fig1(true));
+    let p_a = model.predict_proba(&mut fig1(false));
+    println!("TP-GNN-SUM:  P(normal graph) = {p_n:.4},  P(abnormal graph) = {p_a:.4}");
+    assert!(p_n > 0.5 && p_a < 0.5);
+    println!("\nTP-GNN separates what the static model provably cannot.");
+}

@@ -1,0 +1,68 @@
+//! Log anomaly detection on Forum-java-style session networks — the paper's
+//! motivating scenario (Sec. I): each user request produces a dynamic
+//! session network of log events; fault-injected sessions must be detected
+//! as anomalous *graphs*.
+//!
+//! ```sh
+//! cargo run --release --example log_anomaly
+//! ```
+
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_data::DatasetKind;
+use tpgnn_eval::Metrics;
+use tpgnn_graph::InfluenceAnalysis;
+
+fn main() {
+    // Generate a Forum-java-style corpus: positives follow the forum's
+    // request flow; negatives come from four injected fault types
+    // (crash truncation, event reorder, missing event, spurious late edge).
+    let ds = DatasetKind::ForumJava.generate(300, 7);
+    println!(
+        "Forum-java (synthetic): {} sessions, {:.1}% negative",
+        ds.len(),
+        ds.negative_ratio() * 100.0
+    );
+
+    let (train_split, test_split) = ds.split(0.3);
+    let train = tpgnn_eval::to_pairs(train_split);
+    let test = tpgnn_eval::to_pairs(test_split);
+
+    let mut model = TpGnn::new(TpGnnConfig::gru(3).with_seed(7));
+    model.set_learning_rate(3e-3);
+    let report = tpgnn_core::train(
+        &mut model,
+        &train,
+        &TrainConfig { epochs: 10, shuffle_ties: true, seed: 7 },
+    );
+    println!("training loss: {:.3} -> {:.3}", report.epoch_losses[0], report.final_loss());
+
+    let preds = tpgnn_core::predict_all(&mut model, &test);
+    let m = Metrics::from_predictions(&preds, 0.5);
+    println!(
+        "test F1 = {:.2}%  precision = {:.2}%  recall = {:.2}%",
+        m.f1 * 100.0,
+        m.precision * 100.0,
+        m.recall * 100.0
+    );
+
+    // Inspect one anomalous session through the influence lens (Def. 4):
+    // which log events could have influenced the final event?
+    if let Some(neg) = test_split.iter().find(|lg| !lg.label) {
+        let mut g = neg.graph.clone();
+        let last_edge = *g.edges_chronological().last().expect("non-empty session");
+        let inf = InfluenceAnalysis::compute(&mut g);
+        let influencers = inf.set(last_edge.dst).count();
+        println!(
+            "\nexample anomalous session: {} events, {} interactions;",
+            g.num_nodes(),
+            g.num_edges()
+        );
+        println!(
+            "the final event v{} is influenced by {influencers} of {} events",
+            last_edge.dst,
+            g.num_nodes()
+        );
+        let p = model.predict_proba(&mut g);
+        println!("model verdict: P(normal) = {p:.4} -> {}", if p < 0.5 { "ANOMALY" } else { "normal" });
+    }
+}

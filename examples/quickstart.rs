@@ -1,0 +1,69 @@
+//! Quickstart: build a continuous-time dynamic network, train TP-GNN on a
+//! tiny two-class problem, and classify new graphs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_graph::{Ctdn, NodeFeatures};
+
+/// A five-node session network. Positives flow forward (`v0 → … → v4`);
+/// negatives have the same static topology but reversed temporal order —
+/// exactly the situation in Fig. 1 of the paper, invisible to static GNNs.
+fn make_graph(forward: bool) -> Ctdn {
+    let mut feats = NodeFeatures::zeros(5, 3);
+    for v in 0..5 {
+        feats.row_mut(v).copy_from_slice(&[v as f32 / 5.0, 0.5, 0.2 * v as f32]);
+    }
+    let mut g = Ctdn::new(feats);
+    let chain = [(0, 1), (1, 2), (2, 3), (3, 4)];
+    if forward {
+        for (i, (s, d)) in chain.iter().enumerate() {
+            g.add_edge(*s, *d, (i + 1) as f64);
+        }
+    } else {
+        for (i, (s, d)) in chain.iter().rev().enumerate() {
+            g.add_edge(*s, *d, (i + 1) as f64);
+        }
+    }
+    g
+}
+
+fn main() {
+    // 1. A training set: forward chains are positive, reversed ones negative.
+    let train: Vec<(Ctdn, f32)> = (0..20)
+        .map(|i| {
+            let positive = i % 2 == 0;
+            (make_graph(positive), if positive { 1.0 } else { 0.0 })
+        })
+        .collect();
+
+    // 2. TP-GNN with the paper's defaults (SUM updater, d = 32, d_t = 6).
+    let mut model = TpGnn::new(TpGnnConfig::sum(3));
+    model.set_learning_rate(0.01);
+    println!("TP-GNN-SUM with {} parameters", model.num_params());
+
+    // 3. Train under the Sec. V-D protocol.
+    let report = tpgnn_core::train(
+        &mut model,
+        &train,
+        &TrainConfig { epochs: 30, shuffle_ties: true, seed: 7 },
+    );
+    println!(
+        "loss: {:.4} (epoch 1) -> {:.4} (epoch {})",
+        report.epoch_losses[0],
+        report.final_loss(),
+        report.epoch_losses.len()
+    );
+
+    // 4. Classify unseen graphs.
+    let mut forward = make_graph(true);
+    let mut backward = make_graph(false);
+    let p_fwd = model.predict_proba(&mut forward);
+    let p_bwd = model.predict_proba(&mut backward);
+    println!("P(positive | forward chain)  = {p_fwd:.4}");
+    println!("P(positive | reversed chain) = {p_bwd:.4}");
+    assert!(p_fwd > 0.5 && p_bwd < 0.5, "the two orders should be separated");
+    println!("TP-GNN separates the two temporal orders — static GNNs cannot.");
+}

@@ -1,0 +1,54 @@
+//! User-trajectory anomaly detection on Brightkite-style check-in networks
+//! (Sec. V-A): nodes are POIs, edges are movements, and rewired or
+//! order-shuffled trajectories must be flagged.
+//!
+//! Also compares the two TP-GNN updaters (SUM vs GRU) — the paper observes
+//! the GRU updater ahead on the dense trajectory datasets.
+//!
+//! ```sh
+//! cargo run --release --example trajectory_anomaly
+//! ```
+
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig, UpdaterKind};
+use tpgnn_data::DatasetKind;
+use tpgnn_eval::Metrics;
+
+fn main() {
+    let ds = DatasetKind::Brightkite.generate(200, 11);
+    println!(
+        "Brightkite (synthetic): {} user trajectories, {:.1}% anomalous",
+        ds.len(),
+        ds.negative_ratio() * 100.0
+    );
+    let (train_split, test_split) = ds.split(0.3);
+    let train = tpgnn_eval::to_pairs(train_split);
+    let test = tpgnn_eval::to_pairs(test_split);
+
+    for updater in [UpdaterKind::Sum, UpdaterKind::Gru] {
+        let mut cfg = TpGnnConfig::sum(3).with_seed(11);
+        cfg.updater = updater;
+        let mut model = TpGnn::new(cfg);
+        model.set_learning_rate(3e-3);
+        let t0 = std::time::Instant::now();
+        tpgnn_core::train(
+            &mut model,
+            &train,
+            &TrainConfig { epochs: 10, shuffle_ties: true, seed: 11 },
+        );
+        let train_time = t0.elapsed();
+
+        let t1 = std::time::Instant::now();
+        let preds = tpgnn_core::predict_all(&mut model, &test);
+        let per_graph = t1.elapsed() / test.len().max(1) as u32;
+        let m = Metrics::from_predictions(&preds, 0.5);
+        println!(
+            "{:<11} F1 = {:>6.2}%  P = {:>6.2}%  R = {:>6.2}%  (train {:.1}s, {:.0} µs/graph inference)",
+            model.name(),
+            m.f1 * 100.0,
+            m.precision * 100.0,
+            m.recall * 100.0,
+            train_time.as_secs_f64(),
+            per_graph.as_secs_f64() * 1e6,
+        );
+    }
+}

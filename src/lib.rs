@@ -1,0 +1,21 @@
+//! # tpgnn-repro
+//!
+//! Workspace-root package for the TP-GNN reproduction: re-exports the
+//! member crates for the cross-crate integration tests in `tests/` and the
+//! runnable examples in `examples/`. See the individual crates for the
+//! substance:
+//!
+//! * [`tpgnn_core`] — the TP-GNN model itself,
+//! * [`tpgnn_baselines`] — the twelve Table II baselines,
+//! * [`tpgnn_data`] — the five dataset simulators,
+//! * [`tpgnn_graph`] — the CTDN substrate,
+//! * [`tpgnn_nn`] / [`tpgnn_tensor`] — layers and the autodiff engine,
+//! * [`tpgnn_eval`] — metrics and the experiment runner.
+
+pub use tpgnn_baselines;
+pub use tpgnn_core;
+pub use tpgnn_data;
+pub use tpgnn_eval;
+pub use tpgnn_graph;
+pub use tpgnn_nn;
+pub use tpgnn_tensor;

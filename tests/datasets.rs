@@ -1,0 +1,91 @@
+//! Integration tests of the dataset simulators against their Table I
+//! targets and of the serialization round-trip at dataset scale.
+
+use tpgnn_data::{io, DatasetKind};
+
+#[test]
+fn all_datasets_match_table1_statistics() {
+    for kind in DatasetKind::ALL {
+        let mut ds = kind.generate(150, 42);
+        let stats = ds.stats();
+        let (paper_nodes, paper_edges) = kind.paper_avg_size();
+        assert!(
+            (stats.avg_nodes - paper_nodes).abs() / paper_nodes < 0.25,
+            "{}: avg nodes {:.1} vs paper {paper_nodes}",
+            kind.name(),
+            stats.avg_nodes
+        );
+        assert!(
+            (stats.avg_edges - paper_edges).abs() / paper_edges < 0.25,
+            "{}: avg edges {:.1} vs paper {paper_edges}",
+            kind.name(),
+            stats.avg_edges
+        );
+        assert!(
+            (stats.negative_ratio - kind.negative_ratio()).abs() < 0.03,
+            "{}: negative ratio {:.3} vs paper {:.3}",
+            kind.name(),
+            stats.negative_ratio,
+            kind.negative_ratio()
+        );
+        assert_eq!(stats.node_features, 3, "{}: Table I says 3 features", kind.name());
+    }
+}
+
+#[test]
+fn negatives_differ_from_some_positive_structure_or_order() {
+    // Every negative graph must be non-trivial: >= MIN_RECORDS edges and
+    // valid chronology.
+    for kind in DatasetKind::ALL {
+        let ds = kind.generate(60, 7);
+        for lg in &ds.graphs {
+            assert!(lg.graph.num_edges() >= tpgnn_data::MIN_RECORDS);
+            let mut g = lg.graph.clone();
+            let edges = g.edges_chronological();
+            for w in edges.windows(2) {
+                assert!(w[0].time <= w[1].time, "{}: unsorted edges", kind.name());
+            }
+            assert!(edges.iter().all(|e| e.time > 0.0));
+        }
+    }
+}
+
+#[test]
+fn dataset_io_roundtrip_at_scale() {
+    let ds = DatasetKind::ForumJava.generate(40, 11);
+    let text = io::to_string(&ds);
+    let back = io::from_str(&text).expect("parse back");
+    assert_eq!(back.len(), ds.len());
+    for (a, b) in ds.graphs.iter().zip(&back.graphs) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        // Feature round-trip must be bit-exact through the decimal format.
+        for v in 0..a.graph.num_nodes() {
+            for (x, y) in a.graph.features().row(v).iter().zip(b.graph.features().row(v)) {
+                assert_eq!(x, y, "feature drift through serialization");
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_sizes_follow_section_5d() {
+    assert_eq!(DatasetKind::ForumJava.snapshot_size(), 5);
+    assert_eq!(DatasetKind::Hdfs.snapshot_size(), 5);
+    assert_eq!(DatasetKind::Gowalla.snapshot_size(), 20);
+    assert_eq!(DatasetKind::FourSquare.snapshot_size(), 20);
+    assert_eq!(DatasetKind::Brightkite.snapshot_size(), 20);
+}
+
+#[test]
+fn distinct_seeds_give_distinct_corpora() {
+    let a = DatasetKind::Gowalla.generate(10, 1);
+    let b = DatasetKind::Gowalla.generate(10, 2);
+    let identical = a
+        .graphs
+        .iter()
+        .zip(&b.graphs)
+        .all(|(x, y)| x.graph.edges() == y.graph.edges());
+    assert!(!identical);
+}

@@ -1,0 +1,101 @@
+//! End-to-end pipeline tests: dataset generation → training → evaluation,
+//! spanning every crate through the public APIs.
+
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_data::DatasetKind;
+use tpgnn_eval::Metrics;
+
+fn train_and_score(model: &mut dyn GraphClassifier, kind: DatasetKind, graphs: usize, epochs: usize) -> Metrics {
+    let ds = kind.generate(graphs, 42);
+    let (tr, te) = ds.split(0.3);
+    let train = tpgnn_eval::to_pairs(tr);
+    let test = tpgnn_eval::to_pairs(te);
+    model.set_learning_rate(3e-3);
+    tpgnn_core::train(model, &train, &TrainConfig { epochs, shuffle_ties: true, seed: 42 });
+    Metrics::from_predictions(&tpgnn_core::predict_all(model, &test), 0.5)
+}
+
+#[test]
+fn tpgnn_gru_learns_hdfs_beyond_base_rate() {
+    let mut model = TpGnn::new(TpGnnConfig::gru(3).with_seed(42));
+    let m = train_and_score(&mut model, DatasetKind::Hdfs, 120, 10);
+    // Base-rate F1 (predict everything positive) is ~0.82; the model must
+    // clearly do better than majority guessing on accuracy.
+    assert!(m.accuracy > 0.75, "accuracy = {}", m.accuracy);
+    assert!(m.f1 > 0.82, "F1 = {}", m.f1);
+}
+
+#[test]
+fn tpgnn_sum_learns_gowalla() {
+    let mut model = TpGnn::new(TpGnnConfig::sum(3).with_seed(42));
+    let m = train_and_score(&mut model, DatasetKind::Gowalla, 120, 10);
+    assert!(m.f1 > 0.80, "F1 = {}", m.f1);
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let run = || {
+        let ds = DatasetKind::Hdfs.generate(40, 9);
+        let (tr, te) = ds.split(0.3);
+        let train = tpgnn_eval::to_pairs(tr);
+        let test = tpgnn_eval::to_pairs(te);
+        let mut model = TpGnn::new(TpGnnConfig::sum(3).with_seed(9));
+        tpgnn_core::train(&mut model, &train, &TrainConfig { epochs: 3, shuffle_ties: true, seed: 9 });
+        tpgnn_core::predict_all(&mut model, &test)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for ((pa, ta), (pb, tb)) in a.iter().zip(&b) {
+        assert_eq!(ta, tb);
+        assert!((pa - pb).abs() < 1e-6, "non-deterministic prediction: {pa} vs {pb}");
+    }
+}
+
+#[test]
+fn every_zoo_model_runs_one_epoch_on_every_dataset() {
+    for kind in DatasetKind::ALL {
+        let ds = kind.generate(12, 3);
+        let (tr, te) = ds.split(0.5);
+        let mut train = tpgnn_eval::to_pairs(tr);
+        let test = tpgnn_eval::to_pairs(te);
+        for name in tpgnn_baselines::zoo::TABLE2_MODELS {
+            let mut model = tpgnn_baselines::zoo::build(name, 3, kind.snapshot_size(), 1);
+            let loss = model.fit_epoch(&mut train);
+            assert!(loss.is_finite(), "{name} on {}: non-finite loss", kind.name());
+            for (g, _) in &test {
+                let mut g = g.clone();
+                let p = model.predict_proba(&mut g);
+                assert!(
+                    (0.0..=1.0).contains(&p) && p.is_finite(),
+                    "{name} on {}: bad probability {p}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table3_plus_g_variants_run_end_to_end() {
+    let ds = DatasetKind::Hdfs.generate(16, 5);
+    let (tr, _) = ds.split(0.5);
+    let mut train = tpgnn_eval::to_pairs(tr);
+    for name in ["TGAT+G", "DyGNN+G", "TGN+G", "GraphMixer+G"] {
+        let mut model = tpgnn_baselines::zoo::build(name, 3, 5, 2);
+        let loss = model.fit_epoch(&mut train);
+        assert!(loss.is_finite(), "{name}: non-finite loss");
+    }
+}
+
+#[test]
+fn metrics_match_hand_computed_confusion() {
+    // Pipe a fixed prediction set through the metric path used by the
+    // harness and verify against hand-arithmetic.
+    let preds = vec![(0.9, true), (0.6, false), (0.4, true), (0.2, false), (0.8, true)];
+    let m = Metrics::from_predictions(&preds, 0.5);
+    // TP=2 (0.9, 0.8), FP=1 (0.6), FN=1 (0.4), TN=1 (0.2).
+    assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+    assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+    assert!((m.accuracy - 3.0 / 5.0).abs() < 1e-12);
+}
