@@ -7,8 +7,8 @@
 //! original's margin-based semi-supervised objective with the shared BCE
 //! graph-classification head (Sec. V-D adapts every baseline this way).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{snapshots, Ctdn, SnapshotSpec};
 use tpgnn_nn::{GruCell, Linear};
 use tpgnn_tensor::linalg::gcn_norm;

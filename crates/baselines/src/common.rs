@@ -80,14 +80,14 @@ macro_rules! impl_graph_classifier {
 /// chains with shuffled edge order plus one rewired edge.
 #[cfg(test)]
 pub mod testkit {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tpgnn_rng::rngs::StdRng;
+    use tpgnn_rng::SeedableRng;
     use tpgnn_core::GraphClassifier;
     use tpgnn_graph::{Ctdn, NodeFeatures};
 
     /// A forward chain (positive) or an order-scrambled variant (negative).
     pub fn sample_graph(negative: bool, seed: u64) -> Ctdn {
-        use rand::Rng;
+        use tpgnn_rng::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         let n = 6;
         let mut feats = NodeFeatures::zeros(n, 3);

@@ -9,8 +9,8 @@
 //! propagation to recent neighbors); its two LSTM passes plus propagation
 //! per edge also make it the slowest continuous baseline, matching Fig. 6.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::Ctdn;
 use tpgnn_nn::{Linear, LstmCell, LstmState, Time2Vec};
 use tpgnn_tensor::{Adam, ParamStore, Tape, Var};

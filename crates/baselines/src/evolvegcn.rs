@@ -8,8 +8,8 @@
 //! embedding), which is the row-parallel form of the original's
 //! weight-evolution trick.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{snapshots, Ctdn, SnapshotSpec};
 use tpgnn_nn::{GruCell, Linear};
 use tpgnn_tensor::linalg::gcn_norm;

@@ -5,8 +5,8 @@
 //! `N(v) ∪ {v}` are softmax-normalized and weight the aggregation. The
 //! attended node states pass through *Mean* pooling and a logistic head.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, StaticView};
 use tpgnn_nn::Linear;
 use tpgnn_tensor::{init, Adam, ParamId, ParamStore, Tape, Var};

@@ -5,8 +5,8 @@
 //! and fed into an LSTM as the step input. The final hidden state passes
 //! through the shared BCE head (Sec. V-D).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{snapshots, Ctdn, SnapshotSpec};
 use tpgnn_nn::{Linear, LstmCell};
 use tpgnn_tensor::linalg::gcn_norm;

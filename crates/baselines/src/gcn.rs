@@ -4,8 +4,8 @@
 //! `H' = ReLU(Â H W)` with `Â = D̃^{-1/2}(A + I)D̃^{-1/2}`, followed by
 //! *Mean* graph pooling and a logistic head (Sec. V-D adaptation).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, StaticView};
 use tpgnn_nn::Linear;
 use tpgnn_tensor::linalg::gcn_norm;

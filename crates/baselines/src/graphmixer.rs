@@ -6,8 +6,8 @@
 //! mean-pools neighbor features. Per Sec. V-D the mixer depth is 2 and the
 //! time dimension 6.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, TemporalNeighborIndex};
 use tpgnn_nn::{Linear, Mlp};
 use tpgnn_tensor::{Adam, ParamStore, Tape, Tensor, Var};

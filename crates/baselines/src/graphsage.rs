@@ -4,8 +4,8 @@
 //! Two layers of `h_v' = ReLU(W · [h_v ⊕ mean_{u ∈ N(v)} h_u])` over the
 //! undirected static view, then *Mean* pooling and a logistic head.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, StaticView};
 use tpgnn_nn::Linear;
 use tpgnn_tensor::{Adam, ParamStore, Tape, Tensor, Var};

@@ -9,8 +9,8 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, StaticView};
 use tpgnn_nn::Linear;
 use tpgnn_tensor::linalg::{jacobi_eigh, normalized_laplacian};

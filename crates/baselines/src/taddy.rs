@@ -9,8 +9,8 @@
 //! self-attention block pooling the snapshot sequence into the graph
 //! representation (BCE head per Sec. V-D).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{snapshots, Ctdn, SnapshotSpec};
 use tpgnn_nn::{Linear, MultiHeadAttention, Time2Vec};
 use tpgnn_tensor::{Adam, ParamStore, Tape, Tensor, Var};

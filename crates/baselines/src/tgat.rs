@@ -9,8 +9,8 @@
 //! re-evaluating them at every query time), which preserves the receptive
 //! field while keeping per-graph cost `O(n · K)`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, TemporalNeighborIndex};
 use tpgnn_nn::{Linear, MultiHeadAttention, Time2Vec};
 use tpgnn_tensor::{Adam, ParamStore, Tape, Var};

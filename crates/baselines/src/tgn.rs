@@ -6,8 +6,8 @@
 //! Sec. V-D: two attention heads, memory and embedding dimension 32, time
 //! dimension 6.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, TemporalNeighborIndex};
 use tpgnn_nn::{GruCell, Linear, MultiHeadAttention, Time2Vec};
 use tpgnn_tensor::{Adam, ParamStore, Tape, Var};

@@ -5,8 +5,8 @@
 //! DGNN's own encoder while keeping the extractor, isolating the
 //! contribution of each half of TP-GNN.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_core::{GlobalExtractor, TpGnnConfig};
 use tpgnn_graph::Ctdn;
 use tpgnn_nn::Linear;

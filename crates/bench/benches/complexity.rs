@@ -1,4 +1,4 @@
-//! Criterion benchmarks validating the Sec. IV-E complexity analysis:
+//! Micro-benchmarks validating the Sec. IV-E complexity analysis:
 //!
 //! * temporal-propagation-SUM forward is `O(m · k)`,
 //! * temporal-propagation-GRU forward is `O(m · k²)`,
@@ -6,10 +6,12 @@
 //!
 //! Each group sweeps one variable with the others fixed; near-linear bench
 //! times across the `m` sweep and near-quadratic across the `k`/`d` sweeps
-//! confirm the analysis.
+//! confirm the analysis. Runs on the in-repo harness
+//! (`tpgnn_bench::timing`): `cargo bench --bench complexity`, or
+//! `cargo bench -- --smoke` for the abbreviated CI pass. Medians/p95 land
+//! in `results/bench_complexity.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use tpgnn_bench::timing::{black_box, Suite};
 use tpgnn_core::{TpGnn, TpGnnConfig, UpdaterKind};
 use tpgnn_graph::{Ctdn, NodeFeatures};
 
@@ -35,53 +37,48 @@ fn model(updater: UpdaterKind, embed: usize, hidden: usize) -> TpGnn {
     TpGnn::new(cfg)
 }
 
-fn bench_edges_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("propagation_vs_edges");
+fn bench_edges_sweep(suite: &mut Suite) {
     for m in [32, 64, 128, 256] {
         let mut g = chain_graph(m);
         let sum_model = model(UpdaterKind::Sum, 32, 32);
-        group.bench_with_input(BenchmarkId::new("sum_m", m), &m, |b, _| {
-            b.iter(|| black_box(sum_model.embed_graph(&mut g)))
+        suite.bench(&format!("propagation_vs_edges/sum_m/{m}"), || {
+            black_box(sum_model.embed_graph(&mut g));
         });
         let gru_model = model(UpdaterKind::Gru, 32, 32);
-        group.bench_with_input(BenchmarkId::new("gru_m", m), &m, |b, _| {
-            b.iter(|| black_box(gru_model.embed_graph(&mut g)))
+        suite.bench(&format!("propagation_vs_edges/gru_m/{m}"), || {
+            black_box(gru_model.embed_graph(&mut g));
         });
     }
-    group.finish();
 }
 
-fn bench_width_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("propagation_vs_width");
+fn bench_width_sweep(suite: &mut Suite) {
     let mut g = chain_graph(64);
     for k in [8, 16, 32, 64] {
         let sum_model = model(UpdaterKind::Sum, k, 32);
-        group.bench_with_input(BenchmarkId::new("sum_k", k), &k, |b, _| {
-            b.iter(|| black_box(sum_model.embed_graph(&mut g)))
+        suite.bench(&format!("propagation_vs_width/sum_k/{k}"), || {
+            black_box(sum_model.embed_graph(&mut g));
         });
         let gru_model = model(UpdaterKind::Gru, k, 32);
-        group.bench_with_input(BenchmarkId::new("gru_k", k), &k, |b, _| {
-            b.iter(|| black_box(gru_model.embed_graph(&mut g)))
+        suite.bench(&format!("propagation_vs_width/gru_k/{k}"), || {
+            black_box(gru_model.embed_graph(&mut g));
         });
     }
-    group.finish();
 }
 
-fn bench_hidden_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extractor_vs_hidden");
+fn bench_hidden_sweep(suite: &mut Suite) {
     let mut g = chain_graph(64);
     for d in [8, 16, 32, 64, 128] {
         let m = model(UpdaterKind::Sum, 32, d);
-        group.bench_with_input(BenchmarkId::new("extractor_d", d), &d, |b, _| {
-            b.iter(|| black_box(m.embed_graph(&mut g)))
+        suite.bench(&format!("extractor_vs_hidden/extractor_d/{d}"), || {
+            black_box(m.embed_graph(&mut g));
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_edges_sweep, bench_width_sweep, bench_hidden_sweep
+fn main() {
+    let mut suite = Suite::from_args("complexity");
+    bench_edges_sweep(&mut suite);
+    bench_width_sweep(&mut suite);
+    bench_hidden_sweep(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

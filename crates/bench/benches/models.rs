@@ -1,14 +1,17 @@
-//! Criterion benchmarks for the Fig. 6 runtime axis: per-graph inference
+//! Micro-benchmarks for the Fig. 6 runtime axis: per-graph inference
 //! time of every continuous DGNN (plus TP-GNN) on one representative graph
 //! per dataset family — a small sparse log session (Forum-java-like) and a
 //! dense trajectory (Brightkite-like).
+//!
+//! Runs on the in-repo harness (`tpgnn_bench::timing`):
+//! `cargo bench --bench models`, or `cargo bench -- --smoke` for the
+//! abbreviated CI pass. Medians/p95 land in `results/bench_models.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+use tpgnn_bench::timing::{black_box, Suite};
 use tpgnn_data::{forum_java, trajectory};
 use tpgnn_graph::Ctdn;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 
 const MODELS: [&str; 6] = ["TGN", "DyGNN", "TGAT", "GraphMixer", "TP-GNN-SUM", "TP-GNN-GRU"];
 
@@ -26,25 +29,19 @@ fn representative_graphs() -> Vec<(&'static str, Ctdn)> {
     ]
 }
 
-fn bench_inference(c: &mut Criterion) {
-    let mut group = c.benchmark_group("per_graph_inference");
+fn main() {
+    let mut suite = Suite::from_args("models");
     for (dataset, graph) in representative_graphs() {
         for name in MODELS {
             let mut model = tpgnn_baselines::zoo::build(name, 3, 5, 1);
             let mut g = graph.clone();
-            group.bench_with_input(
-                BenchmarkId::new(name.replace(' ', "_"), dataset),
-                &dataset,
-                |b, _| b.iter(|| black_box(model.predict_proba(&mut g))),
+            suite.bench(
+                &format!("per_graph_inference/{}/{dataset}", name.replace(' ', "_")),
+                || {
+                    black_box(model.predict_proba(&mut g));
+                },
             );
         }
     }
-    group.finish();
+    suite.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_inference
-}
-criterion_main!(benches);

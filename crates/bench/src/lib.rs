@@ -1,8 +1,10 @@
 //! # tpgnn-bench
 //!
 //! Reproduction harness: one binary per table / figure of the paper
-//! (see DESIGN.md §3 for the experiment index) plus Criterion
-//! micro-benchmarks validating the Sec. IV-E complexity analysis.
+//! (see DESIGN.md §3 for the experiment index) plus in-repo
+//! micro-benchmarks ([`timing`]) validating the Sec. IV-E complexity
+//! analysis — no Criterion: the workspace builds with zero external
+//! dependencies (see the hermetic-build policy in README.md).
 //!
 //! Scale knobs (environment variables):
 //! * `TPGNN_GRAPHS` — graphs per dataset per run (default 120),
@@ -12,6 +14,8 @@
 //! * `TPGNN_MODELS` — comma-separated model filter.
 
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use tpgnn_data::DatasetKind;
 

@@ -1,0 +1,196 @@
+//! In-repo micro-benchmark harness replacing Criterion, so `cargo bench`
+//! runs fully offline with zero external dependencies.
+//!
+//! Protocol per benchmark: a wall-clock-bounded warmup, then `N` timed
+//! iterations; the report gives min / mean / median / p95 over the
+//! samples. Results print as a table and are appended to
+//! `results/bench_<suite>.json` (one JSON document per run, machine
+//! readable so future perf PRs can diff against it).
+//!
+//! Flags (after `cargo bench -- `):
+//!
+//! * `--smoke` — 1 warmup + 3 samples per benchmark: a seconds-long
+//!   smoke pass for CI (`scripts/ci.sh`),
+//! * any other flag (notably cargo's own `--bench`) is ignored.
+//!
+//! Environment: `TPGNN_BENCH_SAMPLES` overrides the sample count.
+
+use std::time::{Duration, Instant};
+
+/// Aggregated timings of one benchmark (all nanoseconds).
+#[derive(Clone, Debug)]
+pub struct BenchStats {
+    /// Benchmark label, e.g. `propagation_vs_edges/sum_m/64`.
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: u128,
+    /// Arithmetic mean.
+    pub mean_ns: u128,
+    /// Median (p50).
+    pub median_ns: u128,
+    /// 95th percentile (nearest-rank).
+    pub p95_ns: u128,
+}
+
+/// A benchmark suite: collects [`BenchStats`] and renders/persists them.
+pub struct Suite {
+    name: String,
+    smoke: bool,
+    samples_override: Option<usize>,
+    results: Vec<BenchStats>,
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+impl Suite {
+    /// Create a suite named `name`, reading `--smoke` from the process
+    /// arguments (cargo passes everything after `cargo bench -- ` through)
+    /// and `TPGNN_BENCH_SAMPLES` from the environment.
+    pub fn from_args(name: &str) -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        let samples_override = std::env::var("TPGNN_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        println!("suite {name}{}", if smoke { " (smoke mode)" } else { "" });
+        Suite { name: name.to_string(), smoke, samples_override, results: Vec::new() }
+    }
+
+    /// True when running the abbreviated `--smoke` pass.
+    pub fn is_smoke(&self) -> bool {
+        self.smoke
+    }
+
+    fn sample_count(&self) -> usize {
+        self.samples_override.unwrap_or(if self.smoke { 3 } else { 20 })
+    }
+
+    /// Time `f`: warm up until ~200 ms have elapsed (smoke: one call),
+    /// then record the configured number of samples.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        let warmup_budget =
+            if self.smoke { Duration::ZERO } else { Duration::from_millis(200) };
+        let warmup_start = Instant::now();
+        loop {
+            f();
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+
+        let n = self.sample_count();
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t0 = Instant::now();
+            f();
+            samples_ns.push(t0.elapsed().as_nanos());
+        }
+        samples_ns.sort_unstable();
+        let stats = BenchStats {
+            name: name.to_string(),
+            samples: n,
+            min_ns: samples_ns[0],
+            mean_ns: samples_ns.iter().sum::<u128>() / n as u128,
+            median_ns: samples_ns[n / 2],
+            p95_ns: samples_ns[(n * 95 / 100).min(n - 1)],
+            };
+        println!(
+            "  {:<44} median {:>12}   p95 {:>12}   ({} samples)",
+            stats.name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            stats.samples
+        );
+        self.results.push(stats);
+    }
+
+    /// Render the final table and write `results/bench_<suite>.json`.
+    /// Returns the JSON path on success.
+    pub fn finish(self) -> Option<std::path::PathBuf> {
+        let json = self.to_json();
+        // Workspace root is two levels above this crate's manifest.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+        let path = dir.join(format!("bench_{}.json", self.name));
+        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+            Ok(()) => {
+                let shown = path.canonicalize().unwrap_or_else(|_| path.clone());
+                println!("\nwrote {}", shown.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: could not persist bench results: {e}");
+                None
+            }
+        }
+    }
+
+    /// Serialize the collected stats (hand-rolled: no serde in a hermetic
+    /// build; names are controlled identifiers with no characters needing
+    /// JSON escaping).
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, s) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"median_ns\": {}, \"p95_ns\": {}}}{}\n",
+                s.name,
+                s.samples,
+                s.min_ns,
+                s.mean_ns,
+                s.median_ns,
+                s.p95_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Prevent the optimizer from deleting a benchmarked computation
+/// (equivalent of `std::hint::black_box`, re-exported for benches).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_json_well_formed() {
+        let mut suite = Suite {
+            name: "selftest".into(),
+            smoke: true,
+            samples_override: Some(5),
+            results: Vec::new(),
+        };
+        suite.bench("busy_loop", || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            black_box(acc);
+        });
+        let s = &suite.results[0];
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns);
+        assert_eq!(s.samples, 5);
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\": \"selftest\""));
+        assert!(json.contains("\"name\": \"busy_loop\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

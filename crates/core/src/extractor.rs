@@ -10,7 +10,7 @@
 //! [`Readout::TransformerExtractor`] variant implements that option as
 //! attention pooling over time-encoded edge embeddings.
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_graph::TemporalEdge;
 use tpgnn_nn::{mean_pool, EdgeAgg, GruCell, Linear, MultiHeadAttention, Time2Vec};
 use tpgnn_tensor::{ParamStore, Tape, Var};
@@ -121,7 +121,7 @@ impl GlobalExtractor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
     use tpgnn_tensor::Tensor;
 
     fn node_rows(tape: &mut Tape, n: usize, k: usize) -> Vec<Var> {

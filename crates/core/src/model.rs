@@ -1,8 +1,8 @@
 //! The end-to-end TP-GNN model (Sec. IV) and the [`GraphClassifier`]
 //! interface shared with every baseline.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::Ctdn;
 use tpgnn_nn::Linear;
 use tpgnn_tensor::{Adam, Optimizer, ParamStore, Tape, Tensor, Var};

@@ -6,9 +6,9 @@
 //! embedding matrix `H = tanh(Ĥ)` (line 19 of Algorithm 1), materialized as
 //! one `Var` per node so downstream readouts can address endpoints directly.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::seq::SliceRandom;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::{Ctdn, TemporalEdge};
 use tpgnn_nn::{GruCell, Linear, Time2Vec};
 use tpgnn_tensor::{ParamStore, Tape, Tensor, Var};

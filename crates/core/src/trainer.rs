@@ -1,8 +1,8 @@
 //! Training protocol of Sec. V-D: 10 epochs of Adam, with same-timestamp
 //! edge order re-shuffled before every epoch.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_graph::Ctdn;
 
 use crate::model::GraphClassifier;

@@ -12,8 +12,8 @@
 //! the same flavour as the paper's industrial case (crash truncation, event
 //! reordering, missing event, spurious late edge).
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::Rng;
 use tpgnn_graph::{Ctdn, NodeFeatures, TemporalEdge};
 
 /// Number of distinct log-event templates in the synthetic catalog.
@@ -252,7 +252,7 @@ fn spurious_late_edge(g: &Ctdn, rng: &mut StdRng) -> Ctdn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     #[test]
     fn sessions_have_expected_scale() {

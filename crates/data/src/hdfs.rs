@@ -13,8 +13,8 @@
 //! (reordered pipeline, dropped ack loop, duplicated tail operations),
 //! mirroring the expert-labeled anomalous blocks.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::Rng;
 use tpgnn_graph::{Ctdn, NodeFeatures, TemporalEdge};
 
 /// Number of distinct HDFS event templates.
@@ -175,7 +175,7 @@ pub fn inject_anomaly(positive: &Ctdn, anomaly: HdfsAnomaly, rng: &mut StdRng) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     #[test]
     fn block_sessions_match_table1_scale() {

@@ -20,9 +20,9 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::seq::SliceRandom;
+use tpgnn_rng::Rng;
 use tpgnn_graph::{Ctdn, StaticView, TemporalEdge};
 
 /// Hard cap on rewired edges per negative sample: anomalies are subtle.
@@ -131,7 +131,7 @@ pub fn make_negative(g: &Ctdn, rewire_frac: f64, rng: &mut StdRng) -> Ctdn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     fn chain(n: usize) -> Ctdn {
         let mut g = Ctdn::with_zero_features(n, 3);

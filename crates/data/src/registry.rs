@@ -6,9 +6,9 @@
 //! trajectory datasets), and the minimum-size filter ("we first filter out
 //! graph samples with less than three records").
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::seq::SliceRandom;
+use tpgnn_rng::{Rng, SeedableRng};
 
 use crate::dataset::{GraphDataset, LabeledGraph};
 use crate::forum_java::{self, Fault, ForumJavaConfig};

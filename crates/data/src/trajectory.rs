@@ -10,8 +10,8 @@
 //! produced exactly as in the paper (Sec. V-A): context-dependent structural
 //! rewiring or random temporal shuffling of the edge order.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::Rng;
 use tpgnn_graph::{Ctdn, NodeFeatures};
 
 /// Trajectory generator tunables. Per-dataset presets live in
@@ -130,7 +130,7 @@ pub fn generate_trajectory(cfg: &TrajectoryConfig, rng: &mut StdRng) -> Ctdn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     fn scale_check(cfg: &TrajectoryConfig, seed: u64) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(seed);

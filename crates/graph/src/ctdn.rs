@@ -4,8 +4,8 @@
 //! temporal edges `(u, v, t)`, and a `n × q` node feature matrix. Edge
 //! direction denotes information flow (Sec. III).
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::seq::SliceRandom;
 
 /// A directed temporal edge `(u, v, t)`: information flows from `src` to
 /// `dst` at time `time`.
@@ -222,7 +222,7 @@ impl Ctdn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     fn chain_graph() -> Ctdn {
         let mut g = Ctdn::with_zero_features(4, 2);

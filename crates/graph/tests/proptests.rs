@@ -1,106 +1,135 @@
-//! Property-based tests for the CTDN substrate.
+//! Property-based tests for the CTDN substrate, on the in-repo
+//! `tpgnn_rng::check` harness. Graphs are generated from a per-case seed
+//! printed on failure (reproduce with
+//! `TPGNN_PROP_SEED=<seed> cargo test -q <name>`).
 
-use proptest::prelude::*;
 use tpgnn_graph::influence::valid_path;
 use tpgnn_graph::{snapshots, Ctdn, InfluenceAnalysis, SnapshotSpec};
+use tpgnn_rng::{check, Rng, SeedableRng, StdRng};
 
-/// Strategy: a random CTDN with up to `n` nodes and `m` edges.
-fn ctdn_strategy(n: usize, m: usize) -> impl Strategy<Value = Ctdn> {
-    proptest::collection::vec((0..n, 0..n, 1u32..100), 1..=m).prop_map(move |edges| {
-        let mut g = Ctdn::with_zero_features(n, 2);
-        for (s, d, t) in edges {
-            g.add_edge(s, d, f64::from(t));
-        }
-        g
-    })
+/// Generator: a random CTDN with up to `n` nodes and 1..=m edges with
+/// integer timestamps in [1, 100) (duplicates and self-loops included).
+fn gen_ctdn(rng: &mut StdRng, n: usize, m: usize) -> Ctdn {
+    let mut g = Ctdn::with_zero_features(n, 2);
+    for _ in 0..rng.random_range(1usize..=m) {
+        let s = rng.random_range(0..n);
+        let d = rng.random_range(0..n);
+        let t = rng.random_range(1u32..100);
+        g.add_edge(s, d, f64::from(t));
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The constructive path search and the influence sweep must agree on
-    /// every node pair — this is the combinatorial half of Theorem 1.
-    #[test]
-    fn influence_iff_valid_path(mut g in ctdn_strategy(8, 20)) {
-        let inf = InfluenceAnalysis::compute(&mut g);
-        for u in 0..8 {
-            for v in 0..8 {
-                let p = valid_path(&mut g, u, v);
-                prop_assert_eq!(
-                    p.is_some(),
-                    inf.is_influential(u, v),
-                    "disagreement for {} -> {}", u, v
-                );
-                if let Some(path) = p {
-                    prop_assert_eq!(path.first().unwrap().src, u);
-                    prop_assert_eq!(path.last().unwrap().dst, v);
-                    for w in path.windows(2) {
-                        prop_assert_eq!(w[0].dst, w[1].src);
-                        prop_assert!(w[0].time <= w[1].time);
+/// The constructive path search and the influence sweep must agree on
+/// every node pair — this is the combinatorial half of Theorem 1.
+#[test]
+fn influence_iff_valid_path() {
+    check::cases(
+        "influence_iff_valid_path",
+        64,
+        |rng| gen_ctdn(rng, 8, 20),
+        |g| {
+            let mut g = g.clone();
+            let inf = InfluenceAnalysis::compute(&mut g);
+            for u in 0..8 {
+                for v in 0..8 {
+                    let p = valid_path(&mut g, u, v);
+                    assert_eq!(
+                        p.is_some(),
+                        inf.is_influential(u, v),
+                        "disagreement for {u} -> {v}"
+                    );
+                    if let Some(path) = p {
+                        assert_eq!(path.first().unwrap().src, u);
+                        assert_eq!(path.last().unwrap().dst, v);
+                        for w in path.windows(2) {
+                            assert_eq!(w[0].dst, w[1].src, "path not contiguous");
+                            assert!(w[0].time <= w[1].time, "path not chronological");
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+    );
+}
 
-    /// Influence is monotone: adding a later edge never removes influence.
-    #[test]
-    fn influence_monotone_under_edge_addition(
-        mut g in ctdn_strategy(6, 12),
-        src in 0usize..6,
-        dst in 0usize..6,
-    ) {
-        let before = InfluenceAnalysis::compute(&mut g);
-        let t_max = g.edges().iter().map(|e| e.time).fold(0.0, f64::max);
-        g.add_edge(src, dst, t_max + 1.0);
-        let after = InfluenceAnalysis::compute(&mut g);
-        for u in 0..6 {
-            for v in 0..6 {
-                if before.is_influential(u, v) {
-                    prop_assert!(after.is_influential(u, v));
+/// Influence is monotone: adding a later edge never removes influence.
+#[test]
+fn influence_monotone_under_edge_addition() {
+    check::cases(
+        "influence_monotone_under_edge_addition",
+        64,
+        |rng| (gen_ctdn(rng, 6, 12), rng.random_range(0usize..6), rng.random_range(0usize..6)),
+        |(g, src, dst)| {
+            let mut g = g.clone();
+            let before = InfluenceAnalysis::compute(&mut g);
+            let t_max = g.edges().iter().map(|e| e.time).fold(0.0, f64::max);
+            g.add_edge(*src, *dst, t_max + 1.0);
+            let after = InfluenceAnalysis::compute(&mut g);
+            for u in 0..6 {
+                for v in 0..6 {
+                    if before.is_influential(u, v) {
+                        assert!(
+                            after.is_influential(u, v),
+                            "adding edge ({src}, {dst}) removed influence {u} -> {v}"
+                        );
+                    }
                 }
             }
-        }
-    }
+        },
+    );
+}
 
-    /// Shuffling same-timestamp edges preserves the edge multiset and the
-    /// cross-timestamp chronology.
-    #[test]
-    fn shuffle_preserves_multiset(mut g in ctdn_strategy(6, 15), seed in 0u64..1000) {
-        use rand::SeedableRng;
-        let mut before: Vec<(usize, usize, u64)> = g
-            .edges_chronological()
-            .iter()
-            .map(|e| (e.src, e.dst, e.time.to_bits()))
-            .collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        g.shuffle_same_timestamp(&mut rng);
-        let mut after: Vec<(usize, usize, u64)> = g
-            .edges()
-            .iter()
-            .map(|e| (e.src, e.dst, e.time.to_bits()))
-            .collect();
-        // Chronological across groups:
-        for w in g.edges().windows(2) {
-            prop_assert!(w[0].time <= w[1].time);
-        }
-        before.sort_unstable();
-        after.sort_unstable();
-        prop_assert_eq!(before, after);
-    }
+/// Shuffling same-timestamp edges preserves the edge multiset and the
+/// cross-timestamp chronology (the invariant CTDN training relies on —
+/// same-timestamp order is arbitrary, cross-timestamp order is not).
+#[test]
+fn shuffle_preserves_multiset() {
+    check::cases(
+        "shuffle_preserves_multiset",
+        64,
+        |rng| (gen_ctdn(rng, 6, 15), rng.random_range(0u64..1000)),
+        |(g, seed)| {
+            let mut g = g.clone();
+            let mut before: Vec<(usize, usize, u64)> = g
+                .edges_chronological()
+                .iter()
+                .map(|e| (e.src, e.dst, e.time.to_bits()))
+                .collect();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            g.shuffle_same_timestamp(&mut rng);
+            let mut after: Vec<(usize, usize, u64)> =
+                g.edges().iter().map(|e| (e.src, e.dst, e.time.to_bits())).collect();
+            // Chronological across groups:
+            for w in g.edges().windows(2) {
+                assert!(w[0].time <= w[1].time, "shuffle broke chronology");
+            }
+            before.sort_unstable();
+            after.sort_unstable();
+            assert_eq!(before, after, "shuffle changed the edge multiset");
+        },
+    );
+}
 
-    /// Every snapshot spec partitions the full edge multiset.
-    #[test]
-    fn snapshots_partition_edges(mut g in ctdn_strategy(6, 18), k in 1usize..7) {
-        let m = g.num_edges();
-        for spec in [
-            SnapshotSpec::EdgesPerSnapshot(k),
-            SnapshotSpec::Count(k),
-            SnapshotSpec::TimeWindow(k as f64 * 7.5),
-        ] {
-            let snaps = snapshots(&mut g, spec);
-            let total: usize = snaps.iter().map(|s| s.edges.len()).sum();
-            prop_assert_eq!(total, m, "spec {:?} lost edges", spec);
-        }
-    }
+/// Every snapshot spec partitions the full edge multiset.
+#[test]
+fn snapshots_partition_edges() {
+    check::cases(
+        "snapshots_partition_edges",
+        64,
+        |rng| (gen_ctdn(rng, 6, 18), rng.random_range(1usize..7)),
+        |(g, k)| {
+            let mut g = g.clone();
+            let m = g.num_edges();
+            for spec in [
+                SnapshotSpec::EdgesPerSnapshot(*k),
+                SnapshotSpec::Count(*k),
+                SnapshotSpec::TimeWindow(*k as f64 * 7.5),
+            ] {
+                let snaps = snapshots(&mut g, spec);
+                let total: usize = snaps.iter().map(|s| s.edges.len()).sum();
+                assert_eq!(total, m, "spec {spec:?} lost edges");
+            }
+        },
+    );
 }

@@ -1,6 +1,6 @@
 //! Attention primitives for the TGAT / TGN / TADDY baselines.
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_tensor::{ParamStore, Tape, Var};
 
 use crate::linear::Linear;
@@ -111,7 +111,7 @@ impl MultiHeadAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
     use tpgnn_tensor::Tensor;
 
     #[test]

@@ -4,8 +4,8 @@
 //! reduced corpus sizes (DESIGN.md §2) the deeper models overfit; dropout
 //! is provided as an opt-in regularizer for downstream users.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::Rng;
 use tpgnn_tensor::{Tape, Tensor, Var};
 
 /// Inverted dropout: during training, zero each element with probability
@@ -61,7 +61,7 @@ impl Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     #[test]
     fn eval_mode_is_identity() {

@@ -1,6 +1,6 @@
 //! Gated Recurrent Unit cell — eqs. 7–10 of the paper.
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// GRU cell with the paper's gating (eqs. 7–10):
@@ -116,7 +116,7 @@ impl GruCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
     use tpgnn_tensor::{Adam, Optimizer};
 
     fn cell(in_dim: usize, hidden: usize, seed: u64) -> (ParamStore, GruCell) {

@@ -1,6 +1,6 @@
 //! Fully-connected (affine) layer.
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// `y = x · W + b` with `W ∈ R^{in × out}`, `b ∈ R^{1 × out}`.
@@ -51,7 +51,7 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     #[test]
     fn shapes_and_determinism() {

@@ -1,6 +1,6 @@
 //! Long Short-Term Memory cell (used by the GC-LSTM and DyGNN baselines).
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// Hidden and cell state pair of an LSTM.
@@ -103,7 +103,7 @@ impl LstmCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     fn cell(in_dim: usize, hidden: usize, seed: u64) -> (ParamStore, LstmCell) {
         let mut store = ParamStore::new();

@@ -1,6 +1,6 @@
 //! Multi-layer perceptron (used by the GraphMixer baseline and classifier heads).
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_tensor::{ParamStore, Tape, Var};
 
 use crate::linear::Linear;
@@ -86,7 +86,7 @@ impl Mlp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
     use tpgnn_tensor::{Adam, Optimizer, Tensor};
 
     #[test]

@@ -1,6 +1,6 @@
 //! Time2Vec functional time encoding — eq. 2 of the paper.
 
-use rand::rngs::StdRng;
+use tpgnn_rng::rngs::StdRng;
 use tpgnn_tensor::{init, ParamId, ParamStore, Tape, Tensor, Var};
 
 /// Time2Vec (Kazemi et al., 2019): maps a scalar timestamp `t` to
@@ -64,7 +64,7 @@ impl Time2Vec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     fn enc(dim: usize, seed: u64) -> (ParamStore, Time2Vec) {
         let mut store = ParamStore::new();

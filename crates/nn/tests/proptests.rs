@@ -1,112 +1,159 @@
-//! Property-based tests for the neural layers.
+//! Property-based tests for the neural layers, on the in-repo
+//! `tpgnn_rng::check` harness. Layer parameters are initialized from a
+//! per-case seed printed on failure (reproduce with
+//! `TPGNN_PROP_SEED=<seed> cargo test -q <name>`).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tpgnn_nn::{Activation, GruCell, LstmCell, Mlp, Time2Vec};
+use tpgnn_rng::{check, Rng, SeedableRng, StdRng};
 use tpgnn_tensor::{ParamStore, Tape, Tensor};
 
-fn row_strategy(cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-2.0f32..2.0, cols).prop_map(move |v| Tensor::from_vec(1, cols, v))
+fn gen_row(rng: &mut StdRng, cols: usize) -> Tensor {
+    Tensor::from_vec(1, cols, check::vec_f32(rng, cols, -2.0, 2.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// GRU output is a convex combination of state and tanh candidate, so it
+/// always stays inside (-1, 1) when the state does.
+#[test]
+fn gru_state_stays_bounded() {
+    check::cases(
+        "gru_state_stays_bounded",
+        24,
+        |rng| (gen_row(rng, 4), rng.random_range(1usize..12), rng.next_u64()),
+        |(x, steps, seed)| {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let cell = GruCell::new(&mut store, "g", 4, 5, &mut rng);
+            let mut tape = Tape::new();
+            let mut h = cell.zero_state(&mut tape);
+            let xv = tape.input(x.clone());
+            for _ in 0..*steps {
+                h = cell.forward(&mut tape, &store, h, xv);
+            }
+            assert!(
+                tape.value(h).data().iter().all(|v| v.abs() < 1.0),
+                "GRU state escaped (-1, 1) after {steps} steps"
+            );
+            assert!(!tape.value(h).has_non_finite(), "GRU state has NaN/Inf");
+        },
+    );
+}
 
-    /// GRU output is a convex combination of state and tanh candidate, so it
-    /// always stays inside (-1, 1) when the state does.
-    #[test]
-    fn gru_state_stays_bounded(x in row_strategy(4), steps in 1usize..12, seed in 0u64..50) {
-        let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cell = GruCell::new(&mut store, "g", 4, 5, &mut rng);
-        let mut tape = Tape::new();
-        let mut h = cell.zero_state(&mut tape);
-        let xv = tape.input(x);
-        for _ in 0..steps {
-            h = cell.forward(&mut tape, &store, h, xv);
-        }
-        prop_assert!(tape.value(h).data().iter().all(|v| v.abs() < 1.0));
-        prop_assert!(!tape.value(h).has_non_finite());
-    }
+/// LSTM hidden state is o ∘ tanh(c): bounded by 1 in magnitude.
+#[test]
+fn lstm_hidden_stays_bounded() {
+    check::cases(
+        "lstm_hidden_stays_bounded",
+        24,
+        |rng| (gen_row(rng, 3), rng.random_range(1usize..10), rng.next_u64()),
+        |(x, steps, seed)| {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let cell = LstmCell::new(&mut store, "l", 3, 4, &mut rng);
+            let mut tape = Tape::new();
+            let mut s = cell.zero_state(&mut tape);
+            let xv = tape.input(x.clone());
+            for _ in 0..*steps {
+                s = cell.forward(&mut tape, &store, s, xv);
+            }
+            assert!(
+                tape.value(s.h).data().iter().all(|v| v.abs() <= 1.0),
+                "LSTM hidden escaped [-1, 1] after {steps} steps"
+            );
+            assert!(!tape.value(s.c).has_non_finite(), "LSTM cell state has NaN/Inf");
+        },
+    );
+}
 
-    /// LSTM hidden state is o ∘ tanh(c): bounded by 1 in magnitude.
-    #[test]
-    fn lstm_hidden_stays_bounded(x in row_strategy(3), steps in 1usize..10, seed in 0u64..50) {
-        let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cell = LstmCell::new(&mut store, "l", 3, 4, &mut rng);
-        let mut tape = Tape::new();
-        let mut s = cell.zero_state(&mut tape);
-        let xv = tape.input(x);
-        for _ in 0..steps {
-            s = cell.forward(&mut tape, &store, s, xv);
-        }
-        prop_assert!(tape.value(s.h).data().iter().all(|v| v.abs() <= 1.0));
-        prop_assert!(!tape.value(s.c).has_non_finite());
-    }
+/// Time2Vec periodic components are sines: bounded, and the linear
+/// component is exactly affine in t.
+#[test]
+fn time2vec_structure() {
+    check::cases(
+        "time2vec_structure",
+        24,
+        |rng| {
+            (rng.random_range(0.0f64..100.0), rng.random_range(0.0f64..100.0), rng.next_u64())
+        },
+        |(t1, t2, seed)| {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let enc = Time2Vec::new(&mut store, "t", 5, &mut rng);
+            let mut tape = Tape::new();
+            let a = enc.encode(&mut tape, &store, *t1);
+            let b = enc.encode(&mut tape, &store, *t2);
+            let mid = enc.encode(&mut tape, &store, (t1 + t2) / 2.0);
+            for v in &tape.value(a).data()[1..] {
+                assert!(v.abs() <= 1.0 + 1e-6, "periodic component escaped [-1, 1]: {v}");
+            }
+            // Linear component: f(mid)[0] == (f(t1)[0] + f(t2)[0]) / 2.
+            let lin_mid = tape.value(mid).get(0, 0);
+            let lin_avg = (tape.value(a).get(0, 0) + tape.value(b).get(0, 0)) / 2.0;
+            assert!(
+                (lin_mid - lin_avg).abs() < 1e-3 * (1.0 + lin_avg.abs()),
+                "linear component not affine: {lin_mid} vs {lin_avg}"
+            );
+        },
+    );
+}
 
-    /// Time2Vec periodic components are sines: bounded, and the linear
-    /// component is exactly affine in t.
-    #[test]
-    fn time2vec_structure(t1 in 0.0f64..100.0, t2 in 0.0f64..100.0, seed in 0u64..50) {
-        let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let enc = Time2Vec::new(&mut store, "t", 5, &mut rng);
-        let mut tape = Tape::new();
-        let a = enc.encode(&mut tape, &store, t1);
-        let b = enc.encode(&mut tape, &store, t2);
-        let mid = enc.encode(&mut tape, &store, (t1 + t2) / 2.0);
-        for v in &tape.value(a).data()[1..] {
-            prop_assert!(v.abs() <= 1.0 + 1e-6);
-        }
-        // Linear component: f(mid)[0] == (f(t1)[0] + f(t2)[0]) / 2.
-        let lin_mid = tape.value(mid).get(0, 0);
-        let lin_avg = (tape.value(a).get(0, 0) + tape.value(b).get(0, 0)) / 2.0;
-        prop_assert!((lin_mid - lin_avg).abs() < 1e-3 * (1.0 + lin_avg.abs()));
-    }
+/// An identity-activation MLP is an affine map: f(αx) + f((1-α)x) - f(0)
+/// equals f(x) (additivity of the linear part around the bias).
+#[test]
+fn identity_mlp_is_affine() {
+    check::cases(
+        "identity_mlp_is_affine",
+        24,
+        |rng| (gen_row(rng, 3), rng.random_range(0.1f32..0.9), rng.next_u64()),
+        |(x, alpha, seed)| {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let mlp = Mlp::new(&mut store, "m", &[3, 4, 2], Activation::Identity, &mut rng);
+            let mut tape = Tape::new();
+            let x1 = tape.input(x.scale(*alpha));
+            let x2 = tape.input(x.scale(1.0 - alpha));
+            let x0 = tape.input(Tensor::zeros(1, 3));
+            let xf = tape.input(x.clone());
+            let f1 = mlp.forward(&mut tape, &store, x1);
+            let f2 = mlp.forward(&mut tape, &store, x2);
+            let f0 = mlp.forward(&mut tape, &store, x0);
+            let ff = mlp.forward(&mut tape, &store, xf);
+            for k in 0..2 {
+                let lhs =
+                    tape.value(f1).get(0, k) + tape.value(f2).get(0, k) - tape.value(f0).get(0, k);
+                let rhs = tape.value(ff).get(0, k);
+                assert!(
+                    (lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()),
+                    "component {k}: {lhs} vs {rhs}"
+                );
+            }
+        },
+    );
+}
 
-    /// An identity-activation MLP is an affine map: f(αx) + f((1-α)x) - f(0)
-    /// equals f(x) (additivity of the linear part around the bias).
-    #[test]
-    fn identity_mlp_is_affine(x in row_strategy(3), alpha in 0.1f32..0.9, seed in 0u64..50) {
-        let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mlp = Mlp::new(&mut store, "m", &[3, 4, 2], Activation::Identity, &mut rng);
-        let mut tape = Tape::new();
-        let x1 = tape.input(x.scale(alpha));
-        let x2 = tape.input(x.scale(1.0 - alpha));
-        let x0 = tape.input(Tensor::zeros(1, 3));
-        let xf = tape.input(x);
-        let f1 = mlp.forward(&mut tape, &store, x1);
-        let f2 = mlp.forward(&mut tape, &store, x2);
-        let f0 = mlp.forward(&mut tape, &store, x0);
-        let ff = mlp.forward(&mut tape, &store, xf);
-        for k in 0..2 {
-            let lhs = tape.value(f1).get(0, k) + tape.value(f2).get(0, k) - tape.value(f0).get(0, k);
-            let rhs = tape.value(ff).get(0, k);
-            prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + rhs.abs()), "component {k}: {lhs} vs {rhs}");
-        }
-    }
-
-    /// Gradients through a multi-step GRU chain are finite for any input.
-    #[test]
-    fn gru_gradients_finite(x in row_strategy(4), seed in 0u64..50) {
-        let mut store = ParamStore::new();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cell = GruCell::new(&mut store, "g", 4, 4, &mut rng);
-        let mut tape = Tape::new();
-        let mut h = cell.zero_state(&mut tape);
-        let xv = tape.input(x);
-        for _ in 0..6 {
-            h = cell.forward(&mut tape, &store, h, xv);
-        }
-        let sq = tape.mul(h, h);
-        let loss = tape.mean_all(sq);
-        let grads = tape.backward(loss);
-        tape.flush_grads(&grads, &mut store);
-        for id in store.ids().collect::<Vec<_>>() {
-            prop_assert!(!store.grad(id).has_non_finite(), "{} grad not finite", store.name(id));
-        }
-    }
+/// Gradients through a multi-step GRU chain are finite for any input.
+#[test]
+fn gru_gradients_finite() {
+    check::cases(
+        "gru_gradients_finite",
+        24,
+        |rng| (gen_row(rng, 4), rng.next_u64()),
+        |(x, seed)| {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let cell = GruCell::new(&mut store, "g", 4, 4, &mut rng);
+            let mut tape = Tape::new();
+            let mut h = cell.zero_state(&mut tape);
+            let xv = tape.input(x.clone());
+            for _ in 0..6 {
+                h = cell.forward(&mut tape, &store, h, xv);
+            }
+            let sq = tape.mul(h, h);
+            let loss = tape.mean_all(sq);
+            let grads = tape.backward(loss);
+            tape.flush_grads(&grads, &mut store);
+            for id in store.ids().collect::<Vec<_>>() {
+                assert!(!store.grad(id).has_non_finite(), "{} grad not finite", store.name(id));
+            }
+        },
+    );
 }

@@ -1,0 +1,201 @@
+//! Seeded property-testing harness replacing `proptest`.
+//!
+//! Design: each test runs `N` cases. Case `i` gets an independent seed
+//! derived from a SplitMix64 stream keyed by the test name, a fresh
+//! [`StdRng`] is seeded with it, the test's generator builds an input from
+//! that rng, and the property closure runs. On a panic inside the property,
+//! the harness re-panics with the **failing case seed** and a one-line
+//! reproduction command — there is no shrinking; the seed *is* the
+//! reproducer.
+//!
+//! Environment knobs:
+//!
+//! * `TPGNN_PROP_SEED=<u64 or 0x-hex>` — run exactly one case with that
+//!   seed (what the failure message tells you to do),
+//! * `TPGNN_PROP_CASES=<n>` — override the per-test case count (e.g. crank
+//!   to 10 000 locally, or set 1 for a smoke pass).
+//!
+//! ```
+//! use tpgnn_rng::{check, Rng};
+//!
+//! check::cases("doubling_is_even", 64, |rng| rng.random_range(0i64..1000), |&n| {
+//!     assert_eq!((n * 2) % 2, 0);
+//! });
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::{splitmix64, SeedableRng, StdRng};
+
+/// FNV-1a hash of the test name: keys the per-test seed stream so distinct
+/// tests explore distinct inputs even with identical generators.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    let raw = std::env::var(var).ok()?;
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{var}={raw} is not a u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// Extract a printable message from a panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `property` against `default_cases` generated inputs.
+///
+/// `name` should be the `#[test]` function name — it keys the seed stream
+/// and appears in the reproduction command on failure. The generator
+/// receives a case-seeded [`StdRng`]; the property receives the generated
+/// input by reference and signals failure by panicking (plain `assert!`
+/// works).
+pub fn cases<T, G, P>(name: &str, default_cases: u32, mut generate: G, mut property: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut StdRng) -> T,
+    P: FnMut(&T),
+{
+    let (case_seeds, pinned) = match env_u64("TPGNN_PROP_SEED") {
+        Some(seed) => (vec![seed], true),
+        None => {
+            let n = env_u64("TPGNN_PROP_CASES")
+                .map_or(default_cases, |v| u32::try_from(v).unwrap_or(u32::MAX));
+            let mut stream = fnv1a(name);
+            ((0..n).map(|_| splitmix64(&mut stream)).collect(), false)
+        }
+    };
+    let total = case_seeds.len();
+    for (i, &case_seed) in case_seeds.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let input = generate(&mut rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&input)));
+        if let Err(payload) = outcome {
+            let mut shown = format!("{input:?}");
+            if shown.len() > 800 {
+                shown.truncate(800);
+                shown.push_str("… (truncated)");
+            }
+            panic!(
+                "property '{name}' failed on case {idx}/{total} (case seed {case_seed:#018x}{pin})\n\
+                 input: {shown}\n\
+                 reproduce with: TPGNN_PROP_SEED={case_seed:#x} cargo test -q {name}\n\
+                 cause: {cause}",
+                idx = i + 1,
+                pin = if pinned { ", pinned via TPGNN_PROP_SEED" } else { "" },
+                cause = payload_message(&*payload),
+            );
+        }
+    }
+}
+
+/// Like [`cases`], but the property also receives the case rng (already
+/// advanced past generation) for tests that need extra randomness — e.g.
+/// random probe directions — without plumbing a second generator.
+pub fn cases_with_rng<T, G, P>(name: &str, default_cases: u32, mut generate: G, mut property: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut StdRng) -> T,
+    P: FnMut(&T, &mut StdRng),
+{
+    cases(
+        name,
+        default_cases,
+        |rng| {
+            let input = generate(rng);
+            (input, rng.clone())
+        },
+        |(input, rng)| property(input, &mut rng.clone()),
+    );
+}
+
+/// Generator helper: a `Vec<f32>` of length `len` uniform on `[lo, hi)`.
+/// The common input shape for tensor-valued properties.
+pub fn vec_f32(rng: &mut StdRng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    use crate::Rng;
+    (0..len).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        cases(
+            "passing_property_runs_all_cases",
+            17,
+            |rng| rng.random_range(0u64..100),
+            |_| count += 1,
+        );
+        // One generate+property pair per case, no TPGNN_PROP_SEED set in CI.
+        if std::env::var("TPGNN_PROP_SEED").is_err() {
+            assert_eq!(count, 17);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_repro() {
+        let result = catch_unwind(|| {
+            cases(
+                "failing_property_reports_seed",
+                8,
+                |rng| rng.random_range(0u64..100),
+                |_| panic!("intentional failure"),
+            );
+        });
+        let msg = payload_message(&*result.expect_err("property must fail"));
+        assert!(msg.contains("failing_property_reports_seed"), "{msg}");
+        assert!(msg.contains("TPGNN_PROP_SEED="), "{msg}");
+        assert!(msg.contains("intentional failure"), "{msg}");
+        assert!(msg.contains("case 1/"), "{msg}");
+    }
+
+    #[test]
+    fn case_inputs_are_deterministic_per_test_name() {
+        let collect = || {
+            let mut v = Vec::new();
+            cases(
+                "case_inputs_are_deterministic",
+                5,
+                |rng| rng.next_u64(),
+                |&x| v.push(x),
+            );
+            v
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_test_names_get_distinct_streams() {
+        let first_input = |name: &str| {
+            let mut first = None;
+            cases(name, 1, |rng| rng.next_u64(), |&x| first = Some(x));
+            first.unwrap()
+        };
+        if std::env::var("TPGNN_PROP_SEED").is_err() {
+            assert_ne!(first_input("stream_a"), first_input("stream_b"));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! # tpgnn-rng
+//!
+//! Hermetic, dependency-free random number generation for the TP-GNN
+//! reproduction. The workspace builds fully offline, so instead of the
+//! `rand` crate this module provides:
+//!
+//! * [`StdRng`] — a seedable **xoshiro256++** generator whose 256-bit state
+//!   is expanded from a `u64` seed with **SplitMix64** (the initialization
+//!   recommended by the xoshiro authors),
+//! * [`SeedableRng`] / [`Rng`] / [`SliceRandom`] — traits mirroring the
+//!   exact `rand` 0.9 API surface the codebase uses (`seed_from_u64`,
+//!   `random`, `random_range`, `random_bool`, `shuffle`) plus Gaussian
+//!   sampling ([`Rng::normal_f32`] / [`Rng::normal_f64`]) for initializers,
+//! * [`rngs`] / [`seq`] — module aliases so a former `use rand::rngs::StdRng`
+//!   ports as `use tpgnn_rng::rngs::StdRng` without touching call sites,
+//! * [`check`] — a small seeded property-testing harness replacing
+//!   `proptest` (deterministic case generation, failing-seed reporting).
+//!
+//! The stream is platform-independent: only wrapping integer arithmetic,
+//! shifts, and IEEE-754 multiplications by powers of two are used, so the
+//! same seed produces bitwise-identical samples on every target. This is
+//! load-bearing for the determinism tests guarding reproducibility.
+
+#![warn(missing_docs)]
+
+pub mod check;
+
+/// One step of SplitMix64: advances `state` and returns the next output.
+///
+/// Used to expand a 64-bit seed into the 256-bit xoshiro state and by the
+/// [`check`] harness to derive independent per-case seeds.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable generator trait (mirror of `rand::SeedableRng`'s
+/// `seed_from_u64`, the only constructor this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: **xoshiro256++**.
+///
+/// Chosen over a cryptographic generator (rand's `StdRng` is ChaCha12)
+/// because every use here is simulation/initialization, where speed and
+/// reproducibility matter and adversarial prediction does not. Passes
+/// BigCrush; period `2^256 - 1`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // SplitMix64 never emits four zeros in a row, so `s` is a valid
+        // (non-degenerate) xoshiro state for every seed, including 0.
+        StdRng { s }
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Sampling methods available on any generator, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The raw 64-bit output of the generator; everything else derives
+    /// from it.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample of type `T` over its natural domain
+    /// (`[0, 1)` for floats, the full range for integers).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// A uniform sample from `range` (`lo..hi` or `lo..=hi`), matching the
+    /// semantics of `rand::Rng::random_range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "random_bool: p = {p} not in [0, 1]");
+        f64::standard_sample(self) < p
+    }
+
+    /// A standard-normal `f32` sample (Box–Muller transform).
+    fn normal_f32(&mut self) -> f32
+    where
+        Self: Sized,
+    {
+        self.normal_f64() as f32
+    }
+
+    /// A standard-normal `f64` sample (Box–Muller transform).
+    fn normal_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // Guard u1 away from 0 so ln() stays finite.
+        let u1 = f64::standard_sample(self).max(f64::MIN_POSITIVE);
+        let u2 = f64::standard_sample(self);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Types with a canonical "whole domain" distribution for [`Rng::random`].
+pub trait StandardSample {
+    /// Draw one sample from `rng`'s output stream.
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform on `[0, 1)` with 24 bits of precision.
+    fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Debiased bounded sample in `[0, span)` via Lemire's multiply-shift
+/// rejection method. `span` must be nonzero.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            if lo < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Types uniformly sampleable from a range (mirror of
+/// `rand::distr::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`. Callers guarantee `lo <= hi`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u64/i64/usize domain.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u: $t = StandardSample::standard_sample(rng);
+                // u ∈ [0, 1) keeps the result in [lo, hi) for finite spans.
+                lo + u * (hi - lo)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let u: $t = StandardSample::standard_sample(rng);
+                let v = lo + u * (hi - lo);
+                if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draw one uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start < self.end,
+            "random_range: empty range {:?}..{:?}",
+            self.start,
+            self.end
+        );
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + std::fmt::Debug> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "random_range: empty range {lo:?}..={hi:?}");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Slice shuffling (mirror of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Path-compatibility alias so `use tpgnn_rng::rngs::StdRng` ports verbatim.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Path-compatibility alias so `use rand::seq::SliceRandom` ports verbatim.
+pub mod seq {
+    pub use super::SliceRandom;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned reference vector (SplitMix64(1) state expansion, then
+    /// xoshiro256++): guards the stream against accidental drift, which
+    /// would silently change every simulator and initializer downstream
+    /// and break the cross-session determinism tests.
+    #[test]
+    fn matches_reference_stream() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let expect: [u64; 6] = [
+            0xCFC5_D07F_6F03_C29B,
+            0xBF42_4132_963F_E08D,
+            0x19A3_7D57_57AA_F520,
+            0xBF08_119F_05CD_56D6,
+            0x2F47_184B_8618_6FA4,
+            0x9729_9FCA_E720_2345,
+        ];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "stream drift at output {i}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn float_samples_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            let y: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = rng.random_range(3usize..3);
+    }
+
+    #[test]
+    fn negative_float_ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..1000 {
+            let x = rng.random_range(-0.06f32..0.06);
+            assert!((-0.06..0.06).contains(&x));
+        }
+    }
+
+    #[test]
+    fn signed_integer_ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+}

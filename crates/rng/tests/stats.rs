@@ -1,0 +1,149 @@
+//! Statistical sanity tests for `tpgnn-rng`: the generator feeding every
+//! simulator and initializer in the workspace must actually be uniform /
+//! normal to the tolerances the downstream tests assume.
+//!
+//! Tolerances are sized for n = 100 000 samples: the standard error of the
+//! mean of U(0,1) is ~0.0009, of N(0,1) ~0.0032; bounds are ~6σ so a
+//! correct generator fails with negligible probability, while a broken
+//! bit-twiddle (wrong shift, biased modulo) fails immediately.
+
+use tpgnn_rng::{check, Rng, SeedableRng, SliceRandom, StdRng};
+
+const N: usize = 100_000;
+
+#[test]
+fn uniform_f64_mean_and_variance() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let samples: Vec<f64> = (0..N).map(|_| rng.random::<f64>()).collect();
+    let mean = samples.iter().sum::<f64>() / N as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+    assert!((mean - 0.5).abs() < 0.006, "uniform mean drifted: {mean}");
+    // U(0,1) variance is 1/12 ≈ 0.0833.
+    assert!((var - 1.0 / 12.0).abs() < 0.004, "uniform variance drifted: {var}");
+}
+
+#[test]
+fn uniform_f32_histogram_is_flat() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    let mut bins = [0usize; 16];
+    for _ in 0..N {
+        let x: f32 = rng.random();
+        bins[(x * 16.0) as usize] = bins[(x * 16.0) as usize] + 1;
+    }
+    let expect = N / 16;
+    for (i, &count) in bins.iter().enumerate() {
+        let rel = (count as f64 - expect as f64).abs() / expect as f64;
+        assert!(rel < 0.06, "bin {i}: {count} vs expected {expect}");
+    }
+}
+
+#[test]
+fn normal_mean_variance_and_tails() {
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let samples: Vec<f64> = (0..N).map(|_| rng.normal_f64()).collect();
+    let mean = samples.iter().sum::<f64>() / N as f64;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / N as f64;
+    assert!(mean.abs() < 0.02, "normal mean drifted: {mean}");
+    assert!((var - 1.0).abs() < 0.03, "normal variance drifted: {var}");
+    // P(|Z| > 1.96) ≈ 0.05; a uniform masquerading as a normal has no tail.
+    let tail = samples.iter().filter(|x| x.abs() > 1.96).count() as f64 / N as f64;
+    assert!((tail - 0.05).abs() < 0.006, "two-sided 5% tail mass was {tail}");
+}
+
+#[test]
+fn gen_range_bounds_respected_for_all_numeric_kinds() {
+    check::cases(
+        "gen_range_bounds_respected_for_all_numeric_kinds",
+        64,
+        |rng| rng.next_u64(),
+        |&seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..200 {
+                let u = rng.random_range(3usize..17);
+                assert!((3..17).contains(&u), "usize half-open violated: {u}");
+                let v = rng.random_range(3usize..=17);
+                assert!((3..=17).contains(&v), "usize inclusive violated: {v}");
+                let i = rng.random_range(-40i64..-7);
+                assert!((-40..-7).contains(&i), "i64 half-open violated: {i}");
+                let f = rng.random_range(-0.25f32..0.25);
+                assert!((-0.25..0.25).contains(&f), "f32 half-open violated: {f}");
+                let d = rng.random_range(0.1f64..=0.5);
+                assert!((0.1..=0.5).contains(&d), "f64 inclusive violated: {d}");
+            }
+        },
+    );
+}
+
+#[test]
+fn gen_range_single_value_inclusive_is_constant() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..50 {
+        assert_eq!(rng.random_range(4usize..=4), 4);
+    }
+}
+
+#[test]
+fn gen_range_small_span_is_unbiased() {
+    // A modulo-biased bounded sampler over span 3 from 64 bits would show
+    // ~1e-19 relative bias — undetectable — but a *truncation* bug (e.g.
+    // using the low 32 bits twice) shows up as visible skew. 6σ for a
+    // trinomial cell with p=1/3, n=90000 is ~0.9%.
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut counts = [0usize; 3];
+    let n = 90_000;
+    for _ in 0..n {
+        counts[rng.random_range(0usize..3)] += 1;
+    }
+    for (i, &count) in counts.iter().enumerate() {
+        let rel = (count as f64 - n as f64 / 3.0).abs() / (n as f64 / 3.0);
+        assert!(rel < 0.02, "value {i} frequency off: {count}/{n}");
+    }
+}
+
+#[test]
+fn shuffle_is_a_permutation() {
+    check::cases(
+        "shuffle_is_a_permutation",
+        64,
+        |rng| {
+            let len = rng.random_range(0usize..40);
+            (rng.next_u64(), len)
+        },
+        |&(seed, len)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<usize> = (0..len).collect();
+            v.shuffle(&mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..len).collect::<Vec<_>>(), "shuffle lost or duplicated elements");
+        },
+    );
+}
+
+#[test]
+fn shuffle_positions_are_uniform() {
+    // Track where element 0 of a 4-element slice lands over many shuffles:
+    // each position must be hit ~25% of the time (Fisher–Yates uniformity).
+    let mut rng = StdRng::seed_from_u64(123);
+    let trials = 40_000;
+    let mut landed = [0usize; 4];
+    for _ in 0..trials {
+        let mut v = [0usize, 1, 2, 3];
+        v.shuffle(&mut rng);
+        let pos = v.iter().position(|&x| x == 0).unwrap();
+        landed[pos] += 1;
+    }
+    for (pos, &count) in landed.iter().enumerate() {
+        let rel = (count as f64 - trials as f64 / 4.0).abs() / (trials as f64 / 4.0);
+        assert!(rel < 0.05, "position {pos} hit {count}/{trials} times");
+    }
+}
+
+#[test]
+fn random_bool_tracks_probability() {
+    let mut rng = StdRng::seed_from_u64(31);
+    for p in [0.0, 0.05, 0.5, 0.95, 1.0] {
+        let hits = (0..N).filter(|_| rng.random_bool(p)).count() as f64 / N as f64;
+        assert!((hits - p).abs() < 0.005, "random_bool({p}) frequency {hits}");
+    }
+}

@@ -85,8 +85,8 @@ pub fn check_builder(
 mod tests {
     use super::*;
     use crate::tensor::Tensor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use tpgnn_rng::rngs::StdRng;
+    use tpgnn_rng::SeedableRng;
 
     fn rand_tensor(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
         crate::init::uniform(rows, cols, -1.0, 1.0, rng)

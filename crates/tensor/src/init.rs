@@ -1,7 +1,7 @@
 //! Parameter initialization schemes.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::Rng;
 
 use crate::tensor::Tensor;
 
@@ -17,19 +17,16 @@ pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut StdRng) -> 
     Tensor::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
 }
 
-/// Approximately standard-normal initialization scaled by `std`
-/// (Irwin–Hall sum of 12 uniforms, exact mean 0 and variance 1).
+/// Standard-normal initialization scaled by `std` (exact Gaussian via the
+/// RNG's Box–Muller sampler, replacing the former Irwin–Hall approximation).
 pub fn normal(rows: usize, cols: usize, std: f32, rng: &mut StdRng) -> Tensor {
-    Tensor::from_fn(rows, cols, |_, _| {
-        let s: f32 = (0..12).map(|_| rng.random_range(0.0_f32..1.0)).sum();
-        (s - 6.0) * std
-    })
+    Tensor::from_fn(rows, cols, |_, _| rng.normal_f32() * std)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use tpgnn_rng::SeedableRng;
 
     #[test]
     fn xavier_bounds_hold() {

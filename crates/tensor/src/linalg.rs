@@ -144,8 +144,8 @@ mod tests {
 
     #[test]
     fn eigh_reconstructs_random_symmetric() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use tpgnn_rng::rngs::StdRng;
+        use tpgnn_rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(11);
         let raw = crate::init::uniform(6, 6, -1.0, 1.0, &mut rng);
         let sym = raw.add(&raw.transpose()).scale(0.5);

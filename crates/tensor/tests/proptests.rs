@@ -1,109 +1,151 @@
-//! Property-based tests for the tensor / autodiff substrate.
+//! Property-based tests for the tensor / autodiff substrate, on the
+//! in-repo `tpgnn_rng::check` harness: every case is generated from a
+//! printed seed, and a failure message carries a one-line
+//! `TPGNN_PROP_SEED=… cargo test -q <name>` reproduction command.
 
-use proptest::prelude::*;
+use tpgnn_rng::{check, Rng, StdRng};
 use tpgnn_tensor::gradcheck::check_builder;
 use tpgnn_tensor::Tensor;
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-1.0f32..1.0, rows * cols)
-        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+fn gen_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    Tensor::from_vec(rows, cols, check::vec_f32(rng, rows * cols, -1.0, 1.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn matmul_distributes_over_addition() {
+    check::cases(
+        "matmul_distributes_over_addition",
+        32,
+        |rng| (gen_tensor(rng, 3, 4), gen_tensor(rng, 4, 2), gen_tensor(rng, 4, 2)),
+        |(a, b, c)| {
+            let lhs = a.matmul(&b.add(c));
+            let rhs = a.matmul(b).add(&a.matmul(c));
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                assert!((x - y).abs() < 1e-4, "A(B+C) != AB + AC: {x} vs {y}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-        c in tensor_strategy(4, 2),
-    ) {
-        let lhs = a.matmul(&b.add(&c));
-        let rhs = a.matmul(&b).add(&a.matmul(&c));
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
-    }
+#[test]
+fn transpose_reverses_matmul() {
+    check::cases(
+        "transpose_reverses_matmul",
+        32,
+        |rng| (gen_tensor(rng, 3, 4), gen_tensor(rng, 4, 2)),
+        |(a, b)| {
+            let lhs = a.matmul(b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                assert!((x - y).abs() < 1e-4, "(AB)^T != B^T A^T: {x} vs {y}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn transpose_reverses_matmul(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-    ) {
-        let lhs = a.matmul(&b).transpose();
-        let rhs = b.transpose().matmul(&a.transpose());
-        for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!((x - y).abs() < 1e-4);
-        }
-    }
+#[test]
+fn hadamard_commutes() {
+    check::cases(
+        "hadamard_commutes",
+        32,
+        |rng| (gen_tensor(rng, 2, 5), gen_tensor(rng, 2, 5)),
+        |(a, b)| assert_eq!(a.hadamard(b), b.hadamard(a)),
+    );
+}
 
-    #[test]
-    fn hadamard_commutes(a in tensor_strategy(2, 5), b in tensor_strategy(2, 5)) {
-        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
-    }
+#[test]
+fn mean_rows_bounded_by_extremes() {
+    check::cases(
+        "mean_rows_bounded_by_extremes",
+        32,
+        |rng| gen_tensor(rng, 4, 3),
+        |a| {
+            let m = a.mean_rows();
+            for j in 0..3 {
+                let col: Vec<f32> = (0..4).map(|i| a.get(i, j)).collect();
+                let lo = col.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                assert!(
+                    m.get(0, j) >= lo - 1e-6 && m.get(0, j) <= hi + 1e-6,
+                    "column {j} mean {} outside [{lo}, {hi}]",
+                    m.get(0, j)
+                );
+            }
+        },
+    );
+}
 
-    #[test]
-    fn mean_rows_bounded_by_extremes(a in tensor_strategy(4, 3)) {
-        let m = a.mean_rows();
-        for j in 0..3 {
-            let col: Vec<f32> = (0..4).map(|i| a.get(i, j)).collect();
-            let lo = col.iter().cloned().fold(f32::INFINITY, f32::min);
-            let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(m.get(0, j) >= lo - 1e-6 && m.get(0, j) <= hi + 1e-6);
-        }
-    }
+#[test]
+fn gradcheck_random_affine_tanh() {
+    check::cases(
+        "gradcheck_random_affine_tanh",
+        32,
+        |rng| (gen_tensor(rng, 1, 4), gen_tensor(rng, 4, 3), gen_tensor(rng, 1, 3)),
+        |(x, w, b)| {
+            check_builder(&[x.clone(), w.clone(), b.clone()], 1e-2, 3e-2, 3e-2, |t, v| {
+                let a = t.affine(v[0], v[1], v[2]);
+                let h = t.tanh(a);
+                let sq = t.mul(h, h);
+                t.mean_all(sq)
+            });
+        },
+    );
+}
 
-    #[test]
-    fn gradcheck_random_affine_tanh(
-        x in tensor_strategy(1, 4),
-        w in tensor_strategy(4, 3),
-        b in tensor_strategy(1, 3),
-    ) {
-        check_builder(&[x, w, b], 1e-2, 3e-2, 3e-2, |t, v| {
-            let a = t.affine(v[0], v[1], v[2]);
-            let h = t.tanh(a);
-            let sq = t.mul(h, h);
-            t.mean_all(sq)
-        });
-    }
+#[test]
+fn gradcheck_random_softmax_pool() {
+    check::cases(
+        "gradcheck_random_softmax_pool",
+        32,
+        |rng| (gen_tensor(rng, 4, 1), gen_tensor(rng, 4, 3)),
+        |(s, vals)| {
+            check_builder(&[s.clone(), vals.clone()], 1e-2, 3e-2, 3e-2, |t, v| {
+                let att = t.softmax(v[0]);
+                let att_t = t.transpose(att);
+                let pooled = t.matmul(att_t, v[1]);
+                let act = t.sigmoid(pooled);
+                t.mean_all(act)
+            });
+        },
+    );
+}
 
-    #[test]
-    fn gradcheck_random_softmax_pool(
-        s in tensor_strategy(4, 1),
-        vals in tensor_strategy(4, 3),
-    ) {
-        check_builder(&[s, vals], 1e-2, 3e-2, 3e-2, |t, v| {
-            let att = t.softmax(v[0]);
-            let att_t = t.transpose(att);
-            let pooled = t.matmul(att_t, v[1]);
-            let act = t.sigmoid(pooled);
-            t.mean_all(act)
-        });
-    }
+#[test]
+fn softmax_invariant_to_shift() {
+    check::cases(
+        "softmax_invariant_to_shift",
+        32,
+        |rng| (gen_tensor(rng, 5, 1), rng.random_range(-3.0f32..3.0)),
+        |(s, shift)| {
+            let mut tape = tpgnn_tensor::Tape::new();
+            let a = tape.input(s.clone());
+            let sm1 = tape.softmax(a);
+            let shifted = tape.add_scalar(a, *shift);
+            let sm2 = tape.softmax(shifted);
+            for (x, y) in tape.value(sm1).data().iter().zip(tape.value(sm2).data()) {
+                assert!((x - y).abs() < 1e-5, "softmax not shift-invariant: {x} vs {y}");
+            }
+        },
+    );
+}
 
-    #[test]
-    fn softmax_invariant_to_shift(s in tensor_strategy(5, 1), shift in -3.0f32..3.0) {
-        let mut tape = tpgnn_tensor::Tape::new();
-        let a = tape.input(s.clone());
-        let sm1 = tape.softmax(a);
-        let shifted = tape.add_scalar(a, shift);
-        let sm2 = tape.softmax(shifted);
-        for (x, y) in tape.value(sm1).data().iter().zip(tape.value(sm2).data()) {
-            prop_assert!((x - y).abs() < 1e-5);
-        }
-    }
-
-    #[test]
-    fn jacobi_eigenvalue_sum_equals_trace(diag in proptest::collection::vec(-2.0f32..2.0, 5)) {
-        // Random symmetric matrix built from a diagonal plus symmetric noise.
-        let n = diag.len();
-        let a = Tensor::from_fn(n, n, |i, j| {
-            if i == j { diag[i] } else { 0.3 * ((i * n + j + j * n + i) as f32).sin() }
-        });
-        let sym = a.add(&a.transpose()).scale(0.5);
-        let (vals, _) = tpgnn_tensor::linalg::jacobi_eigh(&sym, 100, 1e-7);
-        let trace: f32 = (0..n).map(|i| sym.get(i, i)).sum();
-        let sum: f32 = vals.iter().sum();
-        prop_assert!((trace - sum).abs() < 1e-3);
-    }
+#[test]
+fn jacobi_eigenvalue_sum_equals_trace() {
+    check::cases(
+        "jacobi_eigenvalue_sum_equals_trace",
+        32,
+        |rng| check::vec_f32(rng, 5, -2.0, 2.0),
+        |diag| {
+            // Random symmetric matrix built from a diagonal plus symmetric noise.
+            let n = diag.len();
+            let a = Tensor::from_fn(n, n, |i, j| {
+                if i == j { diag[i] } else { 0.3 * ((i * n + j + j * n + i) as f32).sin() }
+            });
+            let sym = a.add(&a.transpose()).scale(0.5);
+            let (vals, _) = tpgnn_tensor::linalg::jacobi_eigh(&sym, 100, 1e-7);
+            let trace: f32 = (0..n).map(|i| sym.get(i, i)).sum();
+            let sum: f32 = vals.iter().sum();
+            assert!((trace - sum).abs() < 1e-3, "tr = {trace} but Σλ = {sum}");
+        },
+    );
 }

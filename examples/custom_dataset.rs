@@ -5,8 +5,8 @@
 //! cargo run --release --example custom_dataset
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::{Rng, SeedableRng};
 use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
 use tpgnn_data::{io, negative, GraphDataset, LabeledGraph};
 use tpgnn_eval::Metrics;

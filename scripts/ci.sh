@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Hermetic CI for the TP-GNN reproduction: build, test, and smoke-bench the
+# whole workspace with ZERO network access. Everything must resolve from
+# in-repo path dependencies alone — no crates.io, no vendored registry.
+#
+# Policy (see README.md "Hermetic build"): no external registry
+# dependencies may be added to any Cargo.toml. RNG lives in crates/rng,
+# property testing in tpgnn_rng::check, bench timing in tpgnn_bench::timing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# --offline makes any accidental registry dependency a hard failure here,
+# even on machines that do have network access.
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release (offline) =="
+cargo build --release --workspace --offline
+
+echo
+echo "== cargo test -q (offline) =="
+cargo test -q --workspace --offline
+
+echo
+echo "== cargo bench -- --smoke (offline) =="
+cargo bench --workspace --offline -- --smoke
+
+echo
+echo "CI OK: hermetic build, full test suite, smoke benchmarks."

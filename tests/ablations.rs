@@ -2,8 +2,8 @@
 //! qualitative ablation ordering on a dataset whose class signal is purely
 //! temporal (statically identical positives and negatives).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
 use tpgnn_core::{AblationVariant, GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
 use tpgnn_data::{negative, GraphDataset, LabeledGraph};
 use tpgnn_eval::Metrics;
@@ -15,7 +15,7 @@ fn order_only_dataset(num: usize, seed: u64) -> GraphDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ds = GraphDataset::new("order-only");
     for i in 0..num {
-        use rand::Rng;
+        use tpgnn_rng::Rng;
         let n = 10;
         let mut feats = NodeFeatures::zeros(n, 3);
         for v in 0..n {

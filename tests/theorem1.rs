@@ -3,10 +3,9 @@
 //! propagation — checked operationally across crates by perturbing `X(u)`
 //! and observing `h(v)`, against the combinatorial influence analysis.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use tpgnn_core::{TemporalPropagation, TpGnnConfig, UpdaterKind};
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::{check, Rng, SeedableRng};
 use tpgnn_graph::{Ctdn, InfluenceAnalysis, NodeFeatures};
 use tpgnn_tensor::{ParamStore, Tape, Tensor};
 
@@ -94,22 +93,31 @@ fn theorem1_on_dense_multigraph() {
     check_theorem1(UpdaterKind::Gru, 5, &edges);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Generator: a random edge list over `n` nodes with timestamps in [1, 40).
+fn gen_edges(rng: &mut StdRng, n: usize, max_edges: usize) -> Vec<(usize, usize, u32)> {
+    (0..rng.random_range(1usize..max_edges))
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n), rng.random_range(1u32..40)))
+        .collect()
+}
 
-    /// Randomized Theorem 1 check over small CTDNs for the SUM updater.
-    #[test]
-    fn theorem1_random_graphs_sum(
-        edges in proptest::collection::vec((0usize..6, 0usize..6, 1u32..40), 1..14)
-    ) {
-        check_theorem1(UpdaterKind::Sum, 6, &edges);
-    }
+/// Randomized Theorem 1 check over small CTDNs for the SUM updater.
+#[test]
+fn theorem1_random_graphs_sum() {
+    check::cases(
+        "theorem1_random_graphs_sum",
+        12,
+        |rng| gen_edges(rng, 6, 14),
+        |edges| check_theorem1(UpdaterKind::Sum, 6, edges),
+    );
+}
 
-    /// Randomized Theorem 1 check for the GRU updater.
-    #[test]
-    fn theorem1_random_graphs_gru(
-        edges in proptest::collection::vec((0usize..5, 0usize..5, 1u32..40), 1..10)
-    ) {
-        check_theorem1(UpdaterKind::Gru, 5, &edges);
-    }
+/// Randomized Theorem 1 check for the GRU updater.
+#[test]
+fn theorem1_random_graphs_gru() {
+    check::cases(
+        "theorem1_random_graphs_gru",
+        12,
+        |rng| gen_edges(rng, 5, 10),
+        |edges| check_theorem1(UpdaterKind::Gru, 5, edges),
+    );
 }
