@@ -53,7 +53,19 @@ macro_rules! impl_graph_classifier {
                     let logit = self.forward_logit(&mut tape, g);
                     let loss = tape.bce_with_logits(logit, *target);
                     total += tape.value(loss).item();
+                    // When the tape's non-finite guard is active
+                    // (`GuardConfig::scan_tapes`), report the poisoned op and
+                    // skip the optimizer step so the blow-up cannot corrupt
+                    // the parameters.
+                    if let Some(e) = tape.non_finite() {
+                        tpgnn_core::guard::record_fault(format!("{}: {e}", $name));
+                        continue;
+                    }
                     let grads = tape.backward(loss);
+                    if let Some(e) = grads.non_finite() {
+                        tpgnn_core::guard::record_fault(format!("{}: backward: {e}", $name));
+                        continue;
+                    }
                     tape.flush_grads(&grads, &mut self.store);
                     self.store.clip_grad_norm(tpgnn_core::GRAD_CLIP);
                     self.opt.step(&mut self.store);
@@ -70,6 +82,22 @@ macro_rules! impl_graph_classifier {
 
             fn set_learning_rate(&mut self, lr: f32) {
                 self.opt.lr = lr;
+            }
+
+            fn learning_rate(&self) -> Option<f32> {
+                Some(self.opt.lr)
+            }
+
+            fn save_state(&self) -> Option<String> {
+                Some(tpgnn_tensor::optim::save_training_state(&self.opt, &self.store))
+            }
+
+            fn load_state(&mut self, state: &str) -> Result<(), String> {
+                tpgnn_tensor::optim::load_training_state(&mut self.opt, &mut self.store, state)
+            }
+
+            fn check_finite(&self) -> Result<(), String> {
+                self.store.check_finite().map_err(|e| format!("{}: {e}", $name))
             }
         }
     };

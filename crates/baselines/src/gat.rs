@@ -42,12 +42,12 @@ impl Gat {
 
         let n = g.num_nodes();
         let mut out_rows = Vec::with_capacity(n);
-        for v in 0..n {
+        for (v, nbrs) in und.iter().enumerate().take(n) {
             let hv = tape.row(wh, v);
             // Attend over the closed neighborhood {v} ∪ N(v).
-            let mut cand: Vec<usize> = Vec::with_capacity(und[v].len() + 1);
+            let mut cand: Vec<usize> = Vec::with_capacity(nbrs.len() + 1);
             cand.push(v);
-            cand.extend_from_slice(&und[v]);
+            cand.extend_from_slice(nbrs);
             let mut scores = Vec::with_capacity(cand.len());
             let mut values = Vec::with_capacity(cand.len());
             for &u in &cand {

@@ -90,7 +90,17 @@ impl<E: NodeEmbedder> tpgnn_core::GraphClassifier for WithExtractor<E> {
             let logit = self.forward_logit(&mut tape, g);
             let loss = tape.bce_with_logits(logit, *target);
             total += tape.value(loss).item();
+            // Same guardrail as `impl_graph_classifier!`: under an active
+            // tape guard, attribute the blow-up and skip the step.
+            if let Some(e) = tape.non_finite() {
+                tpgnn_core::guard::record_fault(format!("{}: {e}", self.name));
+                continue;
+            }
             let grads = tape.backward(loss);
+            if let Some(e) = grads.non_finite() {
+                tpgnn_core::guard::record_fault(format!("{}: backward: {e}", self.name));
+                continue;
+            }
             tape.flush_grads(&grads, &mut self.store);
             self.store.clip_grad_norm(tpgnn_core::GRAD_CLIP);
             self.opt.step(&mut self.store);
@@ -107,6 +117,22 @@ impl<E: NodeEmbedder> tpgnn_core::GraphClassifier for WithExtractor<E> {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.opt.lr = lr;
+    }
+
+    fn learning_rate(&self) -> Option<f32> {
+        Some(self.opt.lr)
+    }
+
+    fn save_state(&self) -> Option<String> {
+        Some(tpgnn_tensor::optim::save_training_state(&self.opt, &self.store))
+    }
+
+    fn load_state(&mut self, state: &str) -> Result<(), String> {
+        tpgnn_tensor::optim::load_training_state(&mut self.opt, &mut self.store, state)
+    }
+
+    fn check_finite(&self) -> Result<(), String> {
+        self.store.check_finite().map_err(|e| format!("{}: {e}", self.name))
     }
 }
 

@@ -99,7 +99,7 @@ fn main() {
         &pairs,
         &TrainConfig { epochs: cfg.epochs * 2, shuffle_ties: true, seed: cfg.base_seed },
     );
-    println!("final training loss: {:.4}\n", report.final_loss());
+    println!("final training loss: {:.4}\n", report.final_loss().unwrap_or(f32::NAN));
 
     println!("Predicted P(positive):");
     for (name, mut g) in [

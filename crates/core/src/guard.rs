@@ -1,0 +1,182 @@
+//! Training guardrails: fault reporting and recovery policy.
+//!
+//! The trainer (see [`train_guarded`](crate::trainer::train_guarded)) cannot
+//! see inside a model — [`GraphClassifier`](crate::GraphClassifier) only
+//! hands back a scalar loss per epoch. This module provides the side channel
+//! that carries *attributed* numerical faults (which op produced the first
+//! NaN, which parameter is poisoned) from the models' inner loops out to the
+//! trainer, plus the [`GuardConfig`] knobs governing divergence detection and
+//! recovery.
+//!
+//! ## Fault slot
+//!
+//! A thread-local "first fault wins" slot: model code calls [`record_fault`]
+//! when a guarded tape or gradient sweep reports a non-finite value, and the
+//! trainer drains it with [`take_fault`] after every epoch. Thread-local
+//! because training a model is single-threaded by construction (one tape per
+//! graph) while the eval harness may run several trainings on different
+//! threads.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static FAULT: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Record an attributed numerical fault (e.g. `"TGAT: non-finite value
+/// produced by `exp` at tape node 17"`). Only the first fault since the last
+/// [`take_fault`] is kept — it is the root cause; later faults are fallout.
+pub fn record_fault(detail: impl Into<String>) {
+    FAULT.with(|f| {
+        let mut slot = f.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(detail.into());
+        }
+    });
+}
+
+/// Drain the fault slot, returning the first fault recorded since the last
+/// drain (if any) and clearing it.
+pub fn take_fault() -> Option<String> {
+    FAULT.with(|f| f.borrow_mut().take())
+}
+
+/// Recovery policy for [`train_guarded`](crate::trainer::train_guarded).
+///
+/// Defaults: scan tapes for the first non-finite op, checkpoint the model
+/// after every good epoch, declare divergence at a NaN/Inf loss or a loss
+/// above 4× the best epoch so far, and recover up to 3 times by rolling back
+/// to the last good checkpoint and halving the learning rate.
+#[derive(Clone, Debug)]
+pub struct GuardConfig {
+    /// Declare divergence when an epoch's loss exceeds this multiple of the
+    /// best loss seen so far. The comparison floor is
+    /// [`GuardConfig::BEST_FLOOR`] so near-zero best losses don't turn noise
+    /// into a hair-trigger.
+    pub divergence_factor: f32,
+    /// Maximum number of rollback-and-retry recoveries before the run is
+    /// abandoned (reported, never panicked).
+    pub max_recoveries: usize,
+    /// Learning-rate multiplier applied on every recovery (paper protocol
+    /// uses Adam at `1e-3`; halving is the conventional backoff).
+    pub lr_backoff: f32,
+    /// Turn on the process-wide [`Tape`](tpgnn_tensor::Tape) non-finite scan
+    /// for the duration of training, so blow-ups are attributed to the op
+    /// that produced them and poisoned gradients never reach the optimizer.
+    pub scan_tapes: bool,
+    /// Verify after each epoch that every parameter value and gradient is
+    /// finite (via `ParamStore::check_finite`), catching corruption that a
+    /// finite epoch-mean loss can mask.
+    pub check_params: bool,
+}
+
+impl GuardConfig {
+    /// Divergence comparisons use `best.max(BEST_FLOOR)` so that a very
+    /// small best loss (e.g. `1e-6` on an easy split) doesn't flag ordinary
+    /// fluctuation as divergence.
+    pub const BEST_FLOOR: f32 = 1e-3;
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            divergence_factor: 4.0,
+            max_recoveries: 3,
+            lr_backoff: 0.5,
+            scan_tapes: true,
+            check_params: true,
+        }
+    }
+}
+
+/// Why the guarded trainer rejected an epoch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DivergenceReason {
+    /// The epoch's mean loss was NaN or infinite.
+    NonFiniteLoss {
+        /// The offending loss value.
+        loss: f32,
+    },
+    /// The epoch's loss exceeded `divergence_factor ×` the best loss so far.
+    LossExploded {
+        /// The offending loss value.
+        loss: f32,
+        /// Best (lowest) epoch loss seen before this epoch.
+        best: f32,
+    },
+    /// A model-side guard fired: the tape scan attributed a non-finite value
+    /// to a specific op, or a parameter buffer failed the finite check.
+    ModelFault {
+        /// Human-readable attribution (model, op/parameter, tape node).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DivergenceReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceReason::NonFiniteLoss { loss } => write!(f, "non-finite epoch loss {loss}"),
+            DivergenceReason::LossExploded { loss, best } => {
+                write!(f, "epoch loss {loss} exploded past best {best}")
+            }
+            DivergenceReason::ModelFault { detail } => write!(f, "model fault: {detail}"),
+        }
+    }
+}
+
+/// One rollback-and-retry episode recorded in a
+/// [`TrainReport`](crate::TrainReport).
+#[derive(Clone, Debug)]
+pub struct RecoveryEvent {
+    /// Zero-based index of the epoch whose attempt was rejected.
+    pub epoch: usize,
+    /// What tripped the guard.
+    pub reason: DivergenceReason,
+    /// Zero-based index of the last good epoch whose checkpoint was
+    /// restored, or `None` when the model was rolled back to its
+    /// pre-training state (or the run was abandoned, see
+    /// [`RecoveryEvent::abandoned`]).
+    pub rolled_back_to: Option<usize>,
+    /// Learning rate in effect when the guard tripped, if the model exposes
+    /// one.
+    pub lr_before: Option<f32>,
+    /// Learning rate after backoff — `None` when the run was abandoned
+    /// instead of retried.
+    pub lr_after: Option<f32>,
+    /// `true` when this fault exhausted the recovery budget and the run was
+    /// abandoned rather than rolled back.
+    pub abandoned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_slot_keeps_first_and_drains() {
+        assert_eq!(take_fault(), None);
+        record_fault("root cause");
+        record_fault("fallout");
+        assert_eq!(take_fault().as_deref(), Some("root cause"));
+        assert_eq!(take_fault(), None);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let g = GuardConfig::default();
+        assert!(g.divergence_factor > 1.0);
+        assert!(g.max_recoveries >= 1);
+        assert!(g.lr_backoff > 0.0 && g.lr_backoff < 1.0);
+        assert!(g.scan_tapes && g.check_params);
+    }
+
+    #[test]
+    fn reasons_display() {
+        let r = DivergenceReason::NonFiniteLoss { loss: f32::NAN };
+        assert!(r.to_string().contains("non-finite"));
+        let r = DivergenceReason::LossExploded { loss: 9.0, best: 0.5 };
+        assert!(r.to_string().contains("9") && r.to_string().contains("0.5"));
+        let r = DivergenceReason::ModelFault { detail: "exp at node 3".into() };
+        assert!(r.to_string().contains("exp at node 3"));
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`GraphClassifier`] — the interface shared by TP-GNN and all twelve
 //!   baselines,
 //! * [`trainer`] — the Sec. V-D protocol (10 epochs of Adam at `1e-3`,
-//!   same-timestamp edges re-shuffled each epoch),
+//!   same-timestamp edges re-shuffled each epoch), plus
+//!   [`train_guarded`] — the production path with per-epoch checkpointing,
+//!   divergence detection, and rollback + learning-rate backoff recovery
+//!   (knobs in [`GuardConfig`], history in [`TrainReport::recoveries`]),
 //! * [`AblationVariant`] — the `rand` / `w/o tem` / `temp` / `time2Vec`
 //!   variants of Sec. V-F.
 //!
@@ -37,12 +40,14 @@
 
 mod config;
 mod extractor;
+pub mod guard;
 mod model;
 mod propagation;
 pub mod trainer;
 
 pub use config::{AblationVariant, PropagationKind, Readout, TpGnnConfig, UpdaterKind};
 pub use extractor::GlobalExtractor;
+pub use guard::{DivergenceReason, GuardConfig, RecoveryEvent};
 pub use model::{GraphClassifier, TpGnn, GRAD_CLIP};
 pub use propagation::TemporalPropagation;
-pub use trainer::{predict_all, train, TrainConfig, TrainReport};
+pub use trainer::{predict_all, train, train_guarded, TrainConfig, TrainReport};

@@ -43,6 +43,39 @@ pub trait GraphClassifier {
     /// compensate for the deliberately scaled-down corpora (the paper takes
     /// ~1000× more gradient steps); a no-op for non-gradient models.
     fn set_learning_rate(&mut self, _lr: f32) {}
+
+    /// The current optimizer learning rate, or `None` for non-gradient
+    /// models. The guarded trainer reads this to compute the backoff rate
+    /// after a rollback.
+    fn learning_rate(&self) -> Option<f32> {
+        None
+    }
+
+    /// Serialize the model's complete training state — weights, optimizer
+    /// moments and step count — to the in-repo line format, or `None` for
+    /// models without restorable state (e.g. the Spectral baseline).
+    ///
+    /// The guarded trainer snapshots this after every good epoch so a
+    /// diverged epoch can be rolled back; restoring must resume training
+    /// bitwise-identically.
+    fn save_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restore training state from a [`GraphClassifier::save_state`] string.
+    ///
+    /// The default (for models that don't checkpoint) reports an error
+    /// rather than silently succeeding.
+    fn load_state(&mut self, _state: &str) -> Result<(), String> {
+        Err("model does not support state checkpointing".into())
+    }
+
+    /// Verify that the model's parameters and accumulated gradients are all
+    /// finite, naming the poisoned buffer otherwise. Models without
+    /// parameters are vacuously finite.
+    fn check_finite(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// TP-GNN: temporal propagation → global temporal embedding extractor →
@@ -114,12 +147,27 @@ impl TpGnn {
     }
 
     /// One optimization step on a single graph; returns the BCE loss.
+    ///
+    /// When the tape's non-finite guard is active (see
+    /// [`Tape::set_default_guard`] and `GuardConfig::scan_tapes`), a forward
+    /// or backward pass that produces a NaN/Inf is reported through
+    /// [`crate::guard::record_fault`] with op-level attribution and the
+    /// optimizer step is skipped, so the blow-up cannot poison the
+    /// parameters.
     pub fn train_on(&mut self, g: &mut Ctdn, target: f32) -> f32 {
         let mut tape = Tape::new();
         let logit = self.forward_logit(&mut tape, g);
         let loss = tape.bce_with_logits(logit, target);
         let loss_val = tape.value(loss).item();
+        if let Some(e) = tape.non_finite() {
+            crate::guard::record_fault(format!("{}: {e}", self.name()));
+            return loss_val;
+        }
         let grads = tape.backward(loss);
+        if let Some(e) = grads.non_finite() {
+            crate::guard::record_fault(format!("{}: backward: {e}", self.name()));
+            return loss_val;
+        }
         tape.flush_grads(&grads, &mut self.store);
         self.store.clip_grad_norm(GRAD_CLIP);
         self.opt.step(&mut self.store);
@@ -155,6 +203,22 @@ impl GraphClassifier for TpGnn {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.opt.lr = lr;
+    }
+
+    fn learning_rate(&self) -> Option<f32> {
+        Some(self.opt.lr)
+    }
+
+    fn save_state(&self) -> Option<String> {
+        Some(tpgnn_tensor::optim::save_training_state(&self.opt, &self.store))
+    }
+
+    fn load_state(&mut self, state: &str) -> Result<(), String> {
+        tpgnn_tensor::optim::load_training_state(&mut self.opt, &mut self.store, state)
+    }
+
+    fn check_finite(&self) -> Result<(), String> {
+        self.store.check_finite().map_err(|e| format!("{}: {e}", self.name()))
     }
 }
 

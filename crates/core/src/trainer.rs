@@ -1,10 +1,16 @@
 //! Training protocol of Sec. V-D: 10 epochs of Adam, with same-timestamp
-//! edge order re-shuffled before every epoch.
+//! edge order re-shuffled before every epoch — plus the guarded variant
+//! ([`train_guarded`]) that checkpoints after every good epoch, detects
+//! divergence (non-finite or exploding loss, op-attributed tape faults,
+//! poisoned parameters) and recovers by rolling back to the last good
+//! checkpoint with a halved learning rate instead of panicking.
 
 use tpgnn_rng::rngs::StdRng;
 use tpgnn_rng::SeedableRng;
 use tpgnn_graph::Ctdn;
+use tpgnn_tensor::Tape;
 
+use crate::guard::{self, DivergenceReason, GuardConfig, RecoveryEvent};
 use crate::model::GraphClassifier;
 
 /// Training-loop settings (paper defaults via [`Default`]).
@@ -25,21 +31,41 @@ impl Default for TrainConfig {
     }
 }
 
-/// Per-epoch mean losses from a [`train`] run.
-#[derive(Clone, Debug)]
+/// Per-epoch mean losses and recovery history from a [`train`] /
+/// [`train_guarded`] run.
+#[derive(Clone, Debug, Default)]
 pub struct TrainReport {
-    /// Mean BCE loss of each epoch, in order.
+    /// Mean BCE loss of each *accepted* epoch, in order. Epoch attempts
+    /// rejected by the guard are not included — their story is in
+    /// [`TrainReport::recoveries`].
     pub epoch_losses: Vec<f32>,
+    /// Every rollback-and-retry episode, in order (empty for unguarded
+    /// runs and healthy guarded runs).
+    pub recoveries: Vec<RecoveryEvent>,
+    /// `true` when the recovery budget was exhausted and training stopped
+    /// before completing all requested epochs.
+    pub aborted: bool,
 }
 
 impl TrainReport {
-    /// Loss of the final epoch (0.0 when no epochs ran).
-    pub fn final_loss(&self) -> f32 {
-        self.epoch_losses.last().copied().unwrap_or(0.0)
+    /// Loss of the final accepted epoch, or `None` when no epoch completed
+    /// (zero requested, or the guard abandoned the run before the first
+    /// good epoch).
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
+    }
+
+    /// Best (lowest) accepted epoch loss, or `None` when no epoch completed.
+    pub fn best_loss(&self) -> Option<f32> {
+        self.epoch_losses.iter().copied().fold(None, |acc, l| {
+            Some(acc.map_or(l, |a: f32| a.min(l)))
+        })
     }
 }
 
-/// Train `model` on `(graph, target)` pairs under the paper's protocol.
+/// Train `model` on `(graph, target)` pairs under the paper's protocol,
+/// with no guardrails: a NaN loss is recorded as-is and training continues.
+/// Use [`train_guarded`] for the production path.
 pub fn train(
     model: &mut dyn GraphClassifier,
     train_set: &[(Ctdn, f32)],
@@ -56,7 +82,139 @@ pub fn train(
         }
         epoch_losses.push(model.fit_epoch(&mut working));
     }
-    TrainReport { epoch_losses }
+    TrainReport { epoch_losses, recoveries: Vec::new(), aborted: false }
+}
+
+/// Restores the process-wide tape-guard default on drop, so an early return
+/// (or a panic inside a model) cannot leak the scan into unrelated code.
+struct TapeGuardScope {
+    prev: bool,
+}
+
+impl TapeGuardScope {
+    fn enable() -> Self {
+        let prev = Tape::default_guard();
+        Tape::set_default_guard(true);
+        Self { prev }
+    }
+}
+
+impl Drop for TapeGuardScope {
+    fn drop(&mut self) {
+        Tape::set_default_guard(self.prev);
+    }
+}
+
+/// Train under the paper's protocol with the full guardrail stack:
+///
+/// 1. **Checkpointing** — after every accepted epoch the model's complete
+///    training state (weights + Adam moments + step count, via
+///    `GraphClassifier::save_state`) is snapshotted in memory.
+/// 2. **Detection** — an epoch is rejected when its loss is NaN/Inf, when it
+///    exceeds `guard.divergence_factor ×` the best loss so far, when a
+///    guarded tape attributed a non-finite value to an op
+///    ([`guard::take_fault`]), or when a parameter buffer fails the finite
+///    check.
+/// 3. **Recovery** — the model is rolled back to the last good checkpoint,
+///    the learning rate is multiplied by `guard.lr_backoff`, and the epoch
+///    is retried — at most `guard.max_recoveries` times across the run,
+///    after which the run is abandoned and reported (never panicked).
+///
+/// Models that don't support checkpointing (`save_state() == None`, e.g.
+/// the non-gradient Spectral baseline) still get divergence detection and
+/// LR backoff; rollback is skipped.
+pub fn train_guarded(
+    model: &mut dyn GraphClassifier,
+    train_set: &[(Ctdn, f32)],
+    cfg: &TrainConfig,
+    guard_cfg: &GuardConfig,
+) -> TrainReport {
+    let _scope = guard_cfg.scan_tapes.then(TapeGuardScope::enable);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut working: Vec<(Ctdn, f32)> = train_set.to_vec();
+
+    // Clear any stale fault from a previous (possibly panicked) run on this
+    // thread before trusting the slot.
+    guard::take_fault();
+
+    let mut checkpoint: Option<String> = model.save_state();
+    let mut last_good_epoch: Option<usize> = None;
+    let mut best = f32::INFINITY;
+    let mut report = TrainReport::default();
+
+    let mut epoch = 0;
+    while epoch < cfg.epochs {
+        if cfg.shuffle_ties {
+            for (g, _) in working.iter_mut() {
+                g.shuffle_same_timestamp(&mut rng);
+            }
+        }
+        let loss = model.fit_epoch(&mut working);
+
+        let reason = if let Some(detail) = guard::take_fault() {
+            Some(DivergenceReason::ModelFault { detail })
+        } else if !loss.is_finite() {
+            Some(DivergenceReason::NonFiniteLoss { loss })
+        } else if loss > guard_cfg.divergence_factor * best.max(GuardConfig::BEST_FLOOR) {
+            Some(DivergenceReason::LossExploded { loss, best })
+        } else if guard_cfg.check_params {
+            model
+                .check_finite()
+                .err()
+                .map(|detail| DivergenceReason::ModelFault { detail })
+        } else {
+            None
+        };
+
+        match reason {
+            None => {
+                report.epoch_losses.push(loss);
+                if loss < best {
+                    best = loss;
+                }
+                if let Some(state) = model.save_state() {
+                    checkpoint = Some(state);
+                    last_good_epoch = Some(epoch);
+                }
+                epoch += 1;
+            }
+            Some(reason) => {
+                let lr_before = model.learning_rate();
+                if report.recoveries.len() >= guard_cfg.max_recoveries {
+                    report.recoveries.push(RecoveryEvent {
+                        epoch,
+                        reason,
+                        rolled_back_to: None,
+                        lr_before,
+                        lr_after: None,
+                        abandoned: true,
+                    });
+                    report.aborted = true;
+                    break;
+                }
+                if let Some(cp) = &checkpoint {
+                    // The checkpoint was produced by this very model, so a
+                    // load failure is unreachable; still, never panic inside
+                    // the guardrails — degrade to backoff-only recovery.
+                    let _ = model.load_state(cp);
+                }
+                let lr_after = lr_before.map(|lr| lr * guard_cfg.lr_backoff);
+                if let Some(lr) = lr_after {
+                    model.set_learning_rate(lr);
+                }
+                report.recoveries.push(RecoveryEvent {
+                    epoch,
+                    reason,
+                    rolled_back_to: checkpoint.as_ref().and(last_good_epoch),
+                    lr_before,
+                    lr_after,
+                    abandoned: false,
+                });
+                // Retry the same epoch index with the restored state.
+            }
+        }
+    }
+    report
 }
 
 /// Run `model` over `test_set`, returning `(probability, truth)` pairs.
@@ -97,16 +255,21 @@ mod tests {
         g
     }
 
+    fn toy_data(n: usize) -> Vec<(Ctdn, f32)> {
+        (0..n)
+            .map(|i| (graph(i % 2 == 1), if i % 2 == 1 { 0.0 } else { 1.0 }))
+            .collect()
+    }
+
     #[test]
     fn train_reports_epoch_losses() {
         let mut model = TpGnn::new(TpGnnConfig::sum(3));
         model.set_learning_rate(0.01);
-        let data: Vec<(Ctdn, f32)> = (0..8)
-            .map(|i| (graph(i % 2 == 1), if i % 2 == 1 { 0.0 } else { 1.0 }))
-            .collect();
+        let data = toy_data(8);
         let report = train(&mut model, &data, &TrainConfig { epochs: 15, ..TrainConfig::default() });
         assert_eq!(report.epoch_losses.len(), 15);
-        assert!(report.final_loss() < report.epoch_losses[0]);
+        assert!(report.final_loss().expect("epochs ran") < report.epoch_losses[0]);
+        assert!(report.recoveries.is_empty() && !report.aborted);
     }
 
     #[test]
@@ -127,5 +290,194 @@ mod tests {
         let mut model = TpGnn::new(TpGnnConfig::sum(3));
         let report = train(&mut model, &[], &TrainConfig::default());
         assert_eq!(report.epoch_losses, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn final_loss_is_none_when_no_epochs_ran() {
+        let report = TrainReport::default();
+        assert_eq!(report.final_loss(), None);
+        assert_eq!(report.best_loss(), None);
+    }
+
+    #[test]
+    fn guarded_healthy_run_matches_unguarded() {
+        // On a healthy run the guard must be an observer: identical losses.
+        let data = toy_data(8);
+        let cfg = TrainConfig { epochs: 5, ..TrainConfig::default() };
+        let mut a = TpGnn::new(TpGnnConfig::sum(3).with_seed(7));
+        a.set_learning_rate(0.01);
+        let ra = train(&mut a, &data, &cfg);
+        let mut b = TpGnn::new(TpGnnConfig::sum(3).with_seed(7));
+        b.set_learning_rate(0.01);
+        let rb = train_guarded(&mut b, &data, &cfg, &GuardConfig::default());
+        assert_eq!(ra.epoch_losses, rb.epoch_losses);
+        assert!(rb.recoveries.is_empty() && !rb.aborted);
+        assert!(!Tape::default_guard(), "guard scope must restore the default");
+    }
+
+    /// Delegates to an inner model but sabotages a chosen epoch by poisoning
+    /// the inner model's parameters with NaN via its own checkpoint format —
+    /// the corruption is real state corruption, exactly what a numerical
+    /// blow-up leaves behind.
+    struct SabotagedOnce {
+        inner: TpGnn,
+        fit_calls: usize,
+        sabotage_at: usize,
+    }
+
+    impl SabotagedOnce {
+        fn poison_inner(&mut self) {
+            let state = self.inner.save_state().expect("tpgnn checkpoints");
+            // Rewrite the first value row to NaN — real state corruption,
+            // exactly what a numerical blow-up leaves behind.
+            let mut lines: Vec<String> = state.lines().map(str::to_string).collect();
+            for line in lines.iter_mut() {
+                if !line.starts_with("adam")
+                    && !line.starts_with("checkpoint")
+                    && !line.starts_with("param")
+                {
+                    let width = line.split_whitespace().count();
+                    *line = vec!["NaN"; width].join(" ");
+                    break;
+                }
+            }
+            self.inner.load_state(&(lines.join("\n") + "\n")).expect("poisoned state loads");
+        }
+    }
+
+    impl GraphClassifier for SabotagedOnce {
+        fn name(&self) -> String {
+            "sabotaged".into()
+        }
+        fn fit_epoch(&mut self, train: &mut [(Ctdn, f32)]) -> f32 {
+            self.fit_calls += 1;
+            if self.fit_calls == self.sabotage_at {
+                self.poison_inner();
+            }
+            self.inner.fit_epoch(train)
+        }
+        fn predict_proba(&mut self, g: &mut Ctdn) -> f32 {
+            self.inner.predict_proba(g)
+        }
+        fn set_learning_rate(&mut self, lr: f32) {
+            self.inner.set_learning_rate(lr);
+        }
+        fn learning_rate(&self) -> Option<f32> {
+            self.inner.learning_rate()
+        }
+        fn save_state(&self) -> Option<String> {
+            self.inner.save_state()
+        }
+        fn load_state(&mut self, state: &str) -> Result<(), String> {
+            self.inner.load_state(state)
+        }
+        fn check_finite(&self) -> Result<(), String> {
+            self.inner.check_finite()
+        }
+    }
+
+    #[test]
+    fn mid_training_nan_triggers_rollback_and_backoff() {
+        let mut model = SabotagedOnce {
+            inner: TpGnn::new(TpGnnConfig::sum(3).with_seed(7)),
+            fit_calls: 0,
+            sabotage_at: 3, // poison the third epoch's state
+        };
+        model.set_learning_rate(0.01);
+        let data = toy_data(8);
+        let cfg = TrainConfig { epochs: 6, ..TrainConfig::default() };
+        let report = train_guarded(&mut model, &data, &cfg, &GuardConfig::default());
+
+        assert_eq!(report.epoch_losses.len(), 6, "training must complete after recovery");
+        assert!(!report.aborted);
+        assert_eq!(report.recoveries.len(), 1, "exactly one recovery: {:?}", report.recoveries);
+        let ev = &report.recoveries[0];
+        assert_eq!(ev.epoch, 2);
+        assert!(
+            matches!(ev.reason, DivergenceReason::ModelFault { .. } | DivergenceReason::NonFiniteLoss { .. }),
+            "reason: {:?}",
+            ev.reason
+        );
+        assert_eq!(ev.rolled_back_to, Some(1), "must roll back to the last good epoch");
+        assert_eq!(ev.lr_before, Some(0.01));
+        assert_eq!(ev.lr_after, Some(0.005), "LR must be halved");
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+        // The model itself must be clean after training.
+        assert!(model.check_finite().is_ok());
+    }
+
+    /// A model whose loss is permanently NaN (e.g. a poisoned sample the
+    /// trainer cannot route around): the guard must exhaust its budget and
+    /// abandon the run without panicking.
+    struct AlwaysNan {
+        lr: f32,
+    }
+
+    impl GraphClassifier for AlwaysNan {
+        fn name(&self) -> String {
+            "always-nan".into()
+        }
+        fn fit_epoch(&mut self, _train: &mut [(Ctdn, f32)]) -> f32 {
+            f32::NAN
+        }
+        fn predict_proba(&mut self, _g: &mut Ctdn) -> f32 {
+            0.5
+        }
+        fn set_learning_rate(&mut self, lr: f32) {
+            self.lr = lr;
+        }
+        fn learning_rate(&self) -> Option<f32> {
+            Some(self.lr)
+        }
+    }
+
+    #[test]
+    fn persistent_divergence_abandons_without_panicking() {
+        let mut model = AlwaysNan { lr: 0.01 };
+        let data = toy_data(4);
+        let guard_cfg = GuardConfig { max_recoveries: 2, ..GuardConfig::default() };
+        let report = train_guarded(&mut model, &data, &TrainConfig::default(), &guard_cfg);
+        assert!(report.aborted);
+        assert!(report.epoch_losses.is_empty());
+        assert_eq!(report.final_loss(), None);
+        assert_eq!(report.recoveries.len(), 3, "2 recoveries + 1 abandonment");
+        assert!(report.recoveries[2].abandoned);
+        assert!(report.recoveries.iter().take(2).all(|e| !e.abandoned));
+        // Two backoffs happened before abandonment.
+        assert!((model.lr - 0.0025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exploding_loss_is_divergence() {
+        // Losses: 1.0 (good), then 50.0 (explodes past 4×best), then good.
+        struct Scripted {
+            losses: Vec<f32>,
+            i: usize,
+        }
+        impl GraphClassifier for Scripted {
+            fn name(&self) -> String {
+                "scripted".into()
+            }
+            fn fit_epoch(&mut self, _train: &mut [(Ctdn, f32)]) -> f32 {
+                let l = self.losses[self.i.min(self.losses.len() - 1)];
+                self.i += 1;
+                l
+            }
+            fn predict_proba(&mut self, _g: &mut Ctdn) -> f32 {
+                0.5
+            }
+        }
+        let mut model = Scripted { losses: vec![1.0, 50.0, 0.9, 0.8], i: 0 };
+        let data = toy_data(2);
+        let cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let report = train_guarded(&mut model, &data, &cfg, &GuardConfig::default());
+        assert_eq!(report.epoch_losses, vec![1.0, 0.9, 0.8]);
+        assert_eq!(report.recoveries.len(), 1);
+        assert!(matches!(
+            report.recoveries[0].reason,
+            DivergenceReason::LossExploded { loss, best } if loss == 50.0 && best == 1.0
+        ));
+        // Scripted has no save_state: rollback is skipped, backoff-only.
+        assert_eq!(report.recoveries[0].rolled_back_to, None);
     }
 }

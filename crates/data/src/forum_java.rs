@@ -135,8 +135,8 @@ pub fn generate_session(cfg: &ForumJavaConfig, rng: &mut StdRng) -> Ctdn {
         }
         times.push(time);
     }
-    for i in 1..n {
-        g.add_edge(i - 1, i, times[i]);
+    for (i, &t) in times.iter().enumerate().skip(1) {
+        g.add_edge(i - 1, i, t);
     }
 
     // Async branches: an earlier event also links forward to a later one,

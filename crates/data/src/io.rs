@@ -46,67 +46,151 @@ pub fn to_string(ds: &GraphDataset) -> String {
     out
 }
 
-/// Parse a dataset from the line format. Returns a descriptive error string
-/// on malformed input.
-pub fn from_str(text: &str) -> Result<GraphDataset, String> {
+/// A parse failure, attributed to the 1-based input line that caused it.
+///
+/// Corrupt dataset files are a *reportable condition*, never a panic: every
+/// failure mode of [`from_str`] — malformed headers, bad numbers, truncated
+/// sections, out-of-bounds edges, non-finite values, absurd size claims —
+/// maps to a `ParseError`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn new(line_idx0: usize, msg: impl Into<String>) -> Self {
+        Self { line: line_idx0 + 1, msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Ceiling on `num_nodes × feature_dim` per graph, so a corrupt header
+/// claiming absurd dimensions is rejected instead of triggering a
+/// multi-gigabyte allocation (16M floats = 64 MiB).
+pub const MAX_FEATURE_ELEMS: usize = 1 << 24;
+
+/// Parse a dataset from the line format. Never panics: malformed input of
+/// any kind yields a line-numbered [`ParseError`].
+pub fn from_str(text: &str) -> Result<GraphDataset, ParseError> {
     let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or("empty input")?;
+    let (_, header) = lines.next().ok_or_else(|| ParseError::new(0, "empty input"))?;
     let mut parts = header.split_whitespace();
     if parts.next() != Some("dataset") {
-        return Err("missing `dataset` header".into());
+        return Err(ParseError::new(0, "missing `dataset` header"));
     }
-    let name = parts.next().ok_or("missing dataset name")?.to_string();
+    let name = parts.next().ok_or_else(|| ParseError::new(0, "missing dataset name"))?.to_string();
     let count: usize = parts
         .next()
-        .ok_or("missing graph count")?
+        .ok_or_else(|| ParseError::new(0, "missing graph count"))?
         .parse()
-        .map_err(|e| format!("bad graph count: {e}"))?;
+        .map_err(|e| ParseError::new(0, format!("bad graph count: {e}")))?;
 
     let mut ds = GraphDataset::new(name);
+    let mut last_line = 0;
     for _ in 0..count {
-        let (ln, gline) = lines.next().ok_or("unexpected end of input")?;
+        let (ln, gline) =
+            lines.next().ok_or_else(|| ParseError::new(last_line, "unexpected end of input"))?;
+        last_line = ln;
         let mut p = gline.split_whitespace();
         if p.next() != Some("graph") {
-            return Err(format!("line {}: expected `graph`", ln + 1));
+            return Err(ParseError::new(ln, "expected `graph`"));
         }
-        let label: u8 = p.next().ok_or("missing label")?.parse().map_err(|e| format!("bad label: {e}"))?;
-        let n: usize = p.next().ok_or("missing node count")?.parse().map_err(|e| format!("bad node count: {e}"))?;
-        let q: usize = p.next().ok_or("missing feature dim")?.parse().map_err(|e| format!("bad feature dim: {e}"))?;
-        let m: usize = p.next().ok_or("missing edge count")?.parse().map_err(|e| format!("bad edge count: {e}"))?;
+        let label: u8 = p
+            .next()
+            .ok_or_else(|| ParseError::new(ln, "missing label"))?
+            .parse()
+            .map_err(|e| ParseError::new(ln, format!("bad label: {e}")))?;
+        let n: usize = p
+            .next()
+            .ok_or_else(|| ParseError::new(ln, "missing node count"))?
+            .parse()
+            .map_err(|e| ParseError::new(ln, format!("bad node count: {e}")))?;
+        let q: usize = p
+            .next()
+            .ok_or_else(|| ParseError::new(ln, "missing feature dim"))?
+            .parse()
+            .map_err(|e| ParseError::new(ln, format!("bad feature dim: {e}")))?;
+        let m: usize = p
+            .next()
+            .ok_or_else(|| ParseError::new(ln, "missing edge count"))?
+            .parse()
+            .map_err(|e| ParseError::new(ln, format!("bad edge count: {e}")))?;
+        match n.checked_mul(q) {
+            Some(elems) if elems <= MAX_FEATURE_ELEMS => {}
+            _ => {
+                return Err(ParseError::new(
+                    ln,
+                    format!("feature matrix {n}x{q} exceeds the {MAX_FEATURE_ELEMS}-element limit"),
+                ))
+            }
+        }
 
         let mut feats = NodeFeatures::zeros(n, q);
         for v in 0..n {
-            let (ln, nline) = lines.next().ok_or("unexpected end of input in nodes")?;
+            let (ln, nline) = lines
+                .next()
+                .ok_or_else(|| ParseError::new(last_line, "unexpected end of input in nodes"))?;
+            last_line = ln;
             let mut p = nline.split_whitespace();
             if p.next() != Some("node") {
-                return Err(format!("line {}: expected `node`", ln + 1));
+                return Err(ParseError::new(ln, "expected `node`"));
             }
             for (j, tok) in p.enumerate() {
                 if j >= q {
-                    return Err(format!("line {}: too many features", ln + 1));
+                    return Err(ParseError::new(ln, "too many features"));
                 }
-                feats.row_mut(v)[j] = tok.parse().map_err(|e| format!("bad feature: {e}"))?;
+                let f: f32 = tok
+                    .parse()
+                    .map_err(|e| ParseError::new(ln, format!("bad feature: {e}")))?;
+                if !f.is_finite() {
+                    return Err(ParseError::new(ln, format!("non-finite feature {f}")));
+                }
+                feats.row_mut(v)[j] = f;
             }
         }
         let mut g = Ctdn::new(feats);
         for _ in 0..m {
-            let (ln, eline) = lines.next().ok_or("unexpected end of input in edges")?;
+            let (ln, eline) = lines
+                .next()
+                .ok_or_else(|| ParseError::new(last_line, "unexpected end of input in edges"))?;
+            last_line = ln;
             let mut p = eline.split_whitespace();
             if p.next() != Some("edge") {
-                return Err(format!("line {}: expected `edge`", ln + 1));
+                return Err(ParseError::new(ln, "expected `edge`"));
             }
-            let src: usize = p.next().ok_or("missing src")?.parse().map_err(|e| format!("bad src: {e}"))?;
-            let dst: usize = p.next().ok_or("missing dst")?.parse().map_err(|e| format!("bad dst: {e}"))?;
-            let t: f64 = p.next().ok_or("missing time")?.parse().map_err(|e| format!("bad time: {e}"))?;
-            if src >= n || dst >= n {
-                return Err(format!("line {}: edge endpoint out of bounds", ln + 1));
-            }
-            if !(t.is_finite() && t > 0.0) {
-                return Err(format!("line {}: timestamps must be finite and positive", ln + 1));
-            }
-            g.add_edge(src, dst, t);
+            let src: usize = p
+                .next()
+                .ok_or_else(|| ParseError::new(ln, "missing src"))?
+                .parse()
+                .map_err(|e| ParseError::new(ln, format!("bad src: {e}")))?;
+            let dst: usize = p
+                .next()
+                .ok_or_else(|| ParseError::new(ln, "missing dst"))?
+                .parse()
+                .map_err(|e| ParseError::new(ln, format!("bad dst: {e}")))?;
+            let t: f64 = p
+                .next()
+                .ok_or_else(|| ParseError::new(ln, "missing time"))?
+                .parse()
+                .map_err(|e| ParseError::new(ln, format!("bad time: {e}")))?;
+            // Route untrusted edges through the CTDN's fallible ingestion
+            // path; its typed error carries the endpoint/timestamp details.
+            g.try_add_edge(src, dst, t).map_err(|e| ParseError::new(ln, e.to_string()))?;
         }
         ds.graphs.push(LabeledGraph { graph: g, label: label != 0 });
+    }
+    if let Some((ln, trailing)) = lines.find(|(_, l)| !l.trim().is_empty()) {
+        return Err(ParseError::new(ln, format!("trailing data after last graph: `{trailing}`")));
     }
     Ok(ds)
 }
@@ -163,6 +247,37 @@ mod tests {
         assert!(from_str("dataset x 1\ngraph 0 1 1 0\n").is_err()); // missing node line
         assert!(from_str("dataset x 1\ngraph 0 2 1 0\nnode 0.0").is_err()); // too few node lines
         assert!(from_str("dataset x 1\ngraph 0 1 1 1\nnode 0.0\nedge 0 5 1.0").is_err()); // bad endpoint
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_str("dataset x 1\ngraph 0 1 1 1\nnode 0.0\nedge 0 5 1.0").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.to_string().starts_with("line 4:"), "{err}");
+        assert!(err.msg.contains("out of bounds"), "{err}");
+
+        let err = from_str("dataset x 1\ngraph 0 1 1 0\nnode NaN").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("non-finite"), "{err}");
+
+        let err = from_str("dataset x 1\ngraph 0 1 1 1\nnode 0.0\nedge 0 0 -3").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("finite and > 0"), "{err}");
+
+        let err = from_str("dataset x 1\ngraph 0 1 1 0\nnode 0.5\nextra").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.msg.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn absurd_dimension_claims_rejected_without_allocating() {
+        // A corrupt header claiming a petabyte feature matrix must be a
+        // parse error, not an OOM or a capacity overflow.
+        let err = from_str("dataset x 1\ngraph 0 99999999999 99999999 0").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.msg.contains("limit"), "{err}");
+        let overflow = format!("dataset x 1\ngraph 0 {} {} 0", usize::MAX, usize::MAX);
+        assert_eq!(from_str(&overflow).unwrap_err().line, 2);
     }
 
     #[test]

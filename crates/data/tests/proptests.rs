@@ -1,0 +1,150 @@
+//! Property-based tests for the dataset line format, on the in-repo
+//! `tpgnn_rng::check` harness: `io::from_str` must never panic — a clean
+//! serialization round-trips `Ok`, and arbitrarily corrupted text yields a
+//! line-numbered `Err`. Reproduce failures with
+//! `TPGNN_PROP_SEED=<seed> cargo test -q <name>`.
+
+use tpgnn_data::io;
+use tpgnn_data::{GraphDataset, LabeledGraph};
+use tpgnn_graph::{Ctdn, NodeFeatures};
+use tpgnn_rng::{check, Rng, StdRng};
+
+/// Generator: a small random dataset of 1–4 graphs.
+fn gen_dataset(rng: &mut StdRng) -> GraphDataset {
+    let mut ds = GraphDataset::new(format!("prop_{}", rng.random_range(0u32..1000)));
+    for _ in 0..rng.random_range(1usize..=4) {
+        let n = rng.random_range(1usize..=6);
+        let q = rng.random_range(1usize..=4);
+        let mut feats = NodeFeatures::zeros(n, q);
+        for v in 0..n {
+            for j in 0..q {
+                feats.row_mut(v)[j] = rng.random_range(-2.0f32..2.0);
+            }
+        }
+        let mut g = Ctdn::new(feats);
+        for _ in 0..rng.random_range(0usize..=10) {
+            let s = rng.random_range(0..n);
+            let d = rng.random_range(0..n);
+            let t = f64::from(rng.random_range(1u32..50));
+            g.add_edge(s, d, t);
+        }
+        ds.graphs.push(LabeledGraph { graph: g, label: rng.random_range(0u32..2) == 1 });
+    }
+    ds
+}
+
+/// Corrupt serialized text: truncate at a random byte, flip a random
+/// character to a random printable byte, or splice in a hostile token.
+fn corrupt(rng: &mut StdRng, text: &str) -> String {
+    let mut s = text.to_string();
+    match rng.random_range(0u32..4) {
+        0 => {
+            // Truncate mid-stream (on a char boundary; the format is ASCII).
+            let cut = rng.random_range(0..=s.len());
+            s.truncate(cut);
+        }
+        1 => {
+            // Overwrite one byte with a random printable character.
+            if !s.is_empty() {
+                let i = rng.random_range(0..s.len());
+                let c = (rng.random_range(0x20u32..0x7f) as u8) as char;
+                s.replace_range(i..i + 1, &c.to_string());
+            }
+        }
+        2 => {
+            // Splice a hostile token at a random line start.
+            let tokens = ["NaN", "inf", "-1", "99999999999999999999", "graph x", "\u{0}"];
+            let tok = tokens[rng.random_range(0..tokens.len())];
+            let lines: Vec<&str> = s.lines().collect();
+            let at = rng.random_range(0..=lines.len());
+            let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+            out.insert(at.min(out.len()), tok.to_string());
+            s = out.join("\n");
+        }
+        _ => {
+            // Inflate a header count so sections run past EOF or claim
+            // absurd sizes.
+            s = s.replacen(" 1 ", " 999999999999 ", 1);
+        }
+    }
+    s
+}
+
+#[test]
+fn from_str_roundtrips_clean_datasets() {
+    check::cases(
+        "from_str_roundtrips_clean_datasets",
+        64,
+        gen_dataset,
+        |ds| {
+            let text = io::to_string(ds);
+            let back = io::from_str(&text).expect("clean serialization must parse");
+            assert_eq!(back.len(), ds.len());
+            for (a, b) in ds.graphs.iter().zip(&back.graphs) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+                assert_eq!(a.graph.features(), b.graph.features());
+                assert_eq!(a.graph.edges(), b.graph.edges());
+            }
+        },
+    );
+}
+
+#[test]
+fn from_str_never_panics_on_corrupted_text() {
+    check::cases_with_rng(
+        "from_str_never_panics_on_corrupted_text",
+        256,
+        |rng| {
+            let ds = gen_dataset(rng);
+            io::to_string(&ds)
+        },
+        |text, rng| {
+            let mutated = corrupt(rng, text);
+            // The property: parsing either succeeds (some corruptions are
+            // harmless, e.g. a flipped digit inside a feature) or reports a
+            // line-numbered error. Any panic fails the harness.
+            match io::from_str(&mutated) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.line >= 1, "line numbers are 1-based: {e}");
+                    assert!(
+                        e.line <= mutated.lines().count().max(1),
+                        "line {} out of range for {} lines",
+                        e.line,
+                        mutated.lines().count()
+                    );
+                    assert!(e.to_string().starts_with(&format!("line {}:", e.line)));
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn from_str_never_panics_on_arbitrary_bytes() {
+    check::cases(
+        "from_str_never_panics_on_arbitrary_bytes",
+        128,
+        |rng| {
+            let len = rng.random_range(0usize..400);
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                // Mostly printable ASCII with newlines and some format
+                // keywords so parsing gets past the first token sometimes.
+                match rng.random_range(0u32..12) {
+                    0 => s.push('\n'),
+                    1 => s.push_str("dataset "),
+                    2 => s.push_str("graph "),
+                    3 => s.push_str("node "),
+                    4 => s.push_str("edge "),
+                    _ => s.push((rng.random_range(0x20u32..0x7f) as u8) as char),
+                }
+            }
+            s
+        },
+        |text| {
+            let _ = io::from_str(text);
+        },
+    );
+}

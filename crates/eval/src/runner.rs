@@ -8,7 +8,7 @@
 
 use std::time::{Duration, Instant};
 
-use tpgnn_core::{GraphClassifier, TrainConfig};
+use tpgnn_core::{GraphClassifier, GuardConfig, TrainConfig};
 use tpgnn_data::{DatasetKind, GraphDataset};
 use tpgnn_graph::Ctdn;
 
@@ -161,7 +161,25 @@ fn run_once(
     let train_cfg = TrainConfig { epochs: cfg.epochs, shuffle_ties: true, seed };
 
     let t0 = Instant::now();
-    tpgnn_core::train(model.as_mut(), &train_pairs, &train_cfg);
+    // The production path: guardrails on. A model that blows up mid-run is
+    // rolled back and retried with a halved learning rate instead of
+    // poisoning every epoch after the blow-up (or panicking the harness).
+    let report =
+        tpgnn_core::train_guarded(model.as_mut(), &train_pairs, &train_cfg, &GuardConfig::default());
+    if !report.recoveries.is_empty() {
+        eprintln!(
+            "[guard] {}: {} recovery event(s){}: {}",
+            model.name(),
+            report.recoveries.len(),
+            if report.aborted { ", run abandoned" } else { "" },
+            report
+                .recoveries
+                .iter()
+                .map(|e| format!("epoch {}: {}", e.epoch, e.reason))
+                .collect::<Vec<_>>()
+                .join("; "),
+        );
+    }
     let train_time = t0.elapsed();
 
     let t1 = Instant::now();

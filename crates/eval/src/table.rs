@@ -44,8 +44,8 @@ pub fn render_heatmap(
     out.push('\n');
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!("{r:>8}"));
-        for j in 0..cols.len() {
-            out.push_str(&format!("{:>9.2}", values[i][j].mean * 100.0));
+        for v in values[i].iter().take(cols.len()) {
+            out.push_str(&format!("{:>9.2}", v.mean * 100.0));
         }
         out.push('\n');
     }

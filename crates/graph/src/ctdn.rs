@@ -4,8 +4,52 @@
 //! temporal edges `(u, v, t)`, and a `n × q` node feature matrix. Edge
 //! direction denotes information flow (Sec. III).
 
+use std::fmt;
+
 use tpgnn_rng::rngs::StdRng;
 use tpgnn_rng::seq::SliceRandom;
+
+/// A typed error from CTDN construction.
+///
+/// Produced by the fallible ingestion path ([`Ctdn::try_add_edge`]); the
+/// infallible [`Ctdn::add_edge`] wrapper panics with this error's [`Display`]
+/// message and is reserved for programmatic construction (simulators, tests)
+/// where a violation is a bug, not a data condition.
+///
+/// [`Display`]: fmt::Display
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint does not name a node of the graph.
+    EndpointOutOfBounds {
+        /// Which endpoint: `"source"` or `"target"`.
+        endpoint: &'static str,
+        /// The offending node index.
+        index: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A timestamp is NaN, infinite, or not strictly positive (the paper
+    /// requires `t > 0`).
+    BadTimestamp {
+        /// The offending timestamp.
+        time: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EndpointOutOfBounds { endpoint, index, num_nodes } => {
+                write!(f, "edge {endpoint} {index} out of bounds for {num_nodes} nodes")
+            }
+            GraphError::BadTimestamp { time } => {
+                write!(f, "timestamps must be finite and > 0, got {time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// A directed temporal edge `(u, v, t)`: information flows from `src` to
 /// `dst` at time `time`.
@@ -126,21 +170,44 @@ impl Ctdn {
         &mut self.features
     }
 
-    /// Append a temporal edge.
+    /// Append a temporal edge, reporting a [`GraphError`] if an endpoint is
+    /// out of bounds or the timestamp is not finite and strictly positive.
     ///
-    /// # Panics
-    /// Panics if an endpoint is out of bounds, the timestamp is not positive,
-    /// or the timestamp is not finite.
-    pub fn add_edge(&mut self, src: usize, dst: usize, time: f64) {
-        assert!(src < self.num_nodes(), "edge source {src} out of bounds");
-        assert!(dst < self.num_nodes(), "edge target {dst} out of bounds");
-        assert!(time.is_finite() && time > 0.0, "timestamps must be finite and > 0, got {time}");
+    /// This is the ingestion-facing path: dataset parsers feed untrusted
+    /// input through it so a corrupt file is a reportable condition.
+    pub fn try_add_edge(&mut self, src: usize, dst: usize, time: f64) -> Result<(), GraphError> {
+        let n = self.num_nodes();
+        if src >= n {
+            return Err(GraphError::EndpointOutOfBounds { endpoint: "source", index: src, num_nodes: n });
+        }
+        if dst >= n {
+            return Err(GraphError::EndpointOutOfBounds { endpoint: "target", index: dst, num_nodes: n });
+        }
+        if !(time.is_finite() && time > 0.0) {
+            return Err(GraphError::BadTimestamp { time });
+        }
         if let Some(last) = self.edges.last() {
             if time < last.time {
                 self.sorted = false;
             }
         }
         self.edges.push(TemporalEdge::new(src, dst, time));
+        Ok(())
+    }
+
+    /// Append a temporal edge.
+    ///
+    /// Thin infallible wrapper over [`Ctdn::try_add_edge`] for programmatic
+    /// construction (the dataset simulators, tests) where a violation is a
+    /// bug rather than a data condition.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of bounds, the timestamp is not positive,
+    /// or the timestamp is not finite.
+    pub fn add_edge(&mut self, src: usize, dst: usize, time: f64) {
+        if let Err(e) = self.try_add_edge(src, dst, time) {
+            panic!("{e}");
+        }
     }
 
     /// Ensure the edge list is chronologically sorted (stable for ties).
@@ -271,6 +338,27 @@ mod tests {
     fn out_of_bounds_edge_rejected() {
         let mut g = Ctdn::with_zero_features(2, 1);
         g.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    fn try_add_edge_reports_typed_errors() {
+        let mut g = Ctdn::with_zero_features(2, 1);
+        assert_eq!(
+            g.try_add_edge(5, 0, 1.0),
+            Err(GraphError::EndpointOutOfBounds { endpoint: "source", index: 5, num_nodes: 2 })
+        );
+        assert_eq!(
+            g.try_add_edge(0, 3, 1.0),
+            Err(GraphError::EndpointOutOfBounds { endpoint: "target", index: 3, num_nodes: 2 })
+        );
+        assert!(matches!(
+            g.try_add_edge(0, 1, f64::NAN),
+            Err(GraphError::BadTimestamp { time }) if time.is_nan()
+        ));
+        assert_eq!(g.try_add_edge(0, 1, -1.0), Err(GraphError::BadTimestamp { time: -1.0 }));
+        assert_eq!(g.num_edges(), 0, "rejected edges must not be stored");
+        assert_eq!(g.try_add_edge(0, 1, 1.0), Ok(()));
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub mod snapshot;
 mod static_view;
 mod stats;
 
-pub use ctdn::{Ctdn, NodeFeatures, TemporalEdge};
+pub use ctdn::{Ctdn, GraphError, NodeFeatures, TemporalEdge};
 pub use influence::{InfluenceAnalysis, NodeSet};
 pub use neighbor::{NeighborEvent, TemporalNeighborIndex};
 pub use snapshot::{snapshots, Snapshot, SnapshotSpec};

@@ -78,7 +78,7 @@ impl MultiHeadAttention {
         num_heads: usize,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(num_heads > 0 && dim % num_heads == 0, "dim must divide evenly among heads");
+        assert!(num_heads > 0 && dim.is_multiple_of(num_heads), "dim must divide evenly among heads");
         let head_dim = dim / num_heads;
         let heads = (0..num_heads)
             .map(|h| AttentionHead::new(store, &format!("{prefix}.h{h}"), query_dim, kv_dim, head_dim, rng))

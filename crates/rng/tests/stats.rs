@@ -28,7 +28,7 @@ fn uniform_f32_histogram_is_flat() {
     let mut bins = [0usize; 16];
     for _ in 0..N {
         let x: f32 = rng.random();
-        bins[(x * 16.0) as usize] = bins[(x * 16.0) as usize] + 1;
+        bins[(x * 16.0) as usize] += 1;
     }
     let expect = N / 16;
     for (i, &count) in bins.iter().enumerate() {

@@ -1,0 +1,88 @@
+//! Typed errors for the autodiff substrate.
+//!
+//! The error-handling policy (DESIGN.md, "Error handling & recovery
+//! policy") distinguishes programmer errors — wrong shapes hard-coded in
+//! model definitions, which keep panicking via the infallible ops — from
+//! *runtime* conditions that a training loop must be able to observe and
+//! recover from: non-finite values produced by a numerical blow-up, and
+//! shape/axis violations on data-dependent paths. The latter surface as
+//! [`TensorError`].
+
+use std::fmt;
+
+/// A typed error from a tensor or tape operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TensorError {
+    /// Two operand shapes are incompatible for `op`.
+    ShapeMismatch {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand.
+        rhs: (usize, usize),
+    },
+    /// A NaN or infinity appeared in the output of a tape operation.
+    NonFinite {
+        /// Name of the tape op that first produced a non-finite value.
+        op: &'static str,
+        /// Tape node index of that op's output.
+        node: usize,
+    },
+    /// A row/column index is out of bounds for `op`.
+    BadAxis {
+        /// Name of the operation that was attempted.
+        op: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound the index must stay under.
+        bound: usize,
+    },
+    /// A parameter's value or gradient contains a NaN or infinity.
+    NonFiniteParam {
+        /// Name the parameter was registered under.
+        name: String,
+        /// Which buffer is poisoned: `"value"` or `"gradient"`.
+        buffer: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "{op}: shape mismatch {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::NonFinite { op, node } => {
+                write!(f, "non-finite value produced by `{op}` at tape node {node}")
+            }
+            TensorError::BadAxis { op, index, bound } => {
+                write!(f, "{op}: index {index} out of bounds for size {bound}")
+            }
+            TensorError::NonFiniteParam { name, buffer } => {
+                write!(f, "parameter `{name}` has a non-finite {buffer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: (2, 3), rhs: (4, 5) };
+        assert_eq!(e.to_string(), "matmul: shape mismatch 2x3 vs 4x5");
+        let e = TensorError::NonFinite { op: "exp", node: 7 };
+        assert!(e.to_string().contains("exp") && e.to_string().contains("7"));
+        let e = TensorError::BadAxis { op: "row", index: 9, bound: 3 };
+        assert!(e.to_string().contains("9") && e.to_string().contains("3"));
+        let e = TensorError::NonFiniteParam { name: "w".into(), buffer: "gradient" };
+        assert!(e.to_string().contains("`w`") && e.to_string().contains("gradient"));
+    }
+}

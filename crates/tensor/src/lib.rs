@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+mod error;
 pub mod gradcheck;
 pub mod init;
 pub mod linalg;
@@ -29,6 +30,7 @@ mod params;
 mod tape;
 mod tensor;
 
+pub use error::TensorError;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
 pub use tape::{Grads, Tape, Var};

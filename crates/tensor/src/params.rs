@@ -7,6 +7,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::TensorError;
 use crate::tensor::Tensor;
 
 /// Stable identifier of a parameter within a [`ParamStore`].
@@ -134,6 +135,23 @@ impl ParamStore {
         (0..self.entries.len()).map(ParamId)
     }
 
+    /// Verify that every parameter value and accumulated gradient is finite,
+    /// reporting the first poisoned parameter by name.
+    pub fn check_finite(&self) -> Result<(), TensorError> {
+        for e in &self.entries {
+            if e.value.has_non_finite() {
+                return Err(TensorError::NonFiniteParam { name: e.name.clone(), buffer: "value" });
+            }
+            if e.grad.has_non_finite() {
+                return Err(TensorError::NonFiniteParam {
+                    name: e.name.clone(),
+                    buffer: "gradient",
+                });
+            }
+        }
+        Ok(())
+    }
+
     pub(crate) fn adam_state_mut(&mut self, id: ParamId) -> (&mut Tensor, &mut Tensor, &mut Tensor, &Tensor) {
         let e = &mut self.entries[id.0];
         (&mut e.value, &mut e.m, &mut e.v, &e.grad)
@@ -148,37 +166,60 @@ impl ParamStore {
     /// checkpoint: one `param <name> <rows> <cols>` header per parameter
     /// followed by its row-major values, one row per line.
     pub fn to_checkpoint(&self) -> String {
+        self.serialize(false)
+    }
+
+    /// Serialize parameter values **and** Adam moments (`checkpoint-full`
+    /// header; each parameter's value rows are followed by its first- and
+    /// second-moment rows). Restoring a full checkpoint resumes training
+    /// bitwise-identically; see `optim::save_training_state` for the wrapper
+    /// that also captures the optimizer's step count.
+    pub fn to_checkpoint_full(&self) -> String {
+        self.serialize(true)
+    }
+
+    fn serialize(&self, full: bool) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "checkpoint {}", self.entries.len());
+        let header = if full { "checkpoint-full" } else { "checkpoint" };
+        let _ = writeln!(out, "{header} {}", self.entries.len());
         for e in &self.entries {
             let (r, c) = e.value.shape();
             let _ = writeln!(out, "param {} {} {}", e.name.replace(' ', "_"), r, c);
-            for i in 0..r {
-                let mut first = true;
-                for v in e.value.row(i) {
-                    if !first {
-                        out.push(' ');
+            let tensors: &[&Tensor] =
+                if full { &[&e.value, &e.m, &e.v] } else { &[&e.value] };
+            for t in tensors {
+                for i in 0..r {
+                    let mut first = true;
+                    for v in t.row(i) {
+                        if !first {
+                            out.push(' ');
+                        }
+                        let _ = write!(out, "{v}");
+                        first = false;
                     }
-                    let _ = write!(out, "{v}");
-                    first = false;
+                    out.push('\n');
                 }
-                out.push('\n');
             }
         }
         out
     }
 
-    /// Load parameter values from a checkpoint produced by
-    /// [`ParamStore::to_checkpoint`]. Parameters are matched **by name**;
-    /// every parameter in the store must be present with a matching shape.
-    /// Optimizer moments are reset.
+    /// Load a checkpoint produced by [`ParamStore::to_checkpoint`] or
+    /// [`ParamStore::to_checkpoint_full`]. Parameters are matched **by
+    /// name**; every parameter in the store must be present with a matching
+    /// shape. Optimizer moments are restored from a full checkpoint and
+    /// reset to zero otherwise.
     pub fn load_checkpoint(&mut self, text: &str) -> Result<(), String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty checkpoint")?;
-        if !header.starts_with("checkpoint ") {
+        let full = if header.starts_with("checkpoint-full ") {
+            true
+        } else if header.starts_with("checkpoint ") {
+            false
+        } else {
             return Err("missing `checkpoint` header".into());
-        }
+        };
         let mut loaded = std::collections::HashMap::new();
         while let Some(line) = lines.next() {
             let mut p = line.split_whitespace();
@@ -188,35 +229,49 @@ impl ParamStore {
             let name = p.next().ok_or("missing param name")?.to_string();
             let r: usize = p.next().ok_or("missing rows")?.parse().map_err(|e| format!("bad rows: {e}"))?;
             let c: usize = p.next().ok_or("missing cols")?.parse().map_err(|e| format!("bad cols: {e}"))?;
-            let mut data = Vec::with_capacity(r * c);
-            for _ in 0..r {
-                let row = lines.next().ok_or("unexpected end of checkpoint")?;
-                for tok in row.split_whitespace() {
-                    data.push(tok.parse::<f32>().map_err(|e| format!("bad value: {e}"))?);
+            let sections = if full { 3 } else { 1 };
+            let mut parsed = Vec::with_capacity(sections);
+            for _ in 0..sections {
+                let mut data = Vec::new();
+                for _ in 0..r {
+                    let row = lines.next().ok_or("unexpected end of checkpoint")?;
+                    for tok in row.split_whitespace() {
+                        data.push(tok.parse::<f32>().map_err(|e| format!("bad value: {e}"))?);
+                    }
                 }
+                if data.len() != r * c {
+                    return Err(format!(
+                        "parameter `{name}`: expected {} values, got {}",
+                        r * c,
+                        data.len()
+                    ));
+                }
+                parsed.push(Tensor::from_vec(r, c, data));
             }
-            if data.len() != r * c {
-                return Err(format!("parameter `{name}`: expected {} values, got {}", r * c, data.len()));
-            }
-            loaded.insert(name, Tensor::from_vec(r, c, data));
+            loaded.insert(name, parsed);
         }
         for e in &mut self.entries {
             let key = e.name.replace(' ', "_");
-            let t = loaded
+            let mut parsed = loaded
                 .remove(&key)
                 .ok_or_else(|| format!("checkpoint is missing parameter `{}`", e.name))?;
-            if t.shape() != e.value.shape() {
+            if parsed[0].shape() != e.value.shape() {
                 return Err(format!(
                     "parameter `{}`: checkpoint shape {:?} != store shape {:?}",
                     e.name,
-                    t.shape(),
+                    parsed[0].shape(),
                     e.value.shape()
                 ));
             }
-            e.value = t;
+            if full {
+                e.v = parsed.pop().expect("second moment");
+                e.m = parsed.pop().expect("first moment");
+            } else {
+                e.m.fill(0.0);
+                e.v.fill(0.0);
+            }
+            e.value = parsed.pop().expect("value");
             e.grad.fill(0.0);
-            e.m.fill(0.0);
-            e.v.fill(0.0);
         }
         Ok(())
     }
@@ -296,6 +351,59 @@ mod tests {
         let text = store.to_checkpoint();
         store.load_checkpoint(&text).expect("load");
         assert_eq!(store.grad(id).item(), 0.0);
+    }
+
+    #[test]
+    fn full_checkpoint_restores_adam_moments() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(1, 2, vec![1.0, -2.0]));
+        store.entries[id.0].m.data_mut().copy_from_slice(&[0.25, -0.5]);
+        store.entries[id.0].v.data_mut().copy_from_slice(&[0.0625, 0.125]);
+        let text = store.to_checkpoint_full();
+        assert!(text.starts_with("checkpoint-full 1"));
+
+        let mut other = ParamStore::new();
+        let id2 = other.register("w", Tensor::zeros(1, 2));
+        other.load_checkpoint(&text).expect("load");
+        assert_eq!(other.value(id2).data(), &[1.0, -2.0]);
+        assert_eq!(other.entries[id2.0].m.data(), &[0.25, -0.5]);
+        assert_eq!(other.entries[id2.0].v.data(), &[0.0625, 0.125]);
+
+        // A values-only checkpoint of the same store resets the moments.
+        other.load_checkpoint(&store.to_checkpoint()).expect("load plain");
+        assert_eq!(other.entries[id2.0].m.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrip_is_bitwise() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::from_vec(1, 3, vec![0.1, -1.0e-7, 3.4e37]));
+        store.entries[id.0].m.data_mut().copy_from_slice(&[0.3333333, -0.0, 1.25e-20]);
+        let text = store.to_checkpoint_full();
+        let mut other = ParamStore::new();
+        let id2 = other.register("w", Tensor::zeros(1, 3));
+        other.load_checkpoint(&text).expect("load");
+        for (a, b) in store.value(id).data().iter().zip(other.value(id2).data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in store.entries[id.0].m.data().iter().zip(other.entries[id2.0].m.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn check_finite_names_the_poisoned_parameter() {
+        let mut store = ParamStore::new();
+        let a = store.register("layer.w", Tensor::zeros(1, 2));
+        let _b = store.register("layer.b", Tensor::zeros(1, 1));
+        assert!(store.check_finite().is_ok());
+        store.grad_mut(a).set(0, 1, f32::NAN);
+        let err = store.check_finite().expect_err("NaN grad must be caught");
+        let msg = err.to_string();
+        assert!(msg.contains("layer.w") && msg.contains("gradient"), "{msg}");
+        store.zero_grads();
+        store.value_mut(a).set(0, 0, f32::INFINITY);
+        assert!(store.check_finite().unwrap_err().to_string().contains("value"));
     }
 
     #[test]

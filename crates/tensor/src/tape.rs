@@ -11,8 +11,19 @@
 //! call `backward`, then flush parameter gradients back to the
 //! [`ParamStore`](crate::ParamStore) with [`Tape::flush_grads`].
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::error::TensorError;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::{matmul_a_bt_into, matmul_at_b_into, Tensor};
+
+/// Process-wide default for [`Tape::set_guard`], applied by [`Tape::new`].
+///
+/// The training guardrails (`tpgnn_core::GuardConfig { scan_tapes: true }`)
+/// flip this on so that every tape built anywhere in the stack — including
+/// the baselines' macro-generated training loops — scans each op output for
+/// NaN/Inf as it is recorded.
+static DEFAULT_GUARD: AtomicBool = AtomicBool::new(false);
 
 /// Handle to a value recorded on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,6 +95,42 @@ enum Op {
     BceWithLogits(usize, f32),
 }
 
+impl Op {
+    /// Human-readable op name used in non-finite diagnostics.
+    fn name(&self) -> &'static str {
+        match self {
+            Op::Leaf => "input",
+            Op::Param(_) => "param",
+            Op::MatMul(..) => "matmul",
+            Op::Add(..) => "add",
+            Op::Sub(..) => "sub",
+            Op::Mul(..) => "mul",
+            Op::AddRow(..) => "add_row",
+            Op::Scale(..) => "scale",
+            Op::AddScalar(_) => "add_scalar",
+            Op::Sigmoid(_) => "sigmoid",
+            Op::Tanh(_) => "tanh",
+            Op::Relu(_) => "relu",
+            Op::LeakyRelu(..) => "leaky_relu",
+            Op::Sin(_) => "sin",
+            Op::Exp(_) => "exp",
+            Op::Ln(_) => "ln",
+            Op::Abs(_) => "abs",
+            Op::OneMinus(_) => "one_minus",
+            Op::ConcatCols(..) => "concat_cols",
+            Op::SliceCols(..) => "slice_cols",
+            Op::SliceRows(..) => "slice_rows",
+            Op::MeanRows(_) => "mean_rows",
+            Op::SumRows(_) => "sum_rows",
+            Op::MeanAll(_) => "mean_all",
+            Op::StackRows(_) => "stack_rows",
+            Op::Softmax(_) => "softmax",
+            Op::Transpose(_) => "transpose",
+            Op::BceWithLogits(..) => "bce_with_logits",
+        }
+    }
+}
+
 struct Node {
     value: Tensor,
     op: Op,
@@ -93,17 +140,68 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// When set, every recorded value is scanned for NaN/Inf as it is
+    /// pushed, and the first offender is remembered in `non_finite`.
+    guard: bool,
+    non_finite: Option<TensorError>,
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape, guarded per [`Tape::set_default_guard`].
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(256) }
+        Self {
+            nodes: Vec::with_capacity(256),
+            guard: DEFAULT_GUARD.load(Ordering::Relaxed),
+            non_finite: None,
+        }
+    }
+
+    /// Set the process-wide default for new tapes' non-finite guard.
+    ///
+    /// The scan costs one pass over each op's output — negligible next to
+    /// the matmuls — and buys op-level attribution of numerical blow-ups.
+    pub fn set_default_guard(on: bool) {
+        DEFAULT_GUARD.store(on, Ordering::Relaxed);
+    }
+
+    /// The current process-wide default guard setting.
+    pub fn default_guard() -> bool {
+        DEFAULT_GUARD.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the non-finite scan for this tape only.
+    pub fn set_guard(&mut self, on: bool) {
+        self.guard = on;
+    }
+
+    /// Whether this tape scans op outputs for non-finite values.
+    pub fn guarded(&self) -> bool {
+        self.guard
+    }
+
+    /// The first non-finite value detected by the guard, if any.
+    ///
+    /// Always `None` when the guard is off — use [`Tape::check_finite`] for
+    /// an on-demand scan in that case.
+    pub fn non_finite(&self) -> Option<&TensorError> {
+        self.non_finite.as_ref()
+    }
+
+    /// Scan every recorded value for NaN/Inf on demand, regardless of the
+    /// guard setting, reporting the earliest offending op.
+    pub fn check_finite(&self) -> Result<(), TensorError> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if node.value.has_non_finite() {
+                return Err(TensorError::NonFinite { op: node.op.name(), node: idx });
+            }
+        }
+        Ok(())
     }
 
     /// Clears all recorded nodes, keeping the allocation.
     pub fn reset(&mut self) {
         self.nodes.clear();
+        self.non_finite = None;
     }
 
     /// Number of recorded nodes.
@@ -124,6 +222,9 @@ impl Tape {
     fn push(&mut self, value: Tensor, op: Op) -> Var {
         let (rows, cols) = value.shape();
         let idx = self.nodes.len();
+        if self.guard && self.non_finite.is_none() && value.has_non_finite() {
+            self.non_finite = Some(TensorError::NonFinite { op: op.name(), node: idx });
+        }
         self.nodes.push(Node { value, op });
         Var { idx, rows, cols }
     }
@@ -382,7 +483,19 @@ impl Tape {
             }
             self.backward_node(i, gout, gin);
         }
-        Grads { grads }
+        let mut non_finite = None;
+        if self.guard {
+            // One extra pass over the arena: attribute the first poisoned
+            // gradient to the op whose backward rule produced it.
+            for (i, g) in grads.iter().enumerate() {
+                if g.has_non_finite() {
+                    non_finite =
+                        Some(TensorError::NonFinite { op: self.nodes[i].op.name(), node: i });
+                    break;
+                }
+            }
+        }
+        Grads { grads, non_finite }
     }
 
     /// Propagate `gout` (gradient at node `i`) into `gin` (gradients of nodes `< i`).
@@ -571,12 +684,21 @@ impl Tape {
 /// Gradient arena produced by [`Tape::backward`].
 pub struct Grads {
     grads: Vec<Tensor>,
+    non_finite: Option<TensorError>,
 }
 
 impl Grads {
     /// Gradient of the loss with respect to variable `v`.
     pub fn wrt(&self, v: Var) -> &Tensor {
         &self.grads[v.idx]
+    }
+
+    /// The first non-finite gradient detected during the backward sweep.
+    ///
+    /// Only populated when the producing tape was guarded (see
+    /// [`Tape::set_guard`]).
+    pub fn non_finite(&self) -> Option<&TensorError> {
+        self.non_finite.as_ref()
     }
 }
 
@@ -707,6 +829,60 @@ mod tests {
         let grads = tape.backward(loss);
         assert_eq!(grads.wrt(a).data(), &[0.25, 0.25]);
         assert_eq!(grads.wrt(b).data(), &[0.25, 0.25]);
+    }
+
+    #[test]
+    fn guard_attributes_non_finite_to_producing_op() {
+        let mut tape = Tape::new();
+        tape.set_guard(true);
+        let a = tape.input(Tensor::row_vector(&[100.0, 1.0]));
+        let big = tape.scale(a, 1e38); // overflows f32 -> inf
+        let e = tape.exp(big);
+        let err = tape.non_finite().expect("guard must fire");
+        match err {
+            crate::TensorError::NonFinite { op, node } => {
+                assert_eq!(*op, "scale");
+                assert_eq!(*node, big.idx);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // check_finite agrees, and the tape keeps recording after detection.
+        assert!(tape.check_finite().is_err());
+        let _ = tape.tanh(e);
+    }
+
+    #[test]
+    fn unguarded_tape_detects_on_demand_only() {
+        let mut tape = Tape::new();
+        assert!(!tape.guarded());
+        let a = tape.input(Tensor::row_vector(&[f32::NAN]));
+        let _ = tape.relu(a);
+        assert!(tape.non_finite().is_none(), "no per-op scan when unguarded");
+        let err = tape.check_finite().expect_err("on-demand scan must find it");
+        assert!(err.to_string().contains("input"));
+    }
+
+    #[test]
+    fn guarded_backward_reports_non_finite_gradients() {
+        // ln(0) = -inf in the value; its backward rule divides by zero.
+        let mut tape = Tape::new();
+        tape.set_guard(true);
+        let a = tape.input(Tensor::row_vector(&[0.0]));
+        let l = tape.ln(a);
+        let loss = tape.mean_all(l);
+        let grads = tape.backward(loss);
+        assert!(grads.non_finite().is_some());
+    }
+
+    #[test]
+    fn guard_clears_on_reset_and_default_is_off() {
+        assert!(!Tape::default_guard());
+        let mut tape = Tape::new();
+        tape.set_guard(true);
+        let _ = tape.input(Tensor::row_vector(&[f32::INFINITY]));
+        assert!(tape.non_finite().is_some());
+        tape.reset();
+        assert!(tape.non_finite().is_none());
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use crate::error::TensorError;
+
 /// A dense, row-major `rows × cols` matrix of `f32`.
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
@@ -167,6 +169,16 @@ impl Tensor {
         Tensor::from_vec(1, self.cols, self.row(i).to_vec())
     }
 
+    /// Fallible [`Tensor::row`]: borrow row `i`, or report a
+    /// [`TensorError::BadAxis`] instead of panicking.
+    pub fn try_row(&self, i: usize) -> Result<&[f32], TensorError> {
+        if i < self.rows {
+            Ok(&self.data[i * self.cols..(i + 1) * self.cols])
+        } else {
+            Err(TensorError::BadAxis { op: "row", index: i, bound: self.rows })
+        }
+    }
+
     /// Fill every element with `value`.
     pub fn fill(&mut self, value: f32) {
         self.data.iter_mut().for_each(|x| *x = value);
@@ -199,9 +211,31 @@ impl Tensor {
         }
     }
 
+    fn check_same_shape(&self, other: &Tensor, op: &'static str) -> Result<(), TensorError> {
+        if self.shape() == other.shape() {
+            Ok(())
+        } else {
+            Err(TensorError::ShapeMismatch { op, lhs: self.shape(), rhs: other.shape() })
+        }
+    }
+
     /// Elementwise sum.
     pub fn add(&self, other: &Tensor) -> Tensor {
         self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Fallible [`Tensor::add`]: reports a [`TensorError::ShapeMismatch`]
+    /// instead of panicking.
+    pub fn try_add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other, "add")?;
+        Ok(self.add(other))
+    }
+
+    /// Fallible [`Tensor::hadamard`]: reports a
+    /// [`TensorError::ShapeMismatch`] instead of panicking.
+    pub fn try_hadamard(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.check_same_shape(other, "hadamard")?;
+        Ok(self.hadamard(other))
     }
 
     /// Elementwise difference.
@@ -258,6 +292,20 @@ impl Tensor {
         let mut out = Tensor::zeros(self.rows, other.cols);
         matmul_into(self, other, &mut out, false);
         out
+    }
+
+    /// Fallible [`Tensor::matmul`]: reports a
+    /// [`TensorError::ShapeMismatch`] instead of panicking when
+    /// `self.cols != other.rows`.
+    pub fn try_matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(self.matmul(other))
     }
 
     /// Transposed copy.

@@ -34,7 +34,11 @@ fn main() {
         &train,
         &TrainConfig { epochs: 10, shuffle_ties: true, seed: 7 },
     );
-    println!("training loss: {:.3} -> {:.3}", report.epoch_losses[0], report.final_loss());
+    println!(
+        "training loss: {:.3} -> {:.3}",
+        report.epoch_losses[0],
+        report.final_loss().unwrap_or(f32::NAN)
+    );
 
     let preds = tpgnn_core::predict_all(&mut model, &test);
     let m = Metrics::from_predictions(&preds, 0.5);

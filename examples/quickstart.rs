@@ -53,7 +53,7 @@ fn main() {
     println!(
         "loss: {:.4} (epoch 1) -> {:.4} (epoch {})",
         report.epoch_losses[0],
-        report.final_loss(),
+        report.final_loss().unwrap_or(f32::NAN),
         report.epoch_losses.len()
     );
 

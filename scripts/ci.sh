@@ -21,6 +21,10 @@ echo "== cargo test -q (offline) =="
 cargo test -q --workspace --offline
 
 echo
+echo "== cargo clippy -D warnings (offline) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo
 echo "== cargo bench -- --smoke (offline) =="
 cargo bench --workspace --offline -- --smoke
 

@@ -7,7 +7,7 @@
 //! every future session. This test pins that end to end: dataset
 //! simulation → Xavier init → training → per-epoch losses.
 
-use tpgnn_core::{TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig, TrainConfig};
 use tpgnn_data::forum_java::{generate_session, ForumJavaConfig};
 use tpgnn_data::negative;
 use tpgnn_graph::Ctdn;
@@ -53,6 +53,45 @@ fn same_seed_training_is_bitwise_identical() {
             y.to_bits(),
             "epoch {epoch}: losses differ across identically-seeded runs ({x} vs {y}) — \
              the RNG stream or a float reduction is non-deterministic"
+        );
+    }
+}
+
+/// Checkpoint determinism: interrupting training at the halfway point,
+/// serializing the full training state (weights + Adam moments + step
+/// count), restoring it into a **differently-seeded fresh model**, and
+/// running the remaining epochs must produce bitwise-identical losses to
+/// the uninterrupted run. This is the property the guarded trainer's
+/// rollback machinery depends on: a restored checkpoint resumes the exact
+/// trajectory. Tie shuffling is disabled so both runs see identical data
+/// order without having to thread one RNG through two `train()` calls.
+#[test]
+fn mid_training_checkpoint_resumes_bitwise_identically() {
+    let train = forum_java_corpus(2024, 6);
+    let cfg = |epochs| TrainConfig { epochs, shuffle_ties: false, seed: 11 };
+
+    // Uninterrupted: 6 epochs straight.
+    let mut full = TpGnn::new(TpGnnConfig::gru(3).with_seed(11));
+    let full_losses = tpgnn_core::train(&mut full, &train, &cfg(6)).epoch_losses;
+
+    // Interrupted: 3 epochs, checkpoint, restore into a fresh model with a
+    // different init seed, 3 more epochs.
+    let mut first_half = TpGnn::new(TpGnnConfig::gru(3).with_seed(11));
+    let head = tpgnn_core::train(&mut first_half, &train, &cfg(3)).epoch_losses;
+    let state = first_half.save_state().expect("TP-GNN checkpoints");
+
+    let mut resumed = TpGnn::new(TpGnnConfig::gru(3).with_seed(999));
+    resumed.load_state(&state).expect("restore");
+    let tail = tpgnn_core::train(&mut resumed, &train, &cfg(3)).epoch_losses;
+
+    let stitched: Vec<f32> = head.iter().chain(&tail).copied().collect();
+    assert_eq!(full_losses.len(), stitched.len());
+    for (epoch, (x, y)) in full_losses.iter().zip(&stitched).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "epoch {epoch}: resumed run diverged from uninterrupted run ({x} vs {y}) — \
+             the training-state checkpoint does not capture the full optimizer state"
         );
     }
 }
