@@ -99,6 +99,10 @@ macro_rules! impl_graph_classifier {
             fn check_finite(&self) -> Result<(), String> {
                 self.store.check_finite().map_err(|e| format!("{}: {e}", $name))
             }
+
+            fn param_norm(&self) -> Option<f32> {
+                Some(self.store.param_norm())
+            }
         }
     };
 }

@@ -134,6 +134,10 @@ impl<E: NodeEmbedder> tpgnn_core::GraphClassifier for WithExtractor<E> {
     fn check_finite(&self) -> Result<(), String> {
         self.store.check_finite().map_err(|e| format!("{}: {e}", self.name))
     }
+
+    fn param_norm(&self) -> Option<f32> {
+        Some(self.store.param_norm())
+    }
 }
 
 /// Factory functions for the four Table III rows.

@@ -8,6 +8,7 @@
 //! abbreviated CI pass. Medians/p95 land in `results/bench_models.json`.
 
 use tpgnn_bench::timing::{black_box, Suite};
+use tpgnn_core::GraphClassifier;
 use tpgnn_data::{forum_java, trajectory};
 use tpgnn_graph::Ctdn;
 use tpgnn_rng::rngs::StdRng;
@@ -31,6 +32,7 @@ fn representative_graphs() -> Vec<(&'static str, Ctdn)> {
 
 fn main() {
     let mut suite = Suite::from_args("models");
+    suite.set_seed(7);
     for (dataset, graph) in representative_graphs() {
         for name in MODELS {
             let mut model = tpgnn_baselines::zoo::build(name, 3, 5, 1);
@@ -43,5 +45,26 @@ fn main() {
             );
         }
     }
+
+    // Guarded training smoke: the <5% overhead budget for the (disabled)
+    // observability layer is measured against this entry's median.
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let fj_cfg = forum_java::ForumJavaConfig::default();
+        let pairs: Vec<(Ctdn, f32)> = (0..8)
+            .map(|i| {
+                (forum_java::generate_session(&fj_cfg, &mut rng), (i % 2) as f32)
+            })
+            .collect();
+        let train_cfg = tpgnn_core::TrainConfig { epochs: 2, shuffle_ties: true, seed: 7 };
+        let guard_cfg = tpgnn_core::GuardConfig::default();
+        suite.bench("training_smoke/TP-GNN-SUM/forum_java", || {
+            let mut model = tpgnn_core::TpGnn::new(tpgnn_core::TpGnnConfig::sum(3).with_seed(7));
+            model.set_learning_rate(3e-3);
+            let report = tpgnn_core::train_guarded(&mut model, &pairs, &train_cfg, &guard_cfg);
+            black_box(report.final_loss());
+        });
+    }
+
     suite.finish();
 }

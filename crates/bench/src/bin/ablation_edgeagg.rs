@@ -13,6 +13,7 @@ use tpgnn_eval::{run_cell_with, ExperimentConfig};
 use tpgnn_nn::EdgeAgg;
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("ablation_edgeagg");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("EdgeAgg ablation (extension; Sec. IV-C)", &cfg);
 

@@ -8,6 +8,7 @@ use tpgnn_core::{Readout, TpGnn, TpGnnConfig, UpdaterKind};
 use tpgnn_eval::{run_cell_with, ExperimentConfig};
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("ablation_extractor");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Extractor ablation (extension; Sec. IV-C / VI)", &cfg);
 

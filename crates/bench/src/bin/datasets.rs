@@ -9,6 +9,7 @@ use tpgnn_data::io;
 use tpgnn_eval::ExperimentConfig;
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("datasets");
     let out_dir = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "datasets_out".to_string());

@@ -5,5 +5,6 @@
 //! between `rand` and the full model.
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("fig3");
     tpgnn_bench::run_ablation_figure(tpgnn_core::UpdaterKind::Sum, "Fig. 3");
 }

@@ -5,5 +5,6 @@
 //! typically above the SUM updater's (Sec. V-F).
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("fig4");
     tpgnn_bench::run_ablation_figure(tpgnn_core::UpdaterKind::Gru, "Fig. 4");
 }

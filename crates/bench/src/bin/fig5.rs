@@ -12,6 +12,7 @@ const HIDDEN_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
 const TIME_DIMS: [usize; 4] = [2, 4, 6, 8];
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("fig5");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Fig. 5: hyperparameter sensitivity of TP-GNN-SUM", &cfg);
 

@@ -11,6 +11,7 @@ use tpgnn_eval::{run_cell, ExperimentConfig};
 const MODELS: [&str; 6] = ["TGN", "DyGNN", "TGAT", "GraphMixer", "TP-GNN-SUM", "TP-GNN-GRU"];
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("fig6");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Fig. 6: running time vs F1 (continuous DGNNs)", &cfg);
 

@@ -76,6 +76,7 @@ fn print_influence(name: &str, g: &mut Ctdn) {
 }
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("fig7");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Fig. 7 case study: information-flow sensitivity", &cfg);
 

@@ -1,0 +1,156 @@
+//! Traced training smoke for CI: runs one healthy guarded Forum-java
+//! training run plus one with an injected NaN epoch, closes the trace, and
+//! then validates the JSONL from the outside via the snapshot reader.
+//!
+//! Exit codes: 0 = trace written and valid; 1 = validation failed;
+//! 2 = tracing is disabled (`TPGNN_TRACE` unset) — the run is meaningless.
+//!
+//! `scripts/ci.sh` runs this as `TPGNN_TRACE=1 cargo run --bin obs_smoke`
+//! and additionally asserts the trace file is non-empty.
+
+use tpgnn_core::{
+    train_guarded, GraphClassifier, GuardConfig, TpGnn, TpGnnConfig, TrainConfig,
+};
+use tpgnn_data::forum_java;
+use tpgnn_graph::Ctdn;
+use tpgnn_obs::{reader, trace};
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::SeedableRng;
+
+/// Delegates to a TP-GNN but reports a NaN loss for exactly one epoch, so
+/// the guard must roll back once and the trace must carry the warning.
+struct NanOnce {
+    inner: TpGnn,
+    fit_calls: usize,
+    nan_at: usize,
+}
+
+impl GraphClassifier for NanOnce {
+    fn name(&self) -> String {
+        "nan-once-smoke".into()
+    }
+    fn fit_epoch(&mut self, train: &mut [(Ctdn, f32)]) -> f32 {
+        self.fit_calls += 1;
+        let loss = self.inner.fit_epoch(train);
+        if self.fit_calls == self.nan_at {
+            f32::NAN
+        } else {
+            loss
+        }
+    }
+    fn predict_proba(&mut self, g: &mut Ctdn) -> f32 {
+        self.inner.predict_proba(g)
+    }
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.inner.set_learning_rate(lr);
+    }
+    fn learning_rate(&self) -> Option<f32> {
+        self.inner.learning_rate()
+    }
+    fn save_state(&self) -> Option<String> {
+        self.inner.save_state()
+    }
+    fn load_state(&mut self, state: &str) -> Result<(), String> {
+        self.inner.load_state(state)
+    }
+    fn check_finite(&self) -> Result<(), String> {
+        self.inner.check_finite()
+    }
+    fn param_norm(&self) -> Option<f32> {
+        self.inner.param_norm()
+    }
+    fn grad_norm(&self) -> Option<f32> {
+        self.inner.grad_norm()
+    }
+}
+
+fn corpus(n: usize, seed: u64) -> Vec<(Ctdn, f32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = forum_java::ForumJavaConfig::default();
+    (0..n)
+        .map(|i| (forum_java::generate_session(&cfg, &mut rng), (i % 2) as f32))
+        .collect()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    if !trace::init("smoke") {
+        eprintln!("obs_smoke: TPGNN_TRACE is not set; nothing to validate (exit 2)");
+        std::process::exit(2);
+    }
+
+    let pairs = corpus(8, 7);
+    let train_cfg = TrainConfig { epochs: 3, shuffle_ties: true, seed: 7 };
+    let guard_cfg = GuardConfig::default();
+
+    // Healthy run: per-epoch spans, checkpoints, and a tape profile.
+    let mut healthy = TpGnn::new(TpGnnConfig::sum(3).with_seed(7));
+    healthy.set_learning_rate(3e-3);
+    let report = train_guarded(&mut healthy, &pairs, &train_cfg, &guard_cfg);
+    if report.epoch_losses.len() != train_cfg.epochs || report.aborted {
+        fail("healthy training run did not complete");
+    }
+
+    // Faulted run: one injected NaN epoch must produce a rollback warning.
+    let mut faulted = NanOnce {
+        inner: TpGnn::new(TpGnnConfig::sum(3).with_seed(11)),
+        fit_calls: 0,
+        nan_at: 2,
+    };
+    faulted.set_learning_rate(3e-3);
+    let report = train_guarded(&mut faulted, &pairs, &train_cfg, &guard_cfg);
+    if report.recoveries.len() != 1 || report.aborted {
+        fail("faulted run did not recover exactly once");
+    }
+
+    let path = trace::finish().unwrap_or_else(|| fail("trace::finish returned no path"));
+
+    // Validate from the outside, exactly as CI does.
+    let records = reader::read_trace(&path)
+        .unwrap_or_else(|e| fail(&format!("trace does not parse: {e}")));
+    if records.is_empty() {
+        fail("trace is empty");
+    }
+    let count = |kind: &str, name: &str| {
+        records.iter().filter(|r| r.kind == kind && r.name == name).count()
+    };
+    if count("span", "train.epoch") < train_cfg.epochs {
+        fail("missing per-epoch spans");
+    }
+    if count("span", "train.run") < 2 {
+        fail("missing train.run spans");
+    }
+    if count("event", "tape.profile") == 0 {
+        fail("missing tape per-op profile snapshot");
+    }
+    if count("event", "train.checkpoint") == 0 {
+        fail("missing checkpoint events");
+    }
+    let rollbacks: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == "event" && r.name == "guard.rollback" && r.level == "warn")
+        .collect();
+    if rollbacks.is_empty() {
+        fail("missing guard.rollback warning event");
+    }
+    let epoch_spans_with_loss = records
+        .iter()
+        .filter(|r| r.name == "train.epoch")
+        .filter(|r| r.field("loss").is_some() && r.field("lr").is_some())
+        .count();
+    if epoch_spans_with_loss == 0 {
+        fail("epoch spans carry no loss/lr metrics");
+    }
+
+    println!(
+        "obs_smoke: OK — {} records ({} epoch spans, {} rollback warning(s)) in {}",
+        records.len(),
+        count("span", "train.epoch"),
+        rollbacks.len(),
+        path.display()
+    );
+}

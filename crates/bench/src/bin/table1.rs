@@ -8,6 +8,7 @@
 use tpgnn_eval::ExperimentConfig;
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("table1");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Table I: Key statistics of datasets", &cfg);
 

@@ -9,6 +9,7 @@ use tpgnn_baselines::zoo::TABLE2_MODELS;
 use tpgnn_eval::{run_cell, ExperimentConfig};
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("table2");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Table II: dynamic graph classification", &cfg);
 

@@ -10,6 +10,7 @@ use tpgnn_baselines::zoo::TABLE3_MODELS;
 use tpgnn_eval::{run_cell, ExperimentConfig};
 
 fn main() {
+    let _trace = tpgnn_bench::init_trace("table3");
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Table III: extractor-augmented baselines (F1 %)", &cfg);
 

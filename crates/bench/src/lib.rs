@@ -19,6 +19,26 @@ pub mod timing;
 
 use tpgnn_data::DatasetKind;
 
+/// RAII handle returned by [`init_trace`]: flushes the JSONL trace, writes
+/// the metrics sidecar, and prints the end-of-run summary on drop.
+pub struct TraceGuard {
+    _priv: (),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        tpgnn_obs::trace::finish();
+    }
+}
+
+/// Start a trace named `run_name` when `TPGNN_TRACE` is set (see
+/// README.md § Tracing); every reproduction binary calls this first thing in
+/// `main` and keeps the guard alive until exit.
+pub fn init_trace(run_name: &str) -> TraceGuard {
+    tpgnn_obs::trace::init(run_name);
+    TraceGuard { _priv: () }
+}
+
 /// Print the standard experiment banner with the active scale settings.
 pub fn banner(experiment: &str, cfg: &tpgnn_eval::ExperimentConfig) {
     println!("=== {experiment} ===");

@@ -39,7 +39,27 @@ pub struct Suite {
     name: String,
     smoke: bool,
     samples_override: Option<usize>,
+    /// Short git commit hash of the working tree, `"unknown"` when git is
+    /// unavailable (offline tarballs, stripped checkouts).
+    git_sha: String,
+    /// RNG seed the benchmark data was generated from (see [`Suite::set_seed`]).
+    seed: u64,
     results: Vec<BenchStats>,
+}
+
+/// Best-effort `git rev-parse --short HEAD` in the workspace; `"unknown"`
+/// when git or the repository is unavailable.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 fn fmt_ns(ns: u128) -> String {
@@ -63,13 +83,31 @@ impl Suite {
         let samples_override = std::env::var("TPGNN_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok());
+        let seed = std::env::var("TPGNN_BENCH_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         println!("suite {name}{}", if smoke { " (smoke mode)" } else { "" });
-        Suite { name: name.to_string(), smoke, samples_override, results: Vec::new() }
+        Suite {
+            name: name.to_string(),
+            smoke,
+            samples_override,
+            git_sha: git_sha(),
+            seed,
+            results: Vec::new(),
+        }
     }
 
     /// True when running the abbreviated `--smoke` pass.
     pub fn is_smoke(&self) -> bool {
         self.smoke
+    }
+
+    /// Record the RNG seed the benchmark inputs were generated from, so
+    /// `results/*.json` entries are comparable across PRs. Defaults to
+    /// `TPGNN_BENCH_SEED` (or 0) until overridden.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
     }
 
     fn sample_count(&self) -> usize {
@@ -142,6 +180,9 @@ impl Suite {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"suite\": \"{}\",\n", self.name));
         out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
+        out.push_str(&format!("  \"git_sha\": \"{}\",\n", self.git_sha));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"default_samples\": {},\n", self.sample_count()));
         out.push_str("  \"benchmarks\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -174,6 +215,8 @@ mod tests {
             name: "selftest".into(),
             smoke: true,
             samples_override: Some(5),
+            git_sha: git_sha(),
+            seed: 7,
             results: Vec::new(),
         };
         suite.bench("busy_loop", || {
@@ -189,6 +232,10 @@ mod tests {
         let json = suite.to_json();
         assert!(json.contains("\"suite\": \"selftest\""));
         assert!(json.contains("\"name\": \"busy_loop\""));
+        assert!(json.contains("\"git_sha\": \""), "run metadata: git sha");
+        assert!(json.contains("\"seed\": 7"), "run metadata: seed");
+        assert!(json.contains("\"default_samples\": 5"), "run metadata: samples");
+        assert!(!json.contains("\"git_sha\": \"\""), "sha is non-empty or 'unknown'");
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

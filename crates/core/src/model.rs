@@ -76,6 +76,19 @@ pub trait GraphClassifier {
     fn check_finite(&self) -> Result<(), String> {
         Ok(())
     }
+
+    /// Joint L2 norm of all parameter values, or `None` for models without
+    /// a parameter store. Surfaced in per-epoch trace spans.
+    fn param_norm(&self) -> Option<f32> {
+        None
+    }
+
+    /// Pre-clip L2 norm of the most recent gradient, or `None` when the
+    /// model has not computed one (or is gradient-free). Surfaced in
+    /// per-epoch trace spans.
+    fn grad_norm(&self) -> Option<f32> {
+        None
+    }
 }
 
 /// TP-GNN: temporal propagation → global temporal embedding extractor →
@@ -87,6 +100,10 @@ pub struct TpGnn {
     extractor: GlobalExtractor,
     classifier: Linear,
     opt: Adam,
+    /// Pre-clip gradient norm of the most recent `train_on` step — Adam
+    /// zeroes the gradient buffers after stepping, so this is the only
+    /// place the norm survives for the trace.
+    last_grad_norm: Option<f32>,
 }
 
 impl TpGnn {
@@ -104,7 +121,7 @@ impl TpGnn {
         let propagation = TemporalPropagation::new(&mut store, &cfg, &mut rng);
         let extractor = GlobalExtractor::new(&mut store, &cfg, cfg.node_embed_dim(), &mut rng);
         let classifier = Linear::new(&mut store, "clf", extractor.out_dim(), 1, &mut rng);
-        Self { cfg, store, propagation, extractor, classifier, opt: Adam::new(1e-3) }
+        Self { cfg, store, propagation, extractor, classifier, opt: Adam::new(1e-3), last_grad_norm: None }
     }
 
     /// The active configuration.
@@ -169,7 +186,7 @@ impl TpGnn {
             return loss_val;
         }
         tape.flush_grads(&grads, &mut self.store);
-        self.store.clip_grad_norm(GRAD_CLIP);
+        self.last_grad_norm = Some(self.store.clip_grad_norm(GRAD_CLIP));
         self.opt.step(&mut self.store);
         loss_val
     }
@@ -219,6 +236,14 @@ impl GraphClassifier for TpGnn {
 
     fn check_finite(&self) -> Result<(), String> {
         self.store.check_finite().map_err(|e| format!("{}: {e}", self.name()))
+    }
+
+    fn param_norm(&self) -> Option<f32> {
+        Some(self.store.param_norm())
+    }
+
+    fn grad_norm(&self) -> Option<f32> {
+        self.last_grad_norm
     }
 }
 

@@ -5,13 +5,40 @@
 //! poisoned parameters) and recovers by rolling back to the last good
 //! checkpoint with a halved learning rate instead of panicking.
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use tpgnn_obs::metrics::{self, Counter, Histogram};
+use tpgnn_obs::{trace, Json};
 use tpgnn_rng::rngs::StdRng;
 use tpgnn_rng::SeedableRng;
 use tpgnn_graph::Ctdn;
-use tpgnn_tensor::Tape;
+use tpgnn_tensor::{profile, Tape};
 
 use crate::guard::{self, DivergenceReason, GuardConfig, RecoveryEvent};
 use crate::model::GraphClassifier;
+
+fn epochs_accepted() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("train.epochs_accepted"))
+}
+
+fn recoveries_total() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("train.recoveries"))
+}
+
+fn aborts_total() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("train.aborts"))
+}
+
+fn epoch_ms() -> &'static Histogram {
+    static H: OnceLock<&'static Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        metrics::histogram("train.epoch_ms", &metrics::exponential_buckets(1.0, 4.0, 10))
+    })
+}
 
 /// Training-loop settings (paper defaults via [`Default`]).
 #[derive(Clone, Debug)]
@@ -130,6 +157,18 @@ pub fn train_guarded(
     guard_cfg: &GuardConfig,
 ) -> TrainReport {
     let _scope = guard_cfg.scan_tapes.then(TapeGuardScope::enable);
+    let model_name = model.name();
+    let tracing = trace::enabled();
+    if tracing {
+        // Each traced run gets its own op-profile window so the emitted
+        // snapshot attributes tape time to this training run alone.
+        profile::reset();
+        profile::set_enabled(true);
+    }
+    let mut run_span = trace::span("train.run");
+    run_span.set("model", model_name.as_str());
+    run_span.set("epochs", cfg.epochs as i64);
+    run_span.set("samples", train_set.len() as i64);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut working: Vec<(Ctdn, f32)> = train_set.to_vec();
 
@@ -149,7 +188,22 @@ pub fn train_guarded(
                 g.shuffle_same_timestamp(&mut rng);
             }
         }
+        let mut epoch_span = trace::span("train.epoch");
+        epoch_span.set("model", model_name.as_str());
+        epoch_span.set("epoch", epoch as i64);
+        let t_epoch = Instant::now();
         let loss = model.fit_epoch(&mut working);
+        epoch_ms().record(t_epoch.elapsed().as_secs_f64() * 1e3);
+        epoch_span.set("loss", loss as f64);
+        if let Some(lr) = model.learning_rate() {
+            epoch_span.set("lr", lr as f64);
+        }
+        if let Some(n) = model.param_norm() {
+            epoch_span.set("param_norm", n as f64);
+        }
+        if let Some(n) = model.grad_norm() {
+            epoch_span.set("grad_norm", n as f64);
+        }
 
         let reason = if let Some(detail) = guard::take_fault() {
             Some(DivergenceReason::ModelFault { detail })
@@ -168,6 +222,8 @@ pub fn train_guarded(
 
         match reason {
             None => {
+                epoch_span.set("accepted", true);
+                epochs_accepted().inc();
                 report.epoch_losses.push(loss);
                 if loss < best {
                     best = loss;
@@ -175,12 +231,30 @@ pub fn train_guarded(
                 if let Some(state) = model.save_state() {
                     checkpoint = Some(state);
                     last_good_epoch = Some(epoch);
+                    trace::event(
+                        "train.checkpoint",
+                        &[
+                            ("model", Json::from(model_name.as_str())),
+                            ("epoch", Json::from(epoch as i64)),
+                        ],
+                    );
                 }
                 epoch += 1;
             }
             Some(reason) => {
+                epoch_span.set("accepted", false);
                 let lr_before = model.learning_rate();
                 if report.recoveries.len() >= guard_cfg.max_recoveries {
+                    aborts_total().inc();
+                    trace::warn(
+                        "guard.abandon",
+                        &[
+                            ("model", Json::from(model_name.as_str())),
+                            ("epoch", Json::from(epoch as i64)),
+                            ("reason", Json::from(reason.to_string())),
+                            ("recoveries", Json::from(report.recoveries.len() as i64)),
+                        ],
+                    );
                     report.recoveries.push(RecoveryEvent {
                         epoch,
                         reason,
@@ -202,16 +276,51 @@ pub fn train_guarded(
                 if let Some(lr) = lr_after {
                     model.set_learning_rate(lr);
                 }
+                let rolled_back_to = checkpoint.as_ref().and(last_good_epoch);
+                recoveries_total().inc();
+                trace::warn(
+                    "guard.rollback",
+                    &[
+                        ("model", Json::from(model_name.as_str())),
+                        ("epoch", Json::from(epoch as i64)),
+                        ("reason", Json::from(reason.to_string())),
+                        (
+                            "rolled_back_to",
+                            rolled_back_to.map(|e| Json::from(e as i64)).unwrap_or(Json::Null),
+                        ),
+                        ("lr_before", lr_before.map(Json::from).unwrap_or(Json::Null)),
+                        ("lr_after", lr_after.map(Json::from).unwrap_or(Json::Null)),
+                    ],
+                );
                 report.recoveries.push(RecoveryEvent {
                     epoch,
                     reason,
-                    rolled_back_to: checkpoint.as_ref().and(last_good_epoch),
+                    rolled_back_to,
                     lr_before,
                     lr_after,
                     abandoned: false,
                 });
                 // Retry the same epoch index with the restored state.
             }
+        }
+    }
+    run_span.set("accepted_epochs", report.epoch_losses.len() as i64);
+    run_span.set("recoveries", report.recoveries.len() as i64);
+    run_span.set("aborted", report.aborted);
+    if tracing {
+        for p in profile::snapshot().iter().take(10) {
+            trace::event(
+                "tape.profile",
+                &[
+                    ("model", Json::from(model_name.as_str())),
+                    ("op", Json::from(p.name)),
+                    ("calls", Json::from(p.calls)),
+                    ("fwd_us", Json::from(p.fwd_ns / 1_000)),
+                    ("bwd_calls", Json::from(p.bwd_calls)),
+                    ("bwd_us", Json::from(p.bwd_ns / 1_000)),
+                    ("elems", Json::from(p.elems)),
+                ],
+            );
         }
     }
     report

@@ -8,6 +8,7 @@
 
 use std::time::{Duration, Instant};
 
+use tpgnn_obs::trace;
 use tpgnn_core::{GraphClassifier, GuardConfig, TrainConfig};
 use tpgnn_data::{DatasetKind, GraphDataset};
 use tpgnn_graph::Ctdn;
@@ -79,6 +80,10 @@ pub struct CellResult {
     pub time_per_graph: Duration,
     /// Mean wall-clock training time per run.
     pub train_time: Duration,
+    /// Total guard recovery events across all runs of this cell.
+    pub recoveries: usize,
+    /// Number of runs the guard abandoned after exhausting its budget.
+    pub aborted_runs: usize,
 }
 
 /// Convert a labeled split into the `(graph, target)` pairs the trainer
@@ -104,19 +109,34 @@ pub fn run_cell_with(
     let mut total_predict = Duration::ZERO;
     let mut total_train = Duration::ZERO;
     let mut total_test_graphs = 0usize;
+    let mut recoveries = 0usize;
+    let mut aborted_runs = 0usize;
 
+    let mut cell_span = trace::span("eval.cell");
+    cell_span.set("model", model_name);
+    cell_span.set("dataset", kind.name());
+    cell_span.set("runs", cfg.runs as i64);
     for run in 0..cfg.runs {
         let seed = cfg.base_seed + run as u64;
         let ds = kind.generate(cfg.num_graphs, seed);
-        let (metrics, predict_time, train_time, n_test) =
+        let (outcome, predict_time, train_time, n_test) =
             run_once(model_name, &ds, kind, cfg, seed, &build);
-        f1s.push(metrics.f1);
-        precisions.push(metrics.precision);
-        recalls.push(metrics.recall);
+        f1s.push(outcome.metrics.f1);
+        precisions.push(outcome.metrics.precision);
+        recalls.push(outcome.metrics.recall);
         total_predict += predict_time;
         total_train += train_time;
         total_test_graphs += n_test;
+        recoveries += outcome.recoveries;
+        aborted_runs += outcome.aborted as usize;
     }
+    cell_span.set("test_graphs", total_test_graphs as i64);
+    cell_span.set("train_ms", total_train.as_millis() as i64);
+    cell_span.set("predict_ms", total_predict.as_millis() as i64);
+    cell_span.set("f1", MeanStd::of(&f1s).mean);
+    cell_span.set("recoveries", recoveries as i64);
+    cell_span.set("aborted_runs", aborted_runs as i64);
+    drop(cell_span);
 
     CellResult {
         model: model_name.to_string(),
@@ -130,6 +150,8 @@ pub fn run_cell_with(
             Duration::ZERO
         },
         train_time: total_train / cfg.runs.max(1) as u32,
+        recoveries,
+        aborted_runs,
     }
 }
 
@@ -140,6 +162,13 @@ pub fn run_cell(model_name: &str, kind: DatasetKind, cfg: &ExperimentConfig) -> 
     })
 }
 
+/// Metrics plus guard history from one training run of a cell.
+struct RunOutcome {
+    metrics: Metrics,
+    recoveries: usize,
+    aborted: bool,
+}
+
 fn run_once(
     _model_name: &str,
     ds: &GraphDataset,
@@ -147,7 +176,7 @@ fn run_once(
     cfg: &ExperimentConfig,
     seed: u64,
     build: &impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier>,
-) -> (Metrics, Duration, Duration, usize) {
+) -> (RunOutcome, Duration, Duration, usize) {
     let feature_dim = ds
         .graphs
         .first()
@@ -186,7 +215,12 @@ fn run_once(
     let preds = tpgnn_core::predict_all(model.as_mut(), &test_pairs);
     let predict_time = t1.elapsed();
 
-    (Metrics::from_predictions(&preds, 0.5), predict_time, train_time, test_pairs.len())
+    let outcome = RunOutcome {
+        metrics: Metrics::from_predictions(&preds, 0.5),
+        recoveries: report.recoveries.len(),
+        aborted: report.aborted,
+    };
+    (outcome, predict_time, train_time, test_pairs.len())
 }
 
 #[cfg(test)]

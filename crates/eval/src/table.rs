@@ -5,22 +5,32 @@ use crate::metrics::MeanStd;
 use crate::runner::CellResult;
 
 /// Render a Table II-style block for one dataset: one row per model with
-/// F₁ / Precision / Recall as `mean±std` percentages.
+/// F₁ / Precision / Recall as `mean±std` percentages plus a Recov column
+/// showing guard recovery events (and abandoned runs) so divergent cells
+/// are visible at a glance.
 pub fn render_metric_table(dataset: &str, cells: &[CellResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{dataset}\n{:<22} {:>14} {:>14} {:>14}\n",
-        "Model", "F1 Score", "Precision", "Recall"
+        "{dataset}\n{:<22} {:>14} {:>14} {:>14} {:>8}\n",
+        "Model", "F1 Score", "Precision", "Recall", "Recov"
     ));
-    out.push_str(&"-".repeat(68));
+    out.push_str(&"-".repeat(77));
     out.push('\n');
     for cell in cells {
+        let recov = if cell.aborted_runs > 0 {
+            format!("{}!{}", cell.recoveries, cell.aborted_runs)
+        } else if cell.recoveries > 0 {
+            cell.recoveries.to_string()
+        } else {
+            "-".to_string()
+        };
         out.push_str(&format!(
-            "{:<22} {:>14} {:>14} {:>14}\n",
+            "{:<22} {:>14} {:>14} {:>14} {:>8}\n",
             cell.model,
             cell.f1.percent(),
             cell.precision.percent(),
-            cell.recall.percent()
+            cell.recall.percent(),
+            recov
         ));
     }
     out
@@ -100,6 +110,8 @@ mod tests {
             recall: MeanStd { mean: f1, std: 0.0 },
             time_per_graph: Duration::from_micros(150),
             train_time: Duration::from_secs(1),
+            recoveries: 0,
+            aborted_runs: 0,
         }
     }
 
@@ -110,6 +122,22 @@ mod tests {
         assert!(t.contains("GCN"));
         assert!(t.contains("TP-GNN-SUM"));
         assert!(t.contains("98.00±0.00"));
+        assert!(t.contains("Recov"));
+    }
+
+    #[test]
+    fn metric_table_recovery_column_states() {
+        let healthy = cell("GCN", 0.9);
+        let mut recovered = cell("TGN", 0.8);
+        recovered.recoveries = 2;
+        let mut abandoned = cell("TGAT", 0.1);
+        abandoned.recoveries = 4;
+        abandoned.aborted_runs = 1;
+        let t = render_metric_table("HDFS", &[healthy, recovered, abandoned]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.iter().any(|l| l.starts_with("GCN") && l.trim_end().ends_with('-')));
+        assert!(lines.iter().any(|l| l.starts_with("TGN") && l.trim_end().ends_with('2')));
+        assert!(lines.iter().any(|l| l.starts_with("TGAT") && l.trim_end().ends_with("4!1")));
     }
 
     #[test]

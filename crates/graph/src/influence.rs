@@ -7,7 +7,21 @@
 //! processing order as Algorithm 1, so its output is the ground truth the
 //! property tests compare gradients/embeddings against.
 
+use std::sync::OnceLock;
+
+use tpgnn_obs::metrics::{self, Counter};
+
 use crate::ctdn::{Ctdn, TemporalEdge};
+
+fn computations() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("graph.influence.computations"))
+}
+
+fn edges_processed() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("graph.influence.edges_processed"))
+}
 
 /// Compact bitset over node indices.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +79,8 @@ impl InfluenceAnalysis {
     /// Run the sweep over `g`'s chronologically ordered edges.
     pub fn compute(g: &mut Ctdn) -> Self {
         let n = g.num_nodes();
+        computations().inc();
+        edges_processed().add(g.num_edges() as u64);
         let mut sets: Vec<NodeSet> = (0..n).map(|_| NodeSet::new(n)).collect();
         for &TemporalEdge { src, dst, .. } in g.edges_chronological() {
             if src == dst {

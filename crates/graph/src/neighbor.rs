@@ -4,7 +4,21 @@
 //! query time; GraphMixer aggregates the "most recent 1-hop neighbor" links.
 //! This index answers those queries in `O(log m + k)` per call.
 
+use std::sync::OnceLock;
+
+use tpgnn_obs::metrics::{self, Counter};
+
 use crate::ctdn::Ctdn;
+
+fn queries() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("graph.neighbor.queries"))
+}
+
+fn events_returned() -> &'static Counter {
+    static C: OnceLock<&'static Counter> = OnceLock::new();
+    C.get_or_init(|| metrics::counter("graph.neighbor.events_returned"))
+}
 
 /// One historical interaction touching an indexed node.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -54,7 +68,10 @@ impl TemporalNeighborIndex {
         let evs = &self.events[v];
         // Find the first event with time >= t.
         let cut = evs.partition_point(|e| e.time < t);
-        evs[..cut].iter().rev().take(k).copied().collect()
+        let out: Vec<NeighborEvent> = evs[..cut].iter().rev().take(k).copied().collect();
+        queries().inc();
+        events_returned().add(out.len() as u64);
+        out
     }
 
     /// The `k` most recent *incoming* interactions of `v` strictly before `t`
@@ -62,13 +79,16 @@ impl TemporalNeighborIndex {
     pub fn recent_incoming_before(&self, v: usize, t: f64, k: usize) -> Vec<NeighborEvent> {
         let evs = &self.events[v];
         let cut = evs.partition_point(|e| e.time < t);
-        evs[..cut]
+        let out: Vec<NeighborEvent> = evs[..cut]
             .iter()
             .rev()
             .filter(|e| e.incoming)
             .take(k)
             .copied()
-            .collect()
+            .collect();
+        queries().inc();
+        events_returned().add(out.len() as u64);
+        out
     }
 
     /// Time of the last interaction of `v` at or before `t`, if any.

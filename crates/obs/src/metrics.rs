@@ -1,0 +1,345 @@
+//! Process-wide metrics registry: counters, gauges, and fixed-bucket
+//! histograms.
+//!
+//! Metrics are registered lazily by name and live for the life of the
+//! process (`Box::leak`), so hot paths hold a `&'static` handle and pay one
+//! relaxed atomic operation per update — cache the handle in a
+//! `std::sync::OnceLock` at the call site to skip the registry lock:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! use tpgnn_obs::metrics::{self, Counter};
+//!
+//! fn queries() -> &'static Counter {
+//!     static C: OnceLock<&'static Counter> = OnceLock::new();
+//!     C.get_or_init(|| metrics::counter("doc.example.queries"))
+//! }
+//! queries().inc();
+//! ```
+//!
+//! Snapshots serialize to JSON (see [`snapshot_json`]) and are written
+//! alongside bench results by [`crate::trace::finish`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::{obj, Json};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 before the first `set`).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram with an implicit overflow bucket.
+///
+/// `bounds` are inclusive upper bounds: a sample `v` lands in the first
+/// bucket with `v <= bound`, or in the overflow bucket past the last bound.
+/// Quantile snapshots report the upper bound of the bucket containing the
+/// quantile rank (the observed maximum for the overflow bucket), so they are
+/// conservative to within one bucket width.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Point-in-time view of one [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median estimate (bucket upper bound).
+    pub p50: f64,
+    /// 95th-percentile estimate (bucket upper bound).
+    pub p95: f64,
+    /// `(upper_bound, count)` per bucket; the overflow bucket has
+    /// `f64::INFINITY` as its bound.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // CAS loops for the f64 sum and max; contention is negligible at
+        // metric-recording rates.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut cur = self.max_bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self
+                .max_bits
+                .compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Snapshot counts and quantile estimates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let max = if count == 0 { 0.0 } else { max };
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return self.bounds.get(i).copied().unwrap_or(max);
+                }
+            }
+            max
+        };
+        let mut buckets: Vec<(f64, u64)> =
+            self.bounds.iter().copied().zip(counts.iter().copied()).collect();
+        buckets.push((f64::INFINITY, counts[self.bounds.len()]));
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            buckets,
+        }
+    }
+}
+
+/// `count` strictly increasing bounds starting at `start`, each `factor`
+/// times the previous — the usual latency-histogram shape.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count > 0);
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b *= factor;
+    }
+    bounds
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    gauges: BTreeMap<&'static str, &'static Gauge>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The counter registered under `name`, creating it on first use.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = lock();
+    reg.counters.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The gauge registered under `name`, creating it on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = lock();
+    reg.gauges.entry(name).or_insert_with(|| Box::leak(Box::default()))
+}
+
+/// The histogram registered under `name`, creating it with `bounds` on first
+/// use (later callers get the existing instance regardless of their bounds).
+pub fn histogram(name: &'static str, bounds: &[f64]) -> &'static Histogram {
+    let mut reg = lock();
+    reg.histograms.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::new(bounds))))
+}
+
+/// Serialize every registered metric to one JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+pub fn snapshot_json() -> Json {
+    let reg = lock();
+    let counters = Json::Obj(
+        reg.counters.iter().map(|(k, c)| (k.to_string(), Json::from(c.get()))).collect(),
+    );
+    let gauges = Json::Obj(
+        reg.gauges.iter().map(|(k, g)| (k.to_string(), Json::from(g.get()))).collect(),
+    );
+    let histograms = Json::Obj(
+        reg.histograms
+            .iter()
+            .map(|(k, h)| {
+                let s = h.snapshot();
+                let buckets = Json::Arr(
+                    s.buckets
+                        .iter()
+                        .map(|&(le, c)| {
+                            obj(vec![
+                                ("le", if le.is_finite() { Json::Num(le) } else { Json::Null }),
+                                ("count", Json::from(c)),
+                            ])
+                        })
+                        .collect(),
+                );
+                (
+                    k.to_string(),
+                    obj(vec![
+                        ("count", Json::from(s.count)),
+                        ("sum", Json::from(s.sum)),
+                        ("max", Json::from(s.max)),
+                        ("p50", Json::from(s.p50)),
+                        ("p95", Json::from(s.p95)),
+                        ("buckets", buckets),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    obj(vec![("counters", counters), ("gauges", gauges), ("histograms", histograms)])
+}
+
+/// One line per non-zero metric, for the end-of-run summary.
+pub fn render_summary() -> String {
+    let reg = lock();
+    let mut out = String::new();
+    for (name, c) in &reg.counters {
+        if c.get() > 0 {
+            out.push_str(&format!("  counter   {name:<40} {}\n", c.get()));
+        }
+    }
+    for (name, g) in &reg.gauges {
+        out.push_str(&format!("  gauge     {name:<40} {}\n", g.get()));
+    }
+    for (name, h) in &reg.histograms {
+        let s = h.snapshot();
+        if s.count > 0 {
+            out.push_str(&format!(
+                "  histogram {name:<40} count {} p50 {:.3} p95 {:.3} max {:.3}\n",
+                s.count, s.p50, s.p95, s.max
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let c = counter("test.metrics.counter_once");
+        c.inc();
+        c.add(4);
+        assert_eq!(counter("test.metrics.counter_once").get(), 5);
+        let g = gauge("test.metrics.gauge_once");
+        g.set(2.5);
+        assert_eq!(gauge("test.metrics.gauge_once").get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_buckets() {
+        let h = histogram("test.metrics.hist_quantiles", &[1.0, 2.0, 4.0, 8.0]);
+        for v in [0.5, 0.7, 1.5, 3.0, 3.5, 7.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.p50, 2.0, "rank-3 sample sits in the (1,2] bucket");
+        assert_eq!(s.p95, 8.0);
+        assert_eq!(s.max, 7.0);
+        assert!((s.sum - 16.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_buckets_shape() {
+        let b = exponential_buckets(1.0, 2.0, 4);
+        assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn snapshot_json_contains_registered_names() {
+        counter("test.metrics.json_counter").add(3);
+        let j = snapshot_json();
+        let c = j.get("counters").and_then(|c| c.get("test.metrics.json_counter"));
+        assert!(c.and_then(Json::as_i64).unwrap_or(0) >= 3);
+        // The whole snapshot must be valid, parseable JSON.
+        assert!(crate::json::parse(&j.render()).is_ok());
+    }
+}

@@ -1,0 +1,236 @@
+//! Fixed-slot op profiler backing the tape instrumentation.
+//!
+//! `tpgnn-tensor` registers its op-kind name table once via [`configure`],
+//! then records one forward sample per tape node pushed and one backward
+//! sample per node visited in the reverse sweep. Slots are plain relaxed
+//! atomics indexed by op kind, so recording is lock-free; the only branch
+//! paid when profiling is off is a single relaxed load in [`op_start`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::json::{obj, Json};
+
+/// Upper bound on distinct op kinds a client may register.
+pub const MAX_KINDS: usize = 64;
+
+#[derive(Default)]
+struct Slot {
+    calls: AtomicU64,
+    fwd_ns: AtomicU64,
+    bwd_calls: AtomicU64,
+    bwd_ns: AtomicU64,
+    elems: AtomicU64,
+}
+
+struct State {
+    enabled: AtomicBool,
+    slots: [Slot; MAX_KINDS],
+}
+
+static NO_NAME: &str = "?";
+
+fn state() -> &'static State {
+    static STATE: std::sync::OnceLock<State> = std::sync::OnceLock::new();
+    STATE.get_or_init(|| State {
+        enabled: AtomicBool::new(false),
+        slots: std::array::from_fn(|_| Slot::default()),
+    })
+}
+
+static NAME_TABLE: std::sync::Mutex<Option<&'static [&'static str]>> =
+    std::sync::Mutex::new(None);
+
+/// Register the op-kind name table. Index `i` in `names` labels kind `i` in
+/// every later [`record_forward`]/[`record_backward`] call. Idempotent; at
+/// most [`MAX_KINDS`] names are used.
+pub fn configure(names: &'static [&'static str]) {
+    let mut table = NAME_TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    *table = Some(names);
+}
+
+/// Turn recording on or off. Off is the default; when off, [`op_start`]
+/// returns `None` and the record calls are never reached.
+pub fn set_enabled(on: bool) {
+    state().enabled.store(on, Ordering::Relaxed);
+}
+
+/// Whether the profiler is currently recording.
+pub fn is_enabled() -> bool {
+    state().enabled.load(Ordering::Relaxed)
+}
+
+/// `Some(now)` iff profiling is enabled — the one-load fast path that hot
+/// code checks before doing any timing work.
+#[inline]
+pub fn op_start() -> Option<Instant> {
+    if state().enabled.load(Ordering::Relaxed) {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Record one forward execution of op `kind`: wall time since `t0` and the
+/// number of tensor elements the op allocated for its output.
+pub fn record_forward(kind: usize, t0: Instant, out_elems: usize) {
+    if kind >= MAX_KINDS {
+        return;
+    }
+    let slot = &state().slots[kind];
+    slot.calls.fetch_add(1, Ordering::Relaxed);
+    slot.fwd_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    slot.elems.fetch_add(out_elems as u64, Ordering::Relaxed);
+}
+
+/// Record one backward visit of op `kind`: wall time since `t0`.
+pub fn record_backward(kind: usize, t0: Instant) {
+    if kind >= MAX_KINDS {
+        return;
+    }
+    let slot = &state().slots[kind];
+    slot.bwd_calls.fetch_add(1, Ordering::Relaxed);
+    slot.bwd_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+/// Zero every slot (names and enabled flag are kept).
+pub fn reset() {
+    for slot in &state().slots {
+        slot.calls.store(0, Ordering::Relaxed);
+        slot.fwd_ns.store(0, Ordering::Relaxed);
+        slot.bwd_calls.store(0, Ordering::Relaxed);
+        slot.bwd_ns.store(0, Ordering::Relaxed);
+        slot.elems.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated totals for one op kind.
+#[derive(Clone, Debug)]
+pub struct OpProfile {
+    /// Op-kind name from the [`configure`]d table.
+    pub name: &'static str,
+    /// Forward executions recorded.
+    pub calls: u64,
+    /// Total forward wall time, nanoseconds.
+    pub fwd_ns: u64,
+    /// Backward visits recorded.
+    pub bwd_calls: u64,
+    /// Total backward wall time, nanoseconds.
+    pub bwd_ns: u64,
+    /// Output tensor elements allocated across all forward calls.
+    pub elems: u64,
+}
+
+impl OpProfile {
+    /// Forward + backward time, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.fwd_ns + self.bwd_ns
+    }
+
+    /// Serialize one profile row to JSON.
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("op", Json::from(self.name)),
+            ("calls", Json::from(self.calls)),
+            ("fwd_us", Json::from(self.fwd_ns / 1_000)),
+            ("bwd_calls", Json::from(self.bwd_calls)),
+            ("bwd_us", Json::from(self.bwd_ns / 1_000)),
+            ("elems", Json::from(self.elems)),
+        ])
+    }
+}
+
+/// Profiles for every op kind with at least one recorded call, sorted by
+/// total (forward + backward) time, hottest first.
+pub fn snapshot() -> Vec<OpProfile> {
+    let table = *NAME_TABLE.lock().unwrap_or_else(|e| e.into_inner());
+    let names = table.unwrap_or(&[]);
+    let st = state();
+    let mut out = Vec::new();
+    for (kind, slot) in st.slots.iter().enumerate() {
+        let calls = slot.calls.load(Ordering::Relaxed);
+        let bwd_calls = slot.bwd_calls.load(Ordering::Relaxed);
+        if calls == 0 && bwd_calls == 0 {
+            continue;
+        }
+        out.push(OpProfile {
+            name: names.get(kind).copied().unwrap_or(NO_NAME),
+            calls,
+            fwd_ns: slot.fwd_ns.load(Ordering::Relaxed),
+            bwd_calls,
+            bwd_ns: slot.bwd_ns.load(Ordering::Relaxed),
+            elems: slot.elems.load(Ordering::Relaxed),
+        });
+    }
+    out.sort_by_key(|p| std::cmp::Reverse(p.total_ns()));
+    out
+}
+
+/// Render the hottest `limit` ops as an aligned text table.
+pub fn render_top_ops(profiles: &[OpProfile], limit: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<14} {:>10} {:>12} {:>12} {:>14}\n",
+        "op", "calls", "fwd_ms", "bwd_ms", "out_elems"
+    ));
+    for p in profiles.iter().take(limit) {
+        out.push_str(&format!(
+            "  {:<14} {:>10} {:>12.3} {:>12.3} {:>14}\n",
+            p.name,
+            p.calls,
+            p.fwd_ns as f64 / 1e6,
+            p.bwd_ns as f64 / 1e6,
+            p.elems
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_when_enabled_and_snapshots_sorted() {
+        configure(&["alpha", "beta"]);
+        reset();
+        set_enabled(false);
+        assert!(op_start().is_none());
+        set_enabled(true);
+        let t0 = op_start().expect("enabled");
+        record_forward(0, t0, 10);
+        record_forward(1, op_start().unwrap(), 5);
+        record_forward(1, op_start().unwrap(), 5);
+        record_backward(1, op_start().unwrap());
+        set_enabled(false);
+
+        let snap = snapshot();
+        assert_eq!(snap.len(), 2);
+        let beta = snap.iter().find(|p| p.name == "beta").expect("beta profiled");
+        assert_eq!(beta.calls, 2);
+        assert_eq!(beta.bwd_calls, 1);
+        assert_eq!(beta.elems, 10);
+        assert!(snap[0].total_ns() >= snap[1].total_ns());
+        reset();
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_kind_is_ignored() {
+        set_enabled(true);
+        record_forward(MAX_KINDS + 3, Instant::now(), 1);
+        record_backward(MAX_KINDS + 3, Instant::now());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn render_top_ops_limits_rows() {
+        let profiles = vec![
+            OpProfile { name: "a", calls: 2, fwd_ns: 5_000_000, bwd_calls: 1, bwd_ns: 1_000_000, elems: 7 },
+            OpProfile { name: "b", calls: 1, fwd_ns: 1_000, bwd_calls: 0, bwd_ns: 0, elems: 1 },
+        ];
+        let text = render_top_ops(&profiles, 1);
+        assert!(text.contains('a'));
+        assert!(!text.contains("\n  b "));
+    }
+}

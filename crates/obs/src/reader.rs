@@ -1,0 +1,128 @@
+//! Snapshot reader for JSONL traces written by [`crate::trace`].
+//!
+//! Used by tests and the CI smoke check to assert that a trace round-trips:
+//! every line must parse and carry the fields the schema promises.
+
+use std::path::Path;
+
+use crate::json::{self, Json};
+
+/// One parsed trace line (meta, span, or event).
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// `"meta"`, `"span"`, or `"event"`.
+    pub kind: String,
+    /// Span/event name, or the run name for meta lines.
+    pub name: String,
+    /// Event level (`"info"`/`"warn"`); empty for spans and meta.
+    pub level: String,
+    /// Span id (0 for events and meta, which have none).
+    pub id: u64,
+    /// Enclosing span id, if any.
+    pub parent: Option<u64>,
+    /// Writer thread's trace-local id.
+    pub thread: u64,
+    /// Microseconds since trace start.
+    pub t_us: u64,
+    /// Span wall time; `None` for events and meta.
+    pub dur_us: Option<u64>,
+    /// Attached fields (an empty object when absent).
+    pub fields: Json,
+}
+
+impl TraceRecord {
+    /// Look up a field value by key.
+    pub fn field(&self, key: &str) -> Option<&Json> {
+        self.fields.get(key)
+    }
+}
+
+/// Parse one JSONL trace line into a [`TraceRecord`].
+pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let j = json::parse(line)?;
+    let kind = j
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing \"type\"".to_string())?
+        .to_string();
+    let name_key = if kind == "meta" { "run" } else { "name" };
+    let name = j
+        .get(name_key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing {name_key:?}"))?
+        .to_string();
+    let t_us = j
+        .get("t_us")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| "missing \"t_us\"".to_string())? as u64;
+    if kind == "span" && j.get("dur_us").and_then(Json::as_i64).is_none() {
+        return Err("span line missing \"dur_us\"".to_string());
+    }
+    Ok(TraceRecord {
+        kind,
+        name,
+        level: j.get("level").and_then(Json::as_str).unwrap_or_default().to_string(),
+        id: j.get("id").and_then(Json::as_i64).unwrap_or(0) as u64,
+        parent: j.get("parent").and_then(Json::as_i64).map(|p| p as u64),
+        thread: j.get("thread").and_then(Json::as_i64).unwrap_or(0) as u64,
+        t_us,
+        dur_us: j.get("dur_us").and_then(Json::as_i64).map(|d| d as u64),
+        fields: j.get("fields").cloned().unwrap_or(Json::Obj(Vec::new())),
+    })
+}
+
+/// Read a whole trace file; fails on the first malformed line, reporting
+/// its 1-based line number.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceRecord>, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = parse_line(line)
+            .map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_span_event_and_meta_lines() {
+        let meta = parse_line(r#"{"type":"meta","run":"demo","t_us":0,"unix_ms":5}"#).unwrap();
+        assert_eq!(meta.kind, "meta");
+        assert_eq!(meta.name, "demo");
+
+        let span = parse_line(
+            r#"{"type":"span","name":"train.epoch","id":3,"parent":1,"thread":0,"t_us":10,"dur_us":7,"fields":{"loss":0.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(span.kind, "span");
+        assert_eq!(span.id, 3);
+        assert_eq!(span.parent, Some(1));
+        assert_eq!(span.dur_us, Some(7));
+        assert_eq!(span.field("loss").and_then(Json::as_f64), Some(0.5));
+
+        let ev = parse_line(
+            r#"{"type":"event","name":"guard.rollback","level":"warn","parent":null,"thread":1,"t_us":20,"fields":{}}"#,
+        )
+        .unwrap();
+        assert_eq!(ev.kind, "event");
+        assert_eq!(ev.level, "warn");
+        assert_eq!(ev.parent, None);
+        assert_eq!(ev.dur_us, None);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"name":"x"}"#).is_err());
+        assert!(parse_line(r#"{"type":"span","name":"x","t_us":1}"#).is_err());
+    }
+}

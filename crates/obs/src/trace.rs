@@ -1,0 +1,360 @@
+//! Structured tracing: spans, events, a JSONL sink, and the end-of-run
+//! summary.
+//!
+//! Tracing is off unless the process calls [`init`] with `TPGNN_TRACE` set
+//! to a truthy value (anything other than empty, `0`, `false`, or `off`).
+//! When off, [`span`] returns an inert guard and [`event`]/[`warn`] return
+//! immediately after one relaxed atomic load — hot paths stay near
+//! zero-cost.
+//!
+//! When on, every span and event becomes one JSON line in
+//! `results/trace-<name>.jsonl` (or the explicit path given in
+//! `TPGNN_TRACE` when its value contains `/` or ends in `.jsonl`):
+//!
+//! ```text
+//! {"type":"meta","run":"smoke","t_us":0,"unix_ms":1738000000000}
+//! {"type":"span","name":"train.epoch","id":3,"parent":1,"thread":0,"t_us":1520,"dur_us":880,"fields":{"epoch":0,"loss":0.693}}
+//! {"type":"event","name":"guard.rollback","level":"warn","parent":3,"thread":0,"t_us":2400,"fields":{"epoch":1}}
+//! ```
+//!
+//! Span lines are written when the span *closes* (on `Drop`, so panics
+//! unwind the stack correctly); `t_us` is the span's start, `dur_us` its
+//! wall time, both measured from the process-monotonic clock anchored at
+//! [`init`]. [`finish`] flushes the sink, writes a companion
+//! `metrics-<name>.json` with the metrics-registry snapshot, prints a
+//! human-readable summary, and disables tracing again.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{obj, Json};
+use crate::{metrics, opprof};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Open span ids for this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+struct TraceState {
+    run: String,
+    path: PathBuf,
+    start: Instant,
+    writer: BufWriter<fs::File>,
+    /// Aggregate span durations for the end-of-run summary: name ->
+    /// (count, total_us, max_us).
+    span_agg: BTreeMap<String, (u64, u64, u64)>,
+    events: u64,
+}
+
+fn sink() -> &'static Mutex<Option<TraceState>> {
+    static SINK: OnceLock<Mutex<Option<TraceState>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_sink() -> std::sync::MutexGuard<'static, Option<TraceState>> {
+    sink().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Whether tracing is currently recording.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn truthy(value: &str) -> bool {
+    !matches!(value, "" | "0" | "false" | "off")
+}
+
+fn trace_path(run_name: &str, env_value: &str) -> PathBuf {
+    if env_value.contains('/') || env_value.ends_with(".jsonl") {
+        return PathBuf::from(env_value);
+    }
+    // results/ next to the workspace root, matching tpgnn_bench's layout.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.join("results").join(format!("trace-{run_name}.jsonl"))
+}
+
+/// Read `TPGNN_TRACE` and, if truthy, open the JSONL sink for `run_name`
+/// and enable tracing (plus the tape op profiler). Returns whether tracing
+/// is on. Idempotent: if a sink is already open, it stays.
+pub fn init(run_name: &str) -> bool {
+    let value = std::env::var("TPGNN_TRACE").unwrap_or_default();
+    if !truthy(&value) {
+        return false;
+    }
+    init_at(run_name, trace_path(run_name, &value))
+}
+
+/// Force tracing on with an explicit sink path, ignoring `TPGNN_TRACE`.
+/// Used by tests; replaces any open sink.
+pub fn init_to(run_name: &str, path: impl Into<PathBuf>) -> bool {
+    let mut guard = lock_sink();
+    *guard = None;
+    drop(guard);
+    init_at(run_name, path.into())
+}
+
+fn init_at(run_name: &str, path: PathBuf) -> bool {
+    let mut guard = lock_sink();
+    if guard.is_some() {
+        return true;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let file = match fs::File::create(&path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("tpgnn-obs: cannot open trace sink {}: {err}", path.display());
+            return false;
+        }
+    };
+    let mut state = TraceState {
+        run: run_name.to_string(),
+        path,
+        start: Instant::now(),
+        writer: BufWriter::new(file),
+        span_agg: BTreeMap::new(),
+        events: 0,
+    };
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let meta = obj(vec![
+        ("type", Json::from("meta")),
+        ("run", Json::from(run_name)),
+        ("t_us", Json::from(0u64)),
+        ("unix_ms", Json::from(unix_ms)),
+    ]);
+    let _ = writeln!(state.writer, "{}", meta.render());
+    *guard = Some(state);
+    ENABLED.store(true, Ordering::Relaxed);
+    opprof::set_enabled(true);
+    true
+}
+
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+fn current_parent() -> Option<u64> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// RAII guard for one span. Inert (all methods no-ops) when tracing is
+/// disabled; otherwise the span line is written when the guard drops, which
+/// also happens during panic unwinding so the thread-local stack cannot
+/// leak entries.
+pub struct Span {
+    /// `None` when tracing was disabled at open time.
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    opened: Instant,
+    fields: Vec<(String, Json)>,
+}
+
+/// Open a span named `name` under the innermost open span of this thread.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = current_parent();
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span {
+        live: Some(SpanLive { name, id, parent, opened: Instant::now(), fields: Vec::new() }),
+    }
+}
+
+impl Span {
+    /// Attach a field to this span (shows up in its JSONL line).
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        if let Some(live) = &mut self.live {
+            live.fields.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// This span's id, for correlating events; `None` when tracing is off.
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop back to (and including) this span. Out-of-order drops only
+            // happen during unwinding, where inner guards drop first anyway.
+            while let Some(top) = stack.pop() {
+                if top == live.id {
+                    break;
+                }
+            }
+        });
+        let dur_us = live.opened.elapsed().as_micros() as u64;
+        let mut guard = lock_sink();
+        let Some(state) = guard.as_mut() else { return };
+        let t_us = live.opened.duration_since(state.start).as_micros() as u64;
+        let agg = state.span_agg.entry(live.name.to_string()).or_insert((0, 0, 0));
+        agg.0 += 1;
+        agg.1 += dur_us;
+        agg.2 = agg.2.max(dur_us);
+        let line = obj(vec![
+            ("type", Json::from("span")),
+            ("name", Json::from(live.name)),
+            ("id", Json::from(live.id)),
+            (
+                "parent",
+                live.parent.map(Json::from).unwrap_or(Json::Null),
+            ),
+            ("thread", Json::from(thread_id())),
+            ("t_us", Json::from(t_us)),
+            ("dur_us", Json::from(dur_us)),
+            ("fields", Json::Obj(live.fields)),
+        ]);
+        let _ = writeln!(state.writer, "{}", line.render());
+    }
+}
+
+fn emit_event(name: &str, level: &str, fields: &[(&str, Json)]) {
+    if !enabled() {
+        return;
+    }
+    let parent = current_parent();
+    let thread = thread_id();
+    let mut guard = lock_sink();
+    let Some(state) = guard.as_mut() else { return };
+    let t_us = state.start.elapsed().as_micros() as u64;
+    state.events += 1;
+    let line = obj(vec![
+        ("type", Json::from("event")),
+        ("name", Json::from(name)),
+        ("level", Json::from(level)),
+        ("parent", parent.map(Json::from).unwrap_or(Json::Null)),
+        ("thread", Json::from(thread)),
+        ("t_us", Json::from(t_us)),
+        (
+            "fields",
+            Json::Obj(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()),
+        ),
+    ]);
+    let _ = writeln!(state.writer, "{}", line.render());
+}
+
+/// Emit an info-level event under the current span.
+pub fn event(name: &str, fields: &[(&str, Json)]) {
+    emit_event(name, "info", fields);
+}
+
+/// Emit a warning-level event under the current span.
+pub fn warn(name: &str, fields: &[(&str, Json)]) {
+    emit_event(name, "warn", fields);
+}
+
+/// Flush and close the trace: write the metrics snapshot next to the trace
+/// file, print a human-readable summary to stderr, disable tracing, and
+/// return the trace path. `None` if tracing was never enabled.
+pub fn finish() -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+    opprof::set_enabled(false);
+    let mut guard = lock_sink();
+    let mut state = guard.take()?;
+    let _ = state.writer.flush();
+
+    let metrics_path = state
+        .path
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join(format!("metrics-{}.json", state.run));
+    let _ = fs::write(&metrics_path, metrics::snapshot_json().render() + "\n");
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "== trace summary: {} ({} events) ==\n",
+        state.run, state.events
+    ));
+    summary.push_str(&format!("  trace    {}\n", state.path.display()));
+    summary.push_str(&format!("  metrics  {}\n", metrics_path.display()));
+    if !state.span_agg.is_empty() {
+        summary.push_str(&format!(
+            "  {:<28} {:>8} {:>12} {:>12}\n",
+            "span", "count", "total_ms", "max_ms"
+        ));
+        for (name, (count, total_us, max_us)) in &state.span_agg {
+            summary.push_str(&format!(
+                "  {:<28} {:>8} {:>12.3} {:>12.3}\n",
+                name,
+                count,
+                *total_us as f64 / 1e3,
+                *max_us as f64 / 1e3
+            ));
+        }
+    }
+    let metric_lines = metrics::render_summary();
+    if !metric_lines.is_empty() {
+        summary.push_str(&metric_lines);
+    }
+    let ops = opprof::snapshot();
+    if !ops.is_empty() {
+        summary.push_str("  top tape ops:\n");
+        summary.push_str(&opprof::render_top_ops(&ops, 8));
+    }
+    eprint!("{summary}");
+    Some(state.path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // Tracing defaults off in unit tests; a span must cost nothing and
+        // leave no state behind.
+        assert!(!enabled());
+        let mut s = span("test.inert");
+        s.set("k", 1i64);
+        assert!(s.id().is_none());
+        drop(s);
+        SPAN_STACK.with(|st| assert!(st.borrow().is_empty()));
+    }
+
+    #[test]
+    fn truthy_values() {
+        assert!(!truthy(""));
+        assert!(!truthy("0"));
+        assert!(!truthy("false"));
+        assert!(!truthy("off"));
+        assert!(truthy("1"));
+        assert!(truthy("results/custom.jsonl"));
+    }
+
+    #[test]
+    fn trace_path_respects_explicit_values() {
+        assert_eq!(trace_path("x", "tmp/my.jsonl"), PathBuf::from("tmp/my.jsonl"));
+        assert_eq!(trace_path("x", "my.jsonl"), PathBuf::from("my.jsonl"));
+        assert!(trace_path("run", "1").ends_with("results/trace-run.jsonl"));
+    }
+}

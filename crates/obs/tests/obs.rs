@@ -1,0 +1,178 @@
+//! Integration tests for `tpgnn-obs`: histogram bucket boundaries, span
+//! nesting and panic unwinding, JSONL round-trips through the snapshot
+//! reader, and zero emission in disabled mode.
+//!
+//! Trace state is process-global, so every test touching the sink holds
+//! `TRACE_LOCK` for its duration.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tpgnn_obs::json::Json;
+use tpgnn_obs::{metrics, reader, trace};
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_trace(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "tpgnn-obs-test-{}-{tag}-{n}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn histogram_bucket_boundaries_and_overflow() {
+    let h = metrics::histogram("test.obs.boundaries", &[1.0, 10.0, 100.0]);
+    // Exactly on a bound lands in that bound's bucket (inclusive upper).
+    h.record(1.0);
+    h.record(10.0);
+    h.record(100.0);
+    // Just past a bound lands in the next bucket.
+    h.record(1.0001);
+    // Past the last bound lands in the overflow bucket.
+    h.record(100.5);
+    h.record(1e9);
+
+    let s = h.snapshot();
+    assert_eq!(s.count, 6);
+    let counts: Vec<u64> = s.buckets.iter().map(|&(_, c)| c).collect();
+    assert_eq!(counts, vec![1, 2, 1, 2], "buckets (≤1, ≤10, ≤100, overflow)");
+    assert_eq!(s.buckets[3].0, f64::INFINITY, "last bucket is the overflow bucket");
+    assert_eq!(s.max, 1e9);
+    // Quantiles falling in the overflow bucket report the observed max.
+    assert_eq!(s.p95, 1e9);
+}
+
+#[test]
+fn span_nesting_records_parent_ids() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = temp_trace("nesting");
+    assert!(trace::init_to("nesting", &path));
+
+    {
+        let mut outer = trace::span("test.outer");
+        outer.set("depth", 0i64);
+        let outer_id = outer.id().expect("tracing enabled");
+        {
+            let mut inner = trace::span("test.inner");
+            inner.set("depth", 1i64);
+            trace::event("test.note", &[("at", Json::from("inner"))]);
+            drop(inner);
+        }
+        let _ = outer_id;
+    }
+    trace::finish().expect("trace was enabled");
+
+    let records = reader::read_trace(&path).expect("trace parses");
+    let outer = records.iter().find(|r| r.name == "test.outer").unwrap();
+    let inner = records.iter().find(|r| r.name == "test.inner").unwrap();
+    let note = records.iter().find(|r| r.name == "test.note").unwrap();
+    assert_eq!(inner.parent, Some(outer.id), "inner span nests under outer");
+    assert_eq!(note.parent, Some(inner.id), "event attaches to innermost span");
+    assert_eq!(note.level, "info");
+    assert!(inner.dur_us.is_some() && outer.dur_us.is_some());
+    assert!(outer.dur_us >= inner.dur_us, "outer span encloses inner");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn span_stack_unwinds_on_panic() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = temp_trace("unwind");
+    assert!(trace::init_to("unwind", &path));
+
+    let result = std::panic::catch_unwind(|| {
+        let _outer = trace::span("test.unwind.outer");
+        let _inner = trace::span("test.unwind.inner");
+        panic!("boom");
+    });
+    assert!(result.is_err(), "panic propagates");
+
+    // After unwinding, no span is left open: a fresh span gets no parent.
+    {
+        let fresh = trace::span("test.unwind.fresh");
+        assert!(fresh.id().is_some());
+    }
+    trace::finish().expect("trace was enabled");
+
+    let records = reader::read_trace(&path).expect("trace parses after panic");
+    let fresh = records.iter().find(|r| r.name == "test.unwind.fresh").unwrap();
+    assert_eq!(fresh.parent, None, "stack fully unwound by panic");
+    // Both panicked spans still flushed their lines on Drop.
+    assert!(records.iter().any(|r| r.name == "test.unwind.outer"));
+    assert!(records.iter().any(|r| r.name == "test.unwind.inner"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn jsonl_lines_round_trip_through_reader() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = temp_trace("roundtrip");
+    assert!(trace::init_to("roundtrip", &path));
+
+    {
+        let mut s = trace::span("test.roundtrip");
+        s.set("loss", 0.693_f64);
+        s.set("epoch", 3i64);
+        s.set("model", "tp-gnn");
+        s.set("nan", f64::NAN); // must serialize as null, not break parsing
+    }
+    trace::warn("test.warned", &[("reason", Json::from("synthetic"))]);
+    trace::finish().expect("trace was enabled");
+
+    let records = reader::read_trace(&path).expect("every line parses");
+    assert_eq!(records[0].kind, "meta");
+    assert_eq!(records[0].name, "roundtrip");
+    let s = records.iter().find(|r| r.name == "test.roundtrip").unwrap();
+    assert_eq!(s.field("loss").and_then(Json::as_f64), Some(0.693));
+    assert_eq!(s.field("epoch").and_then(Json::as_i64), Some(3));
+    assert_eq!(s.field("model").and_then(Json::as_str), Some("tp-gnn"));
+    assert_eq!(s.field("nan"), Some(&Json::Null));
+    let w = records.iter().find(|r| r.name == "test.warned").unwrap();
+    assert_eq!(w.level, "warn");
+    assert_eq!(w.field("reason").and_then(Json::as_str), Some("synthetic"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn metrics_snapshot_written_next_to_trace() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = temp_trace("metrics");
+    assert!(trace::init_to("metrics-sidecar", &path));
+    metrics::counter("test.obs.sidecar").add(2);
+    trace::finish().expect("trace was enabled");
+
+    let metrics_path = path.parent().unwrap().join("metrics-metrics-sidecar.json");
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics sidecar written");
+    let j = tpgnn_obs::json::parse(&text).expect("metrics JSON parses");
+    let v = j
+        .get("counters")
+        .and_then(|c| c.get("test.obs.sidecar"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    assert!(v >= 2);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&metrics_path);
+}
+
+#[test]
+fn disabled_mode_emits_nothing() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // No init: tracing is disabled (TPGNN_TRACE is not consulted here at
+    // all — only `init` reads it, and we never call it).
+    assert!(!trace::enabled());
+    let path = temp_trace("disabled");
+
+    {
+        let mut s = trace::span("test.disabled");
+        s.set("ignored", 1i64);
+        assert!(s.id().is_none(), "disabled spans have no identity");
+        trace::event("test.disabled.event", &[]);
+        trace::warn("test.disabled.warn", &[]);
+    }
+    assert!(trace::finish().is_none(), "finish is a no-op when disabled");
+    assert!(!path.exists(), "no sink file is ever created");
+}

@@ -26,6 +26,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod linalg;
 pub mod optim;
+pub mod profile;
 mod params;
 mod tape;
 mod tensor;

@@ -130,6 +130,24 @@ impl ParamStore {
         total
     }
 
+    /// Joint L2 norm over all parameter values.
+    pub fn param_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.value.data().iter().map(|&v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Joint L2 norm over all accumulated gradients (without clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.entries
+            .iter()
+            .map(|e| e.grad.data().iter().map(|&g| g * g).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
     /// Iterate over all parameter ids.
     pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
         (0..self.entries.len()).map(ParamId)

@@ -12,8 +12,10 @@
 //! [`ParamStore`](crate::ParamStore) with [`Tape::flush_grads`].
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 use crate::error::TensorError;
+use crate::profile;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::{matmul_a_bt_into, matmul_at_b_into, Tensor};
 
@@ -129,6 +131,41 @@ impl Op {
             Op::BceWithLogits(..) => "bce_with_logits",
         }
     }
+
+    /// Stable op-kind index into [`profile::OP_NAMES`], used by the op
+    /// profiler's fixed slot table.
+    fn kind_idx(&self) -> usize {
+        match self {
+            Op::Leaf => 0,
+            Op::Param(_) => 1,
+            Op::MatMul(..) => 2,
+            Op::Add(..) => 3,
+            Op::Sub(..) => 4,
+            Op::Mul(..) => 5,
+            Op::AddRow(..) => 6,
+            Op::Scale(..) => 7,
+            Op::AddScalar(_) => 8,
+            Op::Sigmoid(_) => 9,
+            Op::Tanh(_) => 10,
+            Op::Relu(_) => 11,
+            Op::LeakyRelu(..) => 12,
+            Op::Sin(_) => 13,
+            Op::Exp(_) => 14,
+            Op::Ln(_) => 15,
+            Op::Abs(_) => 16,
+            Op::OneMinus(_) => 17,
+            Op::ConcatCols(..) => 18,
+            Op::SliceCols(..) => 19,
+            Op::SliceRows(..) => 20,
+            Op::MeanRows(_) => 21,
+            Op::SumRows(_) => 22,
+            Op::MeanAll(_) => 23,
+            Op::StackRows(_) => 24,
+            Op::Softmax(_) => 25,
+            Op::Transpose(_) => 26,
+            Op::BceWithLogits(..) => 27,
+        }
+    }
 }
 
 struct Node {
@@ -219,7 +256,10 @@ impl Tape {
         &self.nodes[v.idx].value
     }
 
-    fn push(&mut self, value: Tensor, op: Op) -> Var {
+    fn push(&mut self, value: Tensor, op: Op, t0: Option<Instant>) -> Var {
+        if let Some(t0) = t0 {
+            profile::record_forward(op.kind_idx(), t0, value.len());
+        }
         let (rows, cols) = value.shape();
         let idx = self.nodes.len();
         if self.guard && self.non_finite.is_none() && value.has_non_finite() {
@@ -231,7 +271,8 @@ impl Tape {
 
     /// Record a constant input (no gradient is propagated out of it).
     pub fn input(&mut self, value: Tensor) -> Var {
-        self.push(value, Op::Leaf)
+        let t0 = profile::op_start();
+        self.push(value, Op::Leaf, t0)
     }
 
     /// Record a scalar constant as a `1 × 1` input.
@@ -244,35 +285,41 @@ impl Tape {
     /// The parameter value is copied in; after [`Tape::backward`], call
     /// [`Tape::flush_grads`] to accumulate its gradient back into the store.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let t0 = profile::op_start();
+        self.push(store.value(id).clone(), Op::Param(id), t0)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.matmul(&self.nodes[b.idx].value);
-        self.push(v, Op::MatMul(a.idx, b.idx))
+        self.push(v, Op::MatMul(a.idx, b.idx), t0)
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.add(&self.nodes[b.idx].value);
-        self.push(v, Op::Add(a.idx, b.idx))
+        self.push(v, Op::Add(a.idx, b.idx), t0)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.sub(&self.nodes[b.idx].value);
-        self.push(v, Op::Sub(a.idx, b.idx))
+        self.push(v, Op::Sub(a.idx, b.idx), t0)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.hadamard(&self.nodes[b.idx].value);
-        self.push(v, Op::Mul(a.idx, b.idx))
+        self.push(v, Op::Mul(a.idx, b.idx), t0)
     }
 
     /// Broadcast addition of a `1 × c` row vector to every row of an `r × c` matrix.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let t0 = profile::op_start();
         assert_eq!(row.rows, 1, "add_row expects a 1-row broadcast operand");
         assert_eq!(a.cols, row.cols, "add_row width mismatch");
         let rv = &self.nodes[row.idx].value;
@@ -284,7 +331,7 @@ impl Tape {
                 *x += b;
             }
         }
-        self.push(v, Op::AddRow(a.idx, row.idx))
+        self.push(v, Op::AddRow(a.idx, row.idx), t0)
     }
 
     /// `x · w + b` convenience: matmul plus broadcast bias row.
@@ -295,96 +342,110 @@ impl Tape {
 
     /// Multiply by a compile-time-known scalar.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.scale(s);
-        self.push(v, Op::Scale(a.idx, s))
+        self.push(v, Op::Scale(a.idx, s), t0)
     }
 
     /// Add a compile-time-known scalar to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(|x| x + s);
-        self.push(v, Op::AddScalar(a.idx))
+        self.push(v, Op::AddScalar(a.idx), t0)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a.idx))
+        self.push(v, Op::Sigmoid(a.idx), t0)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(f32::tanh);
-        self.push(v, Op::Tanh(a.idx))
+        self.push(v, Op::Tanh(a.idx), t0)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a.idx))
+        self.push(v, Op::Relu(a.idx), t0)
     }
 
     /// Leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(|x| if x >= 0.0 { x } else { slope * x });
-        self.push(v, Op::LeakyRelu(a.idx, slope))
+        self.push(v, Op::LeakyRelu(a.idx, slope), t0)
     }
 
     /// Elementwise sine (used by Time2Vec, eq. 2 of the paper).
     pub fn sin(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(f32::sin);
-        self.push(v, Op::Sin(a.idx))
+        self.push(v, Op::Sin(a.idx), t0)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(f32::exp);
-        self.push(v, Op::Exp(a.idx))
+        self.push(v, Op::Exp(a.idx), t0)
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(f32::ln);
-        self.push(v, Op::Ln(a.idx))
+        self.push(v, Op::Ln(a.idx), t0)
     }
 
     /// Elementwise absolute value (Weighted-L1 edge aggregation).
     pub fn abs(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(f32::abs);
-        self.push(v, Op::Abs(a.idx))
+        self.push(v, Op::Abs(a.idx), t0)
     }
 
     /// `1 - x`, the complement used by GRU update gates (eq. 10).
     pub fn one_minus(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.map(|x| 1.0 - x);
-        self.push(v, Op::OneMinus(a.idx))
+        self.push(v, Op::OneMinus(a.idx), t0)
     }
 
     /// Concatenate along columns (`⊕` in the paper).
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.concat_cols(&self.nodes[b.idx].value);
-        self.push(v, Op::ConcatCols(a.idx, b.idx))
+        self.push(v, Op::ConcatCols(a.idx, b.idx), t0)
     }
 
     /// Columns `[start, start + len)` of `a`.
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let t0 = profile::op_start();
         assert!(start + len <= a.cols, "slice_cols out of bounds");
         let av = &self.nodes[a.idx].value;
         let mut v = Tensor::zeros(a.rows, len);
         for i in 0..a.rows {
             v.row_mut(i).copy_from_slice(&av.row(i)[start..start + len]);
         }
-        self.push(v, Op::SliceCols(a.idx, start, len))
+        self.push(v, Op::SliceCols(a.idx, start, len), t0)
     }
 
     /// Rows `[start, start + len)` of `a`.
     pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let t0 = profile::op_start();
         assert!(start + len <= a.rows, "slice_rows out of bounds");
         let av = &self.nodes[a.idx].value;
         let mut v = Tensor::zeros(len, a.cols);
         for i in 0..len {
             v.row_mut(i).copy_from_slice(av.row(start + i));
         }
-        self.push(v, Op::SliceRows(a.idx, start, len))
+        self.push(v, Op::SliceRows(a.idx, start, len), t0)
     }
 
     /// Row `i` of `a` as a `1 × c` vector.
@@ -394,12 +455,14 @@ impl Tape {
 
     /// Mean over rows, producing a `1 × c` row (the *Mean* graph pooling of Sec. V-D).
     pub fn mean_rows(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.mean_rows();
-        self.push(v, Op::MeanRows(a.idx))
+        self.push(v, Op::MeanRows(a.idx), t0)
     }
 
     /// Sum over rows, producing a `1 × c` row.
     pub fn sum_rows(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let av = &self.nodes[a.idx].value;
         let mut v = Tensor::zeros(1, a.cols);
         for i in 0..a.rows {
@@ -407,49 +470,54 @@ impl Tape {
                 *o += x;
             }
         }
-        self.push(v, Op::SumRows(a.idx))
+        self.push(v, Op::SumRows(a.idx), t0)
     }
 
     /// Mean over all elements, producing `1 × 1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = Tensor::scalar(self.nodes[a.idx].value.mean());
-        self.push(v, Op::MeanAll(a.idx))
+        self.push(v, Op::MeanAll(a.idx), t0)
     }
 
     /// Stack `1 × c` rows into an `n × c` matrix.
     pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
+        let t0 = profile::op_start();
         assert!(!rows.is_empty(), "stack_rows requires at least one row");
         let tensors: Vec<Tensor> = rows.iter().map(|r| self.nodes[r.idx].value.clone()).collect();
         let v = Tensor::stack_rows(&tensors);
-        self.push(v, Op::StackRows(rows.iter().map(|r| r.idx).collect()))
+        self.push(v, Op::StackRows(rows.iter().map(|r| r.idx).collect()), t0)
     }
 
     /// Softmax over **all** elements of `a` (attention score vectors).
     pub fn softmax(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let av = &self.nodes[a.idx].value;
         let max = av.data().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
         let mut v = av.map(|x| (x - max).exp());
         let sum: f32 = v.data().iter().sum();
         let inv = 1.0 / sum;
         v.data_mut().iter_mut().for_each(|x| *x *= inv);
-        self.push(v, Op::Softmax(a.idx))
+        self.push(v, Op::Softmax(a.idx), t0)
     }
 
     /// Transposed copy.
     pub fn transpose(&mut self, a: Var) -> Var {
+        let t0 = profile::op_start();
         let v = self.nodes[a.idx].value.transpose();
-        self.push(v, Op::Transpose(a.idx))
+        self.push(v, Op::Transpose(a.idx), t0)
     }
 
     /// Binary cross-entropy with logits (eq. 12), numerically stable.
     ///
     /// `logit` must be `1 × 1`; `target` is 0.0 or 1.0. Returns the `1 × 1` loss.
     pub fn bce_with_logits(&mut self, logit: Var, target: f32) -> Var {
+        let t0 = profile::op_start();
         assert_eq!(logit.shape(), (1, 1), "bce_with_logits expects a scalar logit");
         let z = self.nodes[logit.idx].value.item();
         // max(z,0) - z*y + ln(1 + e^{-|z|})
         let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
-        self.push(Tensor::scalar(loss), Op::BceWithLogits(logit.idx, target))
+        self.push(Tensor::scalar(loss), Op::BceWithLogits(logit.idx, target), t0)
     }
 
     /// Mean of two vars, `(a + b) / 2` — the *Average* EdgeAgg of Sec. IV-C.
@@ -481,7 +549,12 @@ impl Tape {
             if gout.max_abs() == 0.0 {
                 continue;
             }
-            self.backward_node(i, gout, gin);
+            if let Some(t0) = profile::op_start() {
+                self.backward_node(i, gout, gin);
+                profile::record_backward(self.nodes[i].op.kind_idx(), t0);
+            } else {
+                self.backward_node(i, gout, gin);
+            }
         }
         let mut non_finite = None;
         if self.guard {

@@ -29,4 +29,19 @@ echo "== cargo bench -- --smoke (offline) =="
 cargo bench --workspace --offline -- --smoke
 
 echo
-echo "CI OK: hermetic build, full test suite, smoke benchmarks."
+echo "== traced smoke run (TPGNN_TRACE=1 obs_smoke) =="
+# obs_smoke validates span/event structure from the inside; CI additionally
+# asserts the trace file exists, is non-empty, and every line parses.
+TPGNN_TRACE=1 cargo run --release --offline -p tpgnn-bench --bin obs_smoke
+trace_file=results/trace-smoke.jsonl
+[ -s "$trace_file" ] || { echo "CI FAIL: $trace_file missing or empty" >&2; exit 1; }
+while IFS= read -r line; do
+  case "$line" in
+    "{"*"}") ;;
+    *) echo "CI FAIL: non-JSON line in $trace_file: $line" >&2; exit 1 ;;
+  esac
+done < "$trace_file"
+echo "trace OK: $(wc -l < "$trace_file") JSONL records in $trace_file"
+
+echo
+echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke."

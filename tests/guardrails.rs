@@ -31,6 +31,9 @@ fn forum_java_corpus(seed: u64, sessions: usize) -> Vec<(Ctdn, f32)> {
 /// public checkpoint API, so the poisoned state is exactly what the guarded
 /// trainer must detect and roll back.
 struct NanInjected {
+    /// Distinct per test: guard events in a shared trace carry the model
+    /// name, and tests run in parallel.
+    name: &'static str,
     inner: TpGnn,
     fit_calls: usize,
     inject_at: usize,
@@ -57,7 +60,7 @@ impl NanInjected {
 
 impl GraphClassifier for NanInjected {
     fn name(&self) -> String {
-        "nan-injected".into()
+        self.name.into()
     }
     fn fit_epoch(&mut self, train: &mut [(Ctdn, f32)]) -> f32 {
         self.fit_calls += 1;
@@ -91,6 +94,7 @@ impl GraphClassifier for NanInjected {
 fn injected_nan_recovers_and_training_completes() {
     let train = forum_java_corpus(42, 4);
     let mut model = NanInjected {
+        name: "nan-injected",
         inner: TpGnn::new(TpGnnConfig::sum(3).with_seed(3)),
         fit_calls: 0,
         inject_at: 3,
@@ -122,9 +126,72 @@ fn injected_nan_recovers_and_training_completes() {
 }
 
 #[test]
+fn injected_nan_rollback_is_traced_with_matching_epoch() {
+    use tpgnn_obs::{reader, trace};
+
+    let path = std::env::temp_dir()
+        .join(format!("tpgnn_guardrails_trace_{}.jsonl", std::process::id()));
+    trace::init_to("guardrails-test", &path);
+
+    let train = forum_java_corpus(42, 4);
+    let mut model = NanInjected {
+        name: "nan-injected-traced",
+        inner: TpGnn::new(TpGnnConfig::sum(3).with_seed(3)),
+        fit_calls: 0,
+        inject_at: 3,
+        every_time: false,
+    };
+    model.set_learning_rate(0.01);
+    let cfg = TrainConfig { epochs: 5, shuffle_ties: true, seed: 3 };
+    let report = train_guarded(&mut model, &train, &cfg, &GuardConfig::default());
+    trace::finish();
+
+    assert!(!report.aborted);
+    assert_eq!(report.recoveries.len(), 1);
+    let recovery = &report.recoveries[0];
+
+    let records = reader::read_trace(&path).expect("trace parses back");
+    std::fs::remove_file(&path).ok();
+    // The rollback must surface as a `warn` event attributed to this model,
+    // at the same epoch the TrainReport records.
+    let rollbacks: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == "event" && r.name == "guard.rollback")
+        .filter(|r| r.field("model").and_then(|j| j.as_str()) == Some("nan-injected-traced"))
+        .collect();
+    assert_eq!(rollbacks.len(), 1, "exactly one traced rollback: {rollbacks:?}");
+    let ev = rollbacks[0];
+    assert_eq!(ev.level, "warn");
+    assert_eq!(
+        ev.field("epoch").and_then(|j| j.as_i64()),
+        Some(recovery.epoch as i64),
+        "trace epoch must match the RecoveryEvent epoch"
+    );
+    assert_eq!(
+        ev.field("rolled_back_to").and_then(|j| j.as_i64()),
+        recovery.rolled_back_to.map(|e| e as i64)
+    );
+    // The run's epoch spans bracket the rollback: epochs that completed have
+    // spans, and the checkpoint events confirm accepted epochs.
+    let epoch_spans = records
+        .iter()
+        .filter(|r| r.kind == "span" && r.name == "train.epoch")
+        .filter(|r| r.field("model").and_then(|j| j.as_str()) == Some("nan-injected-traced"))
+        .count();
+    assert!(epoch_spans >= cfg.epochs, "every attempt gets a span ({epoch_spans})");
+    let checkpoints = records
+        .iter()
+        .filter(|r| r.kind == "event" && r.name == "train.checkpoint")
+        .filter(|r| r.field("model").and_then(|j| j.as_str()) == Some("nan-injected-traced"))
+        .count();
+    assert_eq!(checkpoints, report.epoch_losses.len(), "one checkpoint per accepted epoch");
+}
+
+#[test]
 fn persistent_poison_is_abandoned_not_panicked() {
     let train = forum_java_corpus(7, 3);
     let mut model = NanInjected {
+        name: "nan-injected-persistent",
         inner: TpGnn::new(TpGnnConfig::sum(3).with_seed(5)),
         fit_calls: 0,
         inject_at: 2,
