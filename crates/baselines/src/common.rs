@@ -94,6 +94,7 @@ macro_rules! impl_graph_classifier {
 
             fn load_state(&mut self, state: &str) -> Result<(), String> {
                 tpgnn_tensor::optim::load_training_state(&mut self.opt, &mut self.store, state)
+                    .map_err(|e| e.to_string())
             }
 
             fn check_finite(&self) -> Result<(), String> {

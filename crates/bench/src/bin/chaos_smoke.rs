@@ -1,0 +1,166 @@
+//! Chaos smoke for CI: pushes Forum-java corpora through the streaming
+//! ingestion path ([`tpgnn_graph::CtdnBuilder`]) under a matrix of seeded
+//! fault schedules covering every injector — shuffle, duplication,
+//! corruption, burst drops, delays, clock skew (declared and undeclared),
+//! and clock regression — and asserts that
+//!
+//! 1. nothing panics,
+//! 2. the reorder buffer stays within its configured bound,
+//! 3. event accounting closes (`received == released + quarantined`),
+//! 4. every rejection is typed and reconciles exactly with the injected
+//!    fault counts, and
+//! 5. the zero-fault schedule reproduces the direct loader bitwise —
+//!    including bitwise-identical training losses.
+//!
+//! Exit codes: 0 = all schedules pass; 1 = a reconciliation failed.
+//! `--smoke` shrinks the corpora for CI (`scripts/ci.sh`).
+
+use tpgnn_core::{train_guarded, GuardConfig, TpGnn, TpGnnConfig, TrainConfig};
+use tpgnn_data::chaos::{rebuild_dataset, DatasetChaosReport, FaultPlan};
+use tpgnn_data::{DatasetKind, GraphDataset};
+use tpgnn_graph::RejectKind;
+
+/// The schedule matrix: every injector type appears at least once, alone
+/// where its quarantine count is exactly predictable and combined once.
+fn schedules() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("zero-fault", FaultPlan::clean()),
+        (
+            "shuffle",
+            FaultPlan { shuffle_window: 8, shuffle_prob: 1.0, ..FaultPlan::default() },
+        ),
+        ("duplicate", FaultPlan { dup_rate: 0.2, ..FaultPlan::default() }),
+        ("corrupt", FaultPlan { corrupt_rate: 0.15, ..FaultPlan::default() }),
+        (
+            "burst-drop",
+            FaultPlan { drop_rate: 0.1, burst_len: 3, ..FaultPlan::default() },
+        ),
+        (
+            "delay",
+            FaultPlan { delay_rate: 0.1, delay_margin: 5.0, ..FaultPlan::default() },
+        ),
+        (
+            "skew-declared",
+            FaultPlan { num_origins: 3, skew: 40.0, declare_skew: true, ..FaultPlan::default() },
+        ),
+        (
+            "skew-undeclared",
+            FaultPlan { num_origins: 3, skew: 40.0, declare_skew: false, ..FaultPlan::default() },
+        ),
+        (
+            "regression",
+            FaultPlan { regress_rate: 0.1, regression: 5.0, ..FaultPlan::default() },
+        ),
+        ("combined", FaultPlan::mixed(0.2)),
+    ]
+}
+
+fn fail(schedule: &str, msg: &str) -> ! {
+    eprintln!("chaos_smoke: FAIL [{schedule}]: {msg}");
+    std::process::exit(1);
+}
+
+/// Per-schedule reconciliation: each injector's quarantine signature is
+/// exact, so any drift (a missed rejection, an extra one, a wrong type)
+/// fails the run.
+fn reconcile(name: &str, report: &DatasetChaosReport) {
+    let s = &report.stats;
+    let l = &report.ledger;
+    let c = &report.counts;
+    if s.received != s.released + s.quarantined {
+        fail(name, &format!("accounting leak: {} != {} + {}", s.received, s.released, s.quarantined));
+    }
+    if s.received != l.emitted {
+        fail(name, &format!("builder saw {} events, injector emitted {}", s.received, l.emitted));
+    }
+    let expect = |kind: RejectKind, want: usize| {
+        let got = c.count(kind);
+        if got != want {
+            fail(name, &format!("{} count {got}, expected {want} ({})", kind.label(), c.summary()));
+        }
+    };
+    match name {
+        "zero-fault" | "shuffle" | "burst-drop" | "skew-declared" | "skew-undeclared" => {
+            if c.total() != 0 {
+                fail(name, &format!("expected zero quarantines, got {}", c.summary()));
+            }
+            if s.released != l.input_events - l.dropped {
+                fail(name, "released events do not match surviving input");
+            }
+        }
+        "duplicate" => expect(RejectKind::Duplicate, l.duplicated),
+        "corrupt" => expect(RejectKind::Malformed, l.corrupted),
+        "delay" => expect(RejectKind::LateEvent, l.delayed),
+        "regression" => expect(RejectKind::NonMonotonicClock, l.regressed),
+        "combined" => {
+            expect(RejectKind::Duplicate, l.duplicated);
+            expect(RejectKind::Malformed, l.corrupted);
+            if c.total() != l.duplicated + l.corrupted {
+                fail(name, &format!("untyped rejections present: {}", c.summary()));
+            }
+        }
+        other => fail(other, "schedule has no reconciliation rule"),
+    }
+}
+
+/// Train TP-GNN-SUM briefly and return the per-epoch losses — used to prove
+/// the zero-fault rebuild is indistinguishable from the direct loader all
+/// the way through the training stack.
+fn losses(ds: &GraphDataset, epochs: usize) -> Vec<f32> {
+    let feature_dim = ds.graphs.first().map_or(3, |g| g.graph.feature_dim());
+    let pairs: Vec<_> = ds.graphs.iter().map(|lg| (lg.graph.clone(), lg.target())).collect();
+    let mut model = TpGnn::new(TpGnnConfig::sum(feature_dim).with_seed(9));
+    let cfg = TrainConfig { epochs, shuffle_ties: true, seed: 9 };
+    train_guarded(&mut model, &pairs, &cfg, &GuardConfig::default()).epoch_losses
+}
+
+fn main() {
+    let _trace = tpgnn_bench::init_trace("chaos-smoke");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (graphs, epochs) = if smoke { (12, 2) } else { (48, 4) };
+
+    let clean = DatasetKind::ForumJava.generate(graphs, 42);
+    let mut total_quarantined = 0usize;
+
+    for (i, (name, plan)) in schedules().into_iter().enumerate() {
+        let seed = 1000 + i as u64;
+        let (rebuilt, report) = rebuild_dataset(&clean, &plan, seed);
+        let cap = plan.stream_config().reorder_capacity;
+        if cap > 0 && report.stats.max_buffer_depth > cap {
+            fail(name, &format!("buffer depth {} exceeded capacity {cap}", report.stats.max_buffer_depth));
+        }
+        reconcile(name, &report);
+
+        if name == "zero-fault" {
+            for (a, b) in clean.graphs.iter().zip(&rebuilt.graphs) {
+                let (mut ga, mut gb) = (a.graph.clone(), b.graph.clone());
+                if a.label != b.label
+                    || ga.edges_chronological() != gb.edges_chronological()
+                    || ga.features() != gb.features()
+                {
+                    fail(name, "rebuilt graph differs from direct loader");
+                }
+            }
+            let (la, lb) = (losses(&clean, epochs), losses(&rebuilt, epochs));
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            if bits(&la) != bits(&lb) {
+                fail(name, &format!("training losses diverged: {la:?} vs {lb:?}"));
+            }
+        }
+
+        total_quarantined += report.counts.total();
+        println!(
+            "chaos_smoke: [{name:<15}] ok — received {:>5}, released {:>5}, max depth {:>4}, {}",
+            report.stats.received,
+            report.stats.released,
+            report.stats.max_buffer_depth,
+            report.counts.summary()
+        );
+    }
+
+    println!(
+        "chaos_smoke: OK — {} schedules, {} total quarantined events, all reconciled",
+        schedules().len(),
+        total_quarantined
+    );
+}

@@ -22,15 +22,18 @@ fn fig7_graph() -> Ctdn {
         feats.row_mut(v).copy_from_slice(&[0.1 + 0.08 * v as f32, 0.5 - 0.03 * v as f32, 0.4]);
     }
     let mut g = Ctdn::new(feats);
-    g.add_edge(0, 1, 1.2);
-    g.add_edge(1, 2, 2.8);
-    g.add_edge(2, 3, 4.3); // <- swapped in the modified graph
-    g.add_edge(3, 4, 6.0);
-    g.add_edge(4, 5, 7.7);
-    g.add_edge(5, 6, 9.1);
-    g.add_edge(6, 5, 11.4);
-    g.add_edge(5, 7, 14.5); // <- swapped / direction-flipped
-    g.add_edge(7, 8, 16.2);
+    let add = |g: &mut Ctdn, s, d, t| {
+        g.try_add_edge(s, d, t).expect("fig7 trajectory is hardcoded valid")
+    };
+    add(&mut g, 0, 1, 1.2);
+    add(&mut g, 1, 2, 2.8);
+    add(&mut g, 2, 3, 4.3); // <- swapped in the modified graph
+    add(&mut g, 3, 4, 6.0);
+    add(&mut g, 4, 5, 7.7);
+    add(&mut g, 5, 6, 9.1);
+    add(&mut g, 6, 5, 11.4);
+    add(&mut g, 5, 7, 14.5); // <- swapped / direction-flipped
+    add(&mut g, 7, 8, 16.2);
     g
 }
 

@@ -68,6 +68,12 @@ pub struct GuardConfig {
     /// finite (via `ParamStore::check_finite`), catching corruption that a
     /// finite epoch-mean loss can mask.
     pub check_params: bool,
+    /// Wall-clock budget per epoch in milliseconds. An epoch that exceeds it
+    /// abandons the run immediately (rollback-and-retry would just be slow
+    /// again) with a `guard.timeout` trace warning. `None` disables the
+    /// check — the default, since healthy epoch times vary by orders of
+    /// magnitude across datasets and scale knobs.
+    pub max_epoch_ms: Option<u64>,
 }
 
 impl GuardConfig {
@@ -85,6 +91,7 @@ impl Default for GuardConfig {
             lr_backoff: 0.5,
             scan_tapes: true,
             check_params: true,
+            max_epoch_ms: None,
         }
     }
 }
@@ -110,6 +117,14 @@ pub enum DivergenceReason {
         /// Human-readable attribution (model, op/parameter, tape node).
         detail: String,
     },
+    /// The epoch's wall-clock time exceeded
+    /// [`GuardConfig::max_epoch_ms`] — a hung or pathologically slow model.
+    EpochTimeout {
+        /// Measured epoch wall-clock time (ms).
+        elapsed_ms: u64,
+        /// The configured budget (ms).
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for DivergenceReason {
@@ -120,6 +135,9 @@ impl std::fmt::Display for DivergenceReason {
                 write!(f, "epoch loss {loss} exploded past best {best}")
             }
             DivergenceReason::ModelFault { detail } => write!(f, "model fault: {detail}"),
+            DivergenceReason::EpochTimeout { elapsed_ms, budget_ms } => {
+                write!(f, "epoch took {elapsed_ms} ms, over the {budget_ms} ms budget")
+            }
         }
     }
 }

@@ -193,6 +193,7 @@ pub fn train_guarded(
         epoch_span.set("epoch", epoch as i64);
         let t_epoch = Instant::now();
         let loss = model.fit_epoch(&mut working);
+        let elapsed_ms = t_epoch.elapsed().as_millis() as u64;
         epoch_ms().record(t_epoch.elapsed().as_secs_f64() * 1e3);
         epoch_span.set("loss", loss as f64);
         if let Some(lr) = model.learning_rate() {
@@ -203,6 +204,35 @@ pub fn train_guarded(
         }
         if let Some(n) = model.grad_norm() {
             epoch_span.set("grad_norm", n as f64);
+        }
+
+        // A blown epoch-time budget abandons the run on the spot: unlike a
+        // numerical fault, rolling back and retrying a hung or
+        // pathologically slow epoch would just hang again.
+        if let Some(budget_ms) = guard_cfg.max_epoch_ms {
+            if elapsed_ms > budget_ms {
+                epoch_span.set("accepted", false);
+                aborts_total().inc();
+                trace::warn(
+                    "guard.timeout",
+                    &[
+                        ("model", Json::from(model_name.as_str())),
+                        ("epoch", Json::from(epoch as i64)),
+                        ("elapsed_ms", Json::from(elapsed_ms as i64)),
+                        ("budget_ms", Json::from(budget_ms as i64)),
+                    ],
+                );
+                report.recoveries.push(RecoveryEvent {
+                    epoch,
+                    reason: DivergenceReason::EpochTimeout { elapsed_ms, budget_ms },
+                    rolled_back_to: None,
+                    lr_before: model.learning_rate(),
+                    lr_after: None,
+                    abandoned: true,
+                });
+                report.aborted = true;
+                break;
+            }
         }
 
         let reason = if let Some(detail) = guard::take_fault() {

@@ -22,18 +22,21 @@ pub fn fig1_graph(normal: bool) -> Ctdn {
         feats.row_mut(v).copy_from_slice(&[v as f32 / 10.0, 0.5, 0.0]);
     }
     let mut g = Ctdn::new(feats);
-    g.add_edge(3, 1, 1.0);
-    g.add_edge(2, 1, 1.8);
-    g.add_edge(1, 0, 2.6);
-    g.add_edge(0, 5, 3.4);
-    g.add_edge(5, 6, 4.1);
-    g.add_edge(7, 6, 4.9);
-    g.add_edge(9, 8, 6.0);
-    g.add_edge(8, 7, 7.0);
+    let add = |g: &mut Ctdn, s, d, t| {
+        g.try_add_edge(s, d, t).expect("fig1 edges are hardcoded valid")
+    };
+    add(&mut g, 3, 1, 1.0);
+    add(&mut g, 2, 1, 1.8);
+    add(&mut g, 1, 0, 2.6);
+    add(&mut g, 0, 5, 3.4);
+    add(&mut g, 5, 6, 4.1);
+    add(&mut g, 7, 6, 4.9);
+    add(&mut g, 9, 8, 6.0);
+    add(&mut g, 8, 7, 7.0);
     // The only difference between the two session networks: whether the
     // second v7 -> v6 interaction fires before or after v8/v9's information
     // has reached v7.
-    g.add_edge(7, 6, if normal { 5.5 } else { 7.4 });
+    add(&mut g, 7, 6, if normal { 5.5 } else { 7.4 });
     g
 }
 

@@ -136,7 +136,7 @@ pub fn generate_session(cfg: &ForumJavaConfig, rng: &mut StdRng) -> Ctdn {
         times.push(time);
     }
     for (i, &t) in times.iter().enumerate().skip(1) {
-        g.add_edge(i - 1, i, t);
+        g.try_add_edge(i - 1, i, t).expect("session chain uses in-bounds nodes and positive times");
     }
 
     // Async branches: an earlier event also links forward to a later one,
@@ -145,7 +145,8 @@ pub fn generate_session(cfg: &ForumJavaConfig, rng: &mut StdRng) -> Ctdn {
         if rng.random_bool(cfg.branch_prob) {
             let span = rng.random_range(2..=3.min(n - 1 - i));
             let j = i + span;
-            g.add_edge(i - 1, j, times[j]);
+            g.try_add_edge(i - 1, j, times[j])
+                .expect("branch target is clamped to the last session event");
         }
     }
     g

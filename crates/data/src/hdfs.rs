@@ -79,22 +79,22 @@ pub fn generate_block_session(cfg: &HdfsConfig, rng: &mut StdRng) -> Ctdn {
         t
     };
 
-    g.add_edge(0, 1, tick(rng));
+    g.try_add_edge(0, 1, tick(rng)).expect("hdfs pipeline nodes are in bounds");
     let mut prev = 1;
     for r in 0..replicas {
         let base = 2 + r * per_replica;
         let (recv, write, ack) = (base, base + 1, base + 2);
-        g.add_edge(prev, recv, tick(rng));
+        g.try_add_edge(prev, recv, tick(rng)).expect("hdfs pipeline nodes are in bounds");
         // Write/ack rounds revisit the same node pair — this is what pushes
         // the edge count far above the node count.
         for _ in 0..rounds {
-            g.add_edge(recv, write, tick(rng));
-            g.add_edge(write, ack, tick(rng));
+            g.try_add_edge(recv, write, tick(rng)).expect("hdfs pipeline nodes are in bounds");
+            g.try_add_edge(write, ack, tick(rng)).expect("hdfs pipeline nodes are in bounds");
         }
-        g.add_edge(ack, received, tick(rng));
+        g.try_add_edge(ack, received, tick(rng)).expect("hdfs pipeline nodes are in bounds");
         prev = recv;
     }
-    g.add_edge(received, terminate, tick(rng));
+    g.try_add_edge(received, terminate, tick(rng)).expect("hdfs pipeline nodes are in bounds");
     g
 }
 

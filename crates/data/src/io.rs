@@ -14,8 +14,10 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use tpgnn_graph::stream::{CtdnBuilder, StreamConfig, StreamEvent, StreamStats};
 use tpgnn_graph::{Ctdn, NodeFeatures};
 
+use crate::chaos::QuarantineCounts;
 use crate::dataset::{GraphDataset, LabeledGraph};
 
 /// Serialize a dataset to the line format described in the module docs.
@@ -79,9 +81,49 @@ impl std::error::Error for ParseError {}
 /// multi-gigabyte allocation (16M floats = 64 MiB).
 pub const MAX_FEATURE_ELEMS: usize = 1 << 24;
 
+/// Summary of what the tolerant loader ([`from_str_streamed`]) quarantined
+/// while ingesting a file through the streaming builder.
+#[derive(Clone, Debug, Default)]
+pub struct IngestReport {
+    /// Summed builder stats across all graphs in the file
+    /// (`max_buffer_depth` is the per-graph maximum).
+    pub stats: StreamStats,
+    /// Summed quarantine counts by reason kind.
+    pub counts: QuarantineCounts,
+}
+
+/// How the parser turns `edge` lines into a graph.
+enum EdgeSink {
+    /// Strict: any bad edge fails the whole file with a [`ParseError`].
+    Direct(Ctdn),
+    /// Tolerant: edges stream through a [`CtdnBuilder`]; bad edges are
+    /// quarantined, the file keeps loading.
+    Builder(Box<CtdnBuilder>),
+}
+
 /// Parse a dataset from the line format. Never panics: malformed input of
 /// any kind yields a line-numbered [`ParseError`].
 pub fn from_str(text: &str) -> Result<GraphDataset, ParseError> {
+    parse_impl(text, None).map(|(ds, _)| ds)
+}
+
+/// Parse a dataset tolerantly: the file *structure* (headers, node lines,
+/// truncation) must still be sound — those failures are [`ParseError`]s —
+/// but every `edge` line streams through a [`CtdnBuilder`] under `cfg`, so
+/// dirty edges (out-of-bounds endpoints, bad timestamps, out-of-order or
+/// duplicated records) are quarantined per graph instead of failing the
+/// whole file. The report says what was dropped.
+pub fn from_str_streamed(
+    text: &str,
+    cfg: &StreamConfig,
+) -> Result<(GraphDataset, IngestReport), ParseError> {
+    parse_impl(text, Some(cfg)).map(|(ds, report)| (ds, report.unwrap_or_default()))
+}
+
+fn parse_impl(
+    text: &str,
+    streamed: Option<&StreamConfig>,
+) -> Result<(GraphDataset, Option<IngestReport>), ParseError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| ParseError::new(0, "empty input"))?;
     let mut parts = header.split_whitespace();
@@ -96,6 +138,7 @@ pub fn from_str(text: &str) -> Result<GraphDataset, ParseError> {
         .map_err(|e| ParseError::new(0, format!("bad graph count: {e}")))?;
 
     let mut ds = GraphDataset::new(name);
+    let mut report = streamed.map(|_| IngestReport::default());
     let mut last_line = 0;
     for _ in 0..count {
         let (ln, gline) =
@@ -158,7 +201,10 @@ pub fn from_str(text: &str) -> Result<GraphDataset, ParseError> {
                 feats.row_mut(v)[j] = f;
             }
         }
-        let mut g = Ctdn::new(feats);
+        let mut sink = match streamed {
+            None => EdgeSink::Direct(Ctdn::new(feats)),
+            Some(cfg) => EdgeSink::Builder(Box::new(CtdnBuilder::new(feats, cfg.clone()))),
+        };
         for _ in 0..m {
             let (ln, eline) = lines
                 .next()
@@ -168,31 +214,60 @@ pub fn from_str(text: &str) -> Result<GraphDataset, ParseError> {
             if p.next() != Some("edge") {
                 return Err(ParseError::new(ln, "expected `edge`"));
             }
-            let src: usize = p
-                .next()
-                .ok_or_else(|| ParseError::new(ln, "missing src"))?
-                .parse()
-                .map_err(|e| ParseError::new(ln, format!("bad src: {e}")))?;
-            let dst: usize = p
-                .next()
-                .ok_or_else(|| ParseError::new(ln, "missing dst"))?
-                .parse()
-                .map_err(|e| ParseError::new(ln, format!("bad dst: {e}")))?;
-            let t: f64 = p
-                .next()
-                .ok_or_else(|| ParseError::new(ln, "missing time"))?
-                .parse()
-                .map_err(|e| ParseError::new(ln, format!("bad time: {e}")))?;
-            // Route untrusted edges through the CTDN's fallible ingestion
-            // path; its typed error carries the endpoint/timestamp details.
-            g.try_add_edge(src, dst, t).map_err(|e| ParseError::new(ln, e.to_string()))?;
+            match &mut sink {
+                EdgeSink::Direct(g) => {
+                    let src: usize = p
+                        .next()
+                        .ok_or_else(|| ParseError::new(ln, "missing src"))?
+                        .parse()
+                        .map_err(|e| ParseError::new(ln, format!("bad src: {e}")))?;
+                    let dst: usize = p
+                        .next()
+                        .ok_or_else(|| ParseError::new(ln, "missing dst"))?
+                        .parse()
+                        .map_err(|e| ParseError::new(ln, format!("bad dst: {e}")))?;
+                    let t: f64 = p
+                        .next()
+                        .ok_or_else(|| ParseError::new(ln, "missing time"))?
+                        .parse()
+                        .map_err(|e| ParseError::new(ln, format!("bad time: {e}")))?;
+                    // Route untrusted edges through the CTDN's fallible
+                    // ingestion path; its typed error carries the
+                    // endpoint/timestamp details.
+                    g.try_add_edge(src, dst, t).map_err(|e| ParseError::new(ln, e.to_string()))?;
+                }
+                EdgeSink::Builder(b) => {
+                    // A token that fails to parse degrades to a value the
+                    // builder quarantines as malformed — the record is lost,
+                    // the file is not.
+                    let src = p.next().and_then(|t| t.parse().ok()).unwrap_or(usize::MAX);
+                    let dst = p.next().and_then(|t| t.parse().ok()).unwrap_or(usize::MAX);
+                    let t = p.next().and_then(|t| t.parse().ok()).unwrap_or(f64::NAN);
+                    b.push(StreamEvent::new(src, dst, t));
+                }
+            }
         }
+        let g = match sink {
+            EdgeSink::Direct(g) => g,
+            EdgeSink::Builder(b) => {
+                let out = b.finish();
+                let r = report.as_mut().expect("report exists in streamed mode");
+                r.stats.received += out.stats.received;
+                r.stats.released += out.stats.released;
+                r.stats.quarantined += out.stats.quarantined;
+                r.stats.forced_releases += out.stats.forced_releases;
+                r.stats.max_buffer_depth =
+                    r.stats.max_buffer_depth.max(out.stats.max_buffer_depth);
+                r.counts.absorb(&out.quarantine);
+                out.graph
+            }
+        };
         ds.graphs.push(LabeledGraph { graph: g, label: label != 0 });
     }
     if let Some((ln, trailing)) = lines.find(|(_, l)| !l.trim().is_empty()) {
         return Err(ParseError::new(ln, format!("trailing data after last graph: `{trailing}`")));
     }
-    Ok(ds)
+    Ok((ds, report))
 }
 
 /// Write a dataset to `path`.
@@ -204,6 +279,15 @@ pub fn save(ds: &GraphDataset, path: impl AsRef<Path>) -> io::Result<()> {
 pub fn load(path: impl AsRef<Path>) -> io::Result<GraphDataset> {
     let text = fs::read_to_string(path)?;
     from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Read a dataset from `path` tolerantly (see [`from_str_streamed`]).
+pub fn load_streamed(
+    path: impl AsRef<Path>,
+    cfg: &StreamConfig,
+) -> io::Result<(GraphDataset, IngestReport)> {
+    let text = fs::read_to_string(path)?;
+    from_str_streamed(&text, cfg).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
 #[cfg(test)]
@@ -285,6 +369,43 @@ mod tests {
         let text = "dataset d 1\ngraph 1 1 1 0\nnode 0.5\n";
         let ds = from_str(text).expect("parse");
         assert!(ds.graphs[0].label);
+    }
+
+    #[test]
+    fn streamed_loader_matches_strict_on_clean_input() {
+        let ds = sample();
+        let text = to_string(&ds);
+        let strict = from_str(&text).expect("strict parse");
+        let (tolerant, report) = from_str_streamed(&text, &StreamConfig::default()).expect("parse");
+        assert_eq!(report.counts.total(), 0);
+        assert_eq!(report.stats.received, report.stats.released);
+        for (a, b) in strict.graphs.iter().zip(&tolerant.graphs) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.graph.edges(), b.graph.edges());
+            assert_eq!(a.graph.features(), b.graph.features());
+        }
+    }
+
+    #[test]
+    fn streamed_loader_quarantines_dirty_edges_instead_of_failing() {
+        // Strict parsing rejects this file (bad endpoint, bad time, garbage
+        // tokens); the tolerant loader keeps the good edges.
+        let text = "dataset d 1\ngraph 1 3 1 5\nnode 0\nnode 0\nnode 0\n\
+                    edge 0 1 1.0\nedge 0 9 2.0\nedge 1 2 -3\nedge 1 x 2.5\nedge 1 2 3.0\n";
+        assert!(from_str(text).is_err());
+        let (ds, report) = from_str_streamed(text, &StreamConfig::default()).expect("parse");
+        assert_eq!(ds.graphs[0].graph.num_edges(), 2);
+        assert_eq!(report.stats.received, 5);
+        assert_eq!(report.stats.released, 2);
+        assert_eq!(report.counts.count(tpgnn_graph::RejectKind::Malformed), 3);
+    }
+
+    #[test]
+    fn streamed_loader_still_rejects_broken_structure() {
+        let cfg = StreamConfig::default();
+        assert!(from_str_streamed("", &cfg).is_err());
+        assert!(from_str_streamed("dataset x 1\nbogus", &cfg).is_err());
+        assert!(from_str_streamed("dataset x 1\ngraph 0 1 1 1\nnode 0\nnope 0 0 1", &cfg).is_err());
     }
 
     #[test]

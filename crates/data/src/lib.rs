@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod dataset;
 pub mod fig1;
 pub mod forum_java;

@@ -122,7 +122,7 @@ pub fn generate_trajectory(cfg: &TrajectoryConfig, rng: &mut StdRng) -> Ctdn {
     let mut t = 0.0f64;
     for (s, d) in moves {
         t += rng.random_range(0.1..1.0);
-        g.add_edge(s, d, t);
+        g.try_add_edge(s, d, t).expect("trajectory moves stay within the POI grid");
     }
     g
 }

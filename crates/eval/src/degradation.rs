@@ -1,0 +1,152 @@
+//! Degradation sweep: classification quality under injected stream faults.
+//!
+//! The robustness question the streaming path raises is not "does ingestion
+//! survive a hostile feed" (the chaos tests answer that) but "how much
+//! *classification quality* is left once the quarantine has discarded the
+//! junk". This runner sweeps a fault rate through [`FaultPlan::mixed`],
+//! rebuilds every graph of the dataset through [`CtdnBuilder`] under that
+//! plan, and trains/evaluates a model on the degraded corpora — producing a
+//! quality-vs-fault-rate curve in the style of the paper's ablation figures.
+//!
+//! [`CtdnBuilder`]: tpgnn_graph::CtdnBuilder
+
+use tpgnn_core::{GraphClassifier, GuardConfig, TrainConfig};
+use tpgnn_data::chaos::{rebuild_dataset, FaultPlan, QuarantineCounts};
+use tpgnn_data::DatasetKind;
+use tpgnn_obs::trace;
+
+use crate::metrics::{MeanStd, Metrics};
+use crate::runner::{to_pairs, ExperimentConfig};
+
+/// One row of the degradation table: quality + ingestion accounting at one
+/// fault rate, aggregated over `cfg.runs` repetitions.
+#[derive(Clone, Debug)]
+pub struct DegradationRow {
+    /// The base fault rate fed to [`FaultPlan::mixed`].
+    pub rate: f64,
+    /// F₁ over runs on the degraded test split.
+    pub f1: MeanStd,
+    /// Precision over runs.
+    pub precision: MeanStd,
+    /// Recall over runs.
+    pub recall: MeanStd,
+    /// Fraction of pushed events the builder admitted (released / received).
+    pub released_frac: f64,
+    /// Quarantine counts by reason, summed over runs.
+    pub counts: QuarantineCounts,
+    /// Guard recovery events across all runs at this rate.
+    pub recoveries: usize,
+}
+
+/// Sweep `rates` on one (model, dataset) pair.
+///
+/// Every rate sees the *same* clean corpora (seeded per run index exactly
+/// like [`crate::run_cell`]), so differences between rows are attributable
+/// to the injected faults alone. Fault injection is seeded from the run
+/// seed, making the whole sweep reproducible.
+pub fn run_degradation(
+    model_name: &str,
+    kind: DatasetKind,
+    rates: &[f64],
+    cfg: &ExperimentConfig,
+) -> Vec<DegradationRow> {
+    let mut sweep_span = trace::span("eval.degradation");
+    sweep_span.set("model", model_name);
+    sweep_span.set("dataset", kind.name());
+    sweep_span.set("rates", rates.len() as i64);
+
+    let mut rows = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let plan = FaultPlan::mixed(rate);
+        let mut f1s = Vec::with_capacity(cfg.runs);
+        let mut precisions = Vec::with_capacity(cfg.runs);
+        let mut recalls = Vec::with_capacity(cfg.runs);
+        let mut received = 0usize;
+        let mut released = 0usize;
+        let mut counts = QuarantineCounts::default();
+        let mut recoveries = 0usize;
+
+        for run in 0..cfg.runs {
+            let seed = cfg.base_seed + run as u64;
+            let clean = kind.generate(cfg.num_graphs, seed);
+            let (ds, report) = rebuild_dataset(&clean, &plan, seed);
+            received += report.stats.received;
+            released += report.stats.released;
+            counts.absorb_counts(&report.counts);
+
+            let metrics_run = train_and_score(model_name, &ds, kind, cfg, seed, &mut recoveries);
+            f1s.push(metrics_run.f1);
+            precisions.push(metrics_run.precision);
+            recalls.push(metrics_run.recall);
+        }
+
+        rows.push(DegradationRow {
+            rate,
+            f1: MeanStd::of(&f1s),
+            precision: MeanStd::of(&precisions),
+            recall: MeanStd::of(&recalls),
+            released_frac: if received > 0 { released as f64 / received as f64 } else { 1.0 },
+            counts,
+            recoveries,
+        });
+    }
+    sweep_span.set("rows", rows.len() as i64);
+    rows
+}
+
+/// Train the zoo model on the degraded dataset's chronological split and
+/// score the held-out portion — the [`crate::runner`] protocol, minus the
+/// per-cell timing bookkeeping the sweep does not need.
+fn train_and_score(
+    model_name: &str,
+    ds: &tpgnn_data::GraphDataset,
+    kind: DatasetKind,
+    cfg: &ExperimentConfig,
+    seed: u64,
+    recoveries: &mut usize,
+) -> Metrics {
+    let feature_dim = ds.graphs.first().map_or(3, |g| g.graph.feature_dim());
+    let (train_split, test_split) = ds.split(cfg.train_frac);
+    let train_pairs = to_pairs(train_split);
+    let test_pairs = to_pairs(test_split);
+
+    let mut model: Box<dyn GraphClassifier> =
+        tpgnn_baselines::zoo::build(model_name, feature_dim, kind.snapshot_size(), seed);
+    model.set_learning_rate(cfg.learning_rate);
+    let train_cfg = TrainConfig { epochs: cfg.epochs, shuffle_ties: true, seed };
+    let report =
+        tpgnn_core::train_guarded(model.as_mut(), &train_pairs, &train_cfg, &GuardConfig::default());
+    *recoveries += report.recoveries.len();
+
+    let preds = tpgnn_core::predict_all(model.as_mut(), &test_pairs);
+    Metrics::from_predictions(&preds, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_row_per_rate() {
+        let cfg = ExperimentConfig {
+            num_graphs: 16,
+            runs: 1,
+            epochs: 1,
+            train_frac: 0.5,
+            base_seed: 7,
+            ..ExperimentConfig::default()
+        };
+        let rows = run_degradation("GCN", DatasetKind::ForumJava, &[0.0, 0.2], &cfg);
+        assert_eq!(rows.len(), 2);
+        // Zero faults: everything released, nothing quarantined.
+        assert_eq!(rows[0].rate, 0.0);
+        assert!((rows[0].released_frac - 1.0).abs() < 1e-12);
+        assert_eq!(rows[0].counts.total(), 0);
+        // Non-zero faults: something was quarantined, release fraction drops.
+        assert!(rows[1].counts.total() > 0);
+        assert!(rows[1].released_frac < 1.0);
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.f1.mean));
+        }
+    }
+}

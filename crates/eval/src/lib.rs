@@ -7,13 +7,17 @@
 //! * [`runner`] — the Sec. V-D experiment protocol (30/70 chronological
 //!   split, 10 epochs, identical data per model, wall-clock timing),
 //! * [`table`] — plain-text rendering in the layout of the paper's tables
-//!   and figures.
+//!   and figures,
+//! * [`degradation`] — quality-vs-fault-rate sweeps through the streaming
+//!   ingestion path's chaos harness.
 
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod metrics;
 pub mod runner;
 pub mod table;
 
+pub use degradation::{run_degradation, DegradationRow};
 pub use metrics::{roc_auc, MeanStd, Metrics};
 pub use runner::{run_cell, run_cell_with, to_pairs, CellResult, ExperimentConfig};

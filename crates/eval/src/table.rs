@@ -1,6 +1,7 @@
 //! Plain-text rendering of result tables, heatmaps and scatter series in the
 //! layout of the paper's tables and figures.
 
+use crate::degradation::DegradationRow;
 use crate::metrics::MeanStd;
 use crate::runner::CellResult;
 
@@ -71,6 +72,32 @@ pub fn render_scatter(dataset: &str, cells: &[CellResult]) -> String {
             cell.model,
             cell.time_per_graph.as_secs_f64() * 1e6,
             cell.f1.mean * 100.0
+        ));
+    }
+    out
+}
+
+/// Render a degradation sweep: one row per injected fault rate, with
+/// classification quality next to the ingestion accounting so the
+/// quality-vs-corruption trade-off is readable in one block.
+pub fn render_degradation(dataset: &str, model: &str, rows: &[DegradationRow]) -> String {
+    let mut out = format!(
+        "{dataset} / {model}: quality under injected stream faults\n\
+         {:<6} {:>14} {:>14} {:>14} {:>9} {:>8}  {}\n",
+        "Rate", "F1 Score", "Precision", "Recall", "Released", "Recov", "Quarantined"
+    );
+    out.push_str(&"-".repeat(100));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!(
+            "{:<6.2} {:>14} {:>14} {:>14} {:>8.1}% {:>8}  {}\n",
+            row.rate,
+            row.f1.percent(),
+            row.precision.percent(),
+            row.recall.percent(),
+            row.released_frac * 100.0,
+            if row.recoveries > 0 { row.recoveries.to_string() } else { "-".to_string() },
+            row.counts.summary(),
         ));
     }
     out
@@ -157,6 +184,25 @@ mod tests {
         let s = render_scatter("Gowalla", &[cell("TGN", 0.93)]);
         assert!(s.contains("150.0 µs"));
         assert!(s.contains("93.00%"));
+    }
+
+    #[test]
+    fn degradation_rows_render() {
+        let row = DegradationRow {
+            rate: 0.25,
+            f1: MeanStd { mean: 0.8, std: 0.02 },
+            precision: MeanStd { mean: 0.82, std: 0.01 },
+            recall: MeanStd { mean: 0.78, std: 0.03 },
+            released_frac: 0.93,
+            counts: Default::default(),
+            recoveries: 1,
+        };
+        let t = render_degradation("Forum-java", "TP-GNN-SUM", &[row]);
+        assert!(t.contains("Forum-java / TP-GNN-SUM"));
+        assert!(t.contains("0.25"));
+        assert!(t.contains("80.00±2.00"));
+        assert!(t.contains("93.0%"));
+        assert!(t.contains("late_event=0"));
     }
 
     #[test]

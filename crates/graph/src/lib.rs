@@ -10,7 +10,9 @@
 //! * [`snapshot`] — windowed partitioning for discrete DGNN baselines,
 //! * [`TemporalNeighborIndex`] — recent-neighbor queries for continuous
 //!   DGNN baselines (TGAT, TGN, GraphMixer),
-//! * [`GraphStats`] — per-graph statistics feeding the Table I harness.
+//! * [`GraphStats`] — per-graph statistics feeding the Table I harness,
+//! * [`stream`] — incremental, out-of-order-tolerant ingestion
+//!   ([`CtdnBuilder`], watermark release, typed [`QuarantineLog`]).
 
 #![warn(missing_docs)]
 
@@ -20,6 +22,7 @@ mod neighbor;
 pub mod snapshot;
 mod static_view;
 mod stats;
+pub mod stream;
 
 pub use ctdn::{Ctdn, GraphError, NodeFeatures, TemporalEdge};
 pub use influence::{InfluenceAnalysis, NodeSet};
@@ -27,3 +30,7 @@ pub use neighbor::{NeighborEvent, TemporalNeighborIndex};
 pub use snapshot::{snapshots, Snapshot, SnapshotSpec};
 pub use static_view::StaticView;
 pub use stats::GraphStats;
+pub use stream::{
+    Admission, CtdnBuilder, QuarantineLog, QuarantinedEvent, RejectKind, RejectReason,
+    StreamConfig, StreamEvent, StreamOutcome, StreamStats,
+};

@@ -69,7 +69,8 @@ pub fn snapshots(g: &mut Ctdn, spec: SnapshotSpec) -> Vec<Snapshot> {
         .map(|edges| {
             let mut sub = Ctdn::with_zero_features(n, dim);
             for e in &edges {
-                sub.add_edge(e.src, e.dst, e.time);
+                sub.try_add_edge(e.src, e.dst, e.time)
+                    .expect("snapshot edges originate from an already-validated Ctdn");
             }
             let view = StaticView::from_ctdn(&sub);
             Snapshot { edges, view }

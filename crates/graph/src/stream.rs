@@ -1,0 +1,805 @@
+//! Streaming CTDN ingestion — incremental construction under dirty input.
+//!
+//! Real event streams (the paper's Gowalla/Brightkite check-ins, HDFS logs)
+//! arrive out of order, duplicated, clock-skewed, and occasionally malformed.
+//! [`CtdnBuilder`] absorbs such a stream and produces the same
+//! chronologically-sorted [`Ctdn`] the batch loader would, degrading
+//! gracefully instead of panicking:
+//!
+//! * a **bounded reorder buffer** holds admitted events until the
+//!   **watermark** (max normalized event time seen minus
+//!   [`StreamConfig::lateness`]) passes them, then releases them in
+//!   chronological order with arrival order preserved for ties;
+//! * events arriving behind the watermark are quarantined as
+//!   [`RejectReason::LateEvent`];
+//! * exact duplicates (same source, target, and normalized time) are dropped
+//!   as [`RejectReason::Duplicate`];
+//! * per-origin clock skew is corrected by subtracting declared
+//!   [`StreamConfig::origin_offsets`]; an origin clock running backwards by
+//!   more than [`StreamConfig::clock_tolerance`] yields
+//!   [`RejectReason::NonMonotonicClock`];
+//! * structurally invalid records become [`RejectReason::Malformed`];
+//! * when the buffer is full the chronologically smallest event is released
+//!   early, and anything later displaced behind that forced frontier becomes
+//!   [`RejectReason::BufferOverflow`].
+//!
+//! Every rejection lands in the [`QuarantineLog`] with a typed reason, and
+//! every decision feeds the `stream.*` counters and histograms in
+//! `tpgnn-obs`, so ingestion health is observable alongside training health.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+use std::sync::OnceLock;
+
+use tpgnn_obs::metrics::{self, Counter, Histogram};
+
+use crate::ctdn::{Ctdn, GraphError, NodeFeatures};
+
+/// One raw record offered to the builder: a directed temporal edge plus the
+/// logical `origin` that emitted it (a shard, agent, or log file) — the unit
+/// of clock-skew normalization and monotonicity checking.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StreamEvent {
+    /// Source node index.
+    pub src: usize,
+    /// Target node index.
+    pub dst: usize,
+    /// Raw timestamp as emitted (before skew normalization).
+    pub time: f64,
+    /// Logical emitting source; single-origin streams use `0`.
+    pub origin: u32,
+}
+
+impl StreamEvent {
+    /// An event from the default origin `0`.
+    pub fn new(src: usize, dst: usize, time: f64) -> Self {
+        Self { src, dst, time, origin: 0 }
+    }
+
+    /// An event from an explicit origin.
+    pub fn from_origin(src: usize, dst: usize, time: f64, origin: u32) -> Self {
+        Self { src, dst, time, origin }
+    }
+}
+
+/// Reason class of a quarantined event — the payload-free counterpart of
+/// [`RejectReason`], used for counting and reconciliation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectKind {
+    /// Arrived behind the watermark.
+    LateEvent,
+    /// Exact duplicate of an already-admitted edge.
+    Duplicate,
+    /// Origin clock ran backwards beyond tolerance.
+    NonMonotonicClock,
+    /// Structurally invalid record.
+    Malformed,
+    /// Displaced behind the forced-release frontier of a full buffer.
+    BufferOverflow,
+}
+
+impl RejectKind {
+    /// Every kind, in quarantine-log summary order.
+    pub const ALL: [RejectKind; 5] = [
+        RejectKind::LateEvent,
+        RejectKind::Duplicate,
+        RejectKind::NonMonotonicClock,
+        RejectKind::Malformed,
+        RejectKind::BufferOverflow,
+    ];
+
+    /// Stable snake_case label (used in metrics names and log rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectKind::LateEvent => "late_event",
+            RejectKind::Duplicate => "duplicate",
+            RejectKind::NonMonotonicClock => "non_monotonic_clock",
+            RejectKind::Malformed => "malformed",
+            RejectKind::BufferOverflow => "buffer_overflow",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Why an event was quarantined, with the evidence for the decision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RejectReason {
+    /// Normalized time fell behind the watermark when the event arrived.
+    LateEvent {
+        /// The event's normalized time.
+        time: f64,
+        /// The watermark it fell behind.
+        watermark: f64,
+    },
+    /// Same source, target, and normalized time as an already-admitted edge.
+    Duplicate,
+    /// The origin's clock ran backwards beyond the configured tolerance.
+    NonMonotonicClock {
+        /// The event's normalized time.
+        time: f64,
+        /// The maximum normalized time previously seen from this origin.
+        origin_max: f64,
+    },
+    /// The record is structurally invalid (endpoint out of bounds, or a
+    /// timestamp that is not finite and strictly positive after
+    /// normalization).
+    Malformed(GraphError),
+    /// The reorder buffer was full and forced releases moved the output
+    /// frontier past this event's time.
+    BufferOverflow {
+        /// The event's normalized time.
+        time: f64,
+        /// The forced-release frontier it fell behind.
+        frontier: f64,
+    },
+}
+
+impl RejectReason {
+    /// The payload-free kind of this reason.
+    pub fn kind(&self) -> RejectKind {
+        match self {
+            RejectReason::LateEvent { .. } => RejectKind::LateEvent,
+            RejectReason::Duplicate => RejectKind::Duplicate,
+            RejectReason::NonMonotonicClock { .. } => RejectKind::NonMonotonicClock,
+            RejectReason::Malformed(_) => RejectKind::Malformed,
+            RejectReason::BufferOverflow { .. } => RejectKind::BufferOverflow,
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::LateEvent { time, watermark } => {
+                write!(f, "late event: t={time} behind watermark {watermark}")
+            }
+            RejectReason::Duplicate => write!(f, "duplicate edge"),
+            RejectReason::NonMonotonicClock { time, origin_max } => {
+                write!(f, "non-monotonic clock: t={time} after origin max {origin_max}")
+            }
+            RejectReason::Malformed(e) => write!(f, "malformed: {e}"),
+            RejectReason::BufferOverflow { time, frontier } => {
+                write!(f, "buffer overflow: t={time} behind forced frontier {frontier}")
+            }
+        }
+    }
+}
+
+/// One quarantined event: what arrived, when (arrival sequence number,
+/// 1-based), and why it was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuarantinedEvent {
+    /// 1-based arrival sequence number of the event within the stream.
+    pub seq: u64,
+    /// The event as offered (raw, pre-normalization timestamp).
+    pub event: StreamEvent,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// Every rejected event with its typed reason, plus per-kind counts.
+///
+/// The log is deterministic for a deterministic input stream: same events in
+/// the same order produce an identical log ([`QuarantineLog::render`] is
+/// bitwise-stable), which the chaos harness relies on.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QuarantineLog {
+    entries: Vec<QuarantinedEvent>,
+    counts: [usize; 5],
+}
+
+impl QuarantineLog {
+    /// All quarantined events in arrival order.
+    pub fn entries(&self) -> &[QuarantinedEvent] {
+        &self.entries
+    }
+
+    /// Number of quarantined events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of events quarantined with the given reason kind.
+    pub fn count(&self, kind: RejectKind) -> usize {
+        self.counts[kind.index()]
+    }
+
+    /// One-line per-kind summary, e.g. `late_event=2 duplicate=0 ...`.
+    pub fn summary(&self) -> String {
+        RejectKind::ALL
+            .iter()
+            .map(|k| format!("{}={}", k.label(), self.count(*k)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Full deterministic rendering: the summary line followed by one line
+    /// per entry. Bitwise-identical for identical input streams.
+    pub fn render(&self) -> String {
+        let mut out = self.summary();
+        out.push('\n');
+        for e in &self.entries {
+            out.push_str(&format!(
+                "#{} {} src={} dst={} t={} origin={} :: {}\n",
+                e.seq,
+                e.reason.kind().label(),
+                e.event.src,
+                e.event.dst,
+                e.event.time,
+                e.event.origin,
+                e.reason
+            ));
+        }
+        out
+    }
+
+    fn push(&mut self, entry: QuarantinedEvent) {
+        self.counts[entry.reason.kind().index()] += 1;
+        self.entries.push(entry);
+    }
+}
+
+/// Configuration of the streaming ingestion path.
+///
+/// The default is maximally permissive — infinite lateness and tolerance, a
+/// generous buffer — so a clean chronological stream reconstructs the batch
+/// loader's `Ctdn` exactly. Production configs tighten `lateness` (bounding
+/// end-to-end latency) and `clock_tolerance` (catching broken origin clocks).
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Maximum number of events held in the reorder buffer. When full, the
+    /// chronologically smallest buffered event is released early.
+    pub reorder_capacity: usize,
+    /// Allowed lateness in time units: the watermark trails the maximum
+    /// normalized time seen by this much. `f64::INFINITY` disables
+    /// lateness-based quarantine (the buffer bound still applies).
+    pub lateness: f64,
+    /// Drop exact duplicate edges (same source, target, normalized time).
+    pub dedup: bool,
+    /// Declared per-origin clock offsets, subtracted from each event's raw
+    /// timestamp on arrival. Origins not listed have offset `0`.
+    pub origin_offsets: Vec<(u32, f64)>,
+    /// How far an origin's clock may run backwards (in normalized time
+    /// units) before the event is quarantined as non-monotonic.
+    /// `f64::INFINITY` disables the check.
+    pub clock_tolerance: f64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            reorder_capacity: 1024,
+            lateness: f64::INFINITY,
+            dedup: true,
+            origin_offsets: Vec::new(),
+            clock_tolerance: f64::INFINITY,
+        }
+    }
+}
+
+/// Per-builder ingestion accounting. The invariant
+/// `received == released + quarantined` holds after [`CtdnBuilder::finish`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events offered via [`CtdnBuilder::push`].
+    pub received: usize,
+    /// Events released into the graph.
+    pub released: usize,
+    /// Events quarantined.
+    pub quarantined: usize,
+    /// Events released early because the buffer was full.
+    pub forced_releases: usize,
+    /// High-water mark of the reorder buffer depth.
+    pub max_buffer_depth: usize,
+}
+
+/// Result of offering one event to the builder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Accepted into the reorder buffer (possibly already released).
+    Admitted,
+    /// Rejected into the quarantine log with this reason kind.
+    Quarantined(RejectKind),
+}
+
+/// Everything a finished ingestion produces: the reconstructed graph, the
+/// quarantine log, and the accounting.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The chronologically-ordered CTDN built from released events.
+    pub graph: Ctdn,
+    /// Every rejected event with its typed reason.
+    pub quarantine: QuarantineLog,
+    /// Ingestion accounting.
+    pub stats: StreamStats,
+}
+
+/// A buffered event keyed by `(normalized time bits, arrival seq)`.
+///
+/// Normalized times are validated finite and strictly positive before
+/// buffering, so their IEEE-754 bit patterns order identically to their
+/// values; the arrival sequence breaks ties, preserving the batch loader's
+/// stable order for equal timestamps.
+#[derive(Clone, Copy, Debug)]
+struct Buffered {
+    bits: u64,
+    seq: u64,
+    ev: StreamEvent,
+}
+
+impl PartialEq for Buffered {
+    fn eq(&self, other: &Self) -> bool {
+        (self.bits, self.seq) == (other.bits, other.seq)
+    }
+}
+
+impl Eq for Buffered {}
+
+impl PartialOrd for Buffered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Buffered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.bits, self.seq).cmp(&(other.bits, other.seq))
+    }
+}
+
+/// Incremental, out-of-order-tolerant CTDN constructor.
+///
+/// Feed raw [`StreamEvent`]s via [`push`](CtdnBuilder::push) (in any order);
+/// call [`finish`](CtdnBuilder::finish) to flush the reorder buffer and
+/// obtain the [`StreamOutcome`]. Ingestion never panics: every problem is a
+/// typed entry in the [`QuarantineLog`].
+pub struct CtdnBuilder {
+    graph: Ctdn,
+    cfg: StreamConfig,
+    offsets: BTreeMap<u32, f64>,
+    buffer: BinaryHeap<Reverse<Buffered>>,
+    /// Dedup window: `(time bits, src, dst)` of admitted edges at or ahead
+    /// of the release frontier (pruned as the frontier advances, so memory
+    /// stays proportional to the reorder window, not the stream).
+    seen: BTreeSet<(u64, usize, usize)>,
+    origin_max: BTreeMap<u32, f64>,
+    log: QuarantineLog,
+    stats: StreamStats,
+    seq: u64,
+    /// Maximum normalized time admitted so far (watermark anchor).
+    max_seen: f64,
+    /// Largest time already released into the graph.
+    frontier: f64,
+}
+
+impl CtdnBuilder {
+    /// A builder over the nodes described by `features`.
+    pub fn new(features: NodeFeatures, cfg: StreamConfig) -> Self {
+        let offsets = cfg.origin_offsets.iter().copied().collect();
+        Self {
+            graph: Ctdn::new(features),
+            cfg,
+            offsets,
+            buffer: BinaryHeap::new(),
+            seen: BTreeSet::new(),
+            origin_max: BTreeMap::new(),
+            log: QuarantineLog::default(),
+            stats: StreamStats::default(),
+            seq: 0,
+            max_seen: f64::NEG_INFINITY,
+            frontier: 0.0,
+        }
+    }
+
+    /// A builder over `num_nodes` zero-feature nodes of dimension `dim`.
+    pub fn with_zero_features(num_nodes: usize, dim: usize, cfg: StreamConfig) -> Self {
+        Self::new(NodeFeatures::zeros(num_nodes, dim), cfg)
+    }
+
+    /// The current watermark: `max normalized time seen − lateness`, or
+    /// `-∞` before the first admission.
+    pub fn watermark(&self) -> f64 {
+        self.max_seen - self.cfg.lateness
+    }
+
+    /// Current reorder-buffer depth.
+    pub fn buffer_depth(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Ingestion accounting so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The quarantine log so far.
+    pub fn quarantine(&self) -> &QuarantineLog {
+        &self.log
+    }
+
+    /// Offer one event. Never panics; rejects land in the quarantine log.
+    pub fn push(&mut self, ev: StreamEvent) -> Admission {
+        self.seq += 1;
+        self.stats.received += 1;
+        cells().events.inc();
+
+        // 1. Clock-skew normalization: subtract the declared origin offset.
+        let t = ev.time - self.offsets.get(&ev.origin).copied().unwrap_or(0.0);
+
+        // 2. Structural validation of the normalized record.
+        let n = self.graph.num_nodes();
+        let structural = if ev.src >= n {
+            Some(GraphError::EndpointOutOfBounds { endpoint: "source", index: ev.src, num_nodes: n })
+        } else if ev.dst >= n {
+            Some(GraphError::EndpointOutOfBounds { endpoint: "target", index: ev.dst, num_nodes: n })
+        } else if !(t.is_finite() && t > 0.0) {
+            Some(GraphError::BadTimestamp { time: t })
+        } else {
+            None
+        };
+        if let Some(e) = structural {
+            return self.reject(ev, RejectReason::Malformed(e));
+        }
+
+        // 3. Per-origin clock monotonicity.
+        let omax = self.origin_max.get(&ev.origin).copied().unwrap_or(f64::NEG_INFINITY);
+        if t < omax - self.cfg.clock_tolerance {
+            return self.reject(ev, RejectReason::NonMonotonicClock { time: t, origin_max: omax });
+        }
+        if t > omax {
+            self.origin_max.insert(ev.origin, t);
+        }
+
+        // 4. Lateness: behind the watermark means the reorder window for
+        // this timestamp has already closed.
+        let wm = self.watermark();
+        if t < wm {
+            return self.reject(ev, RejectReason::LateEvent { time: t, watermark: wm });
+        }
+
+        // 5. Forced-release frontier: a full buffer may have released past
+        // this time even though the watermark has not reached it.
+        if t < self.frontier {
+            return self.reject(ev, RejectReason::BufferOverflow { time: t, frontier: self.frontier });
+        }
+
+        // 6. Dedup against the active window.
+        if self.cfg.dedup && !self.seen.insert((t.to_bits(), ev.src, ev.dst)) {
+            return self.reject(ev, RejectReason::Duplicate);
+        }
+
+        // 7. Admit into the bounded reorder buffer.
+        self.max_seen = self.max_seen.max(t);
+        let b = Buffered { bits: t.to_bits(), seq: self.seq, ev: StreamEvent { time: t, ..ev } };
+        if self.cfg.reorder_capacity == 0 {
+            // Degenerate passthrough: no reordering at all.
+            self.stats.forced_releases += 1;
+            self.release(b.ev);
+        } else if self.buffer.len() >= self.cfg.reorder_capacity {
+            self.stats.forced_releases += 1;
+            let release_new = self.buffer.peek().is_none_or(|min| b <= min.0);
+            if release_new {
+                self.release(b.ev);
+            } else {
+                let Reverse(out) = self.buffer.pop().expect("buffer non-empty at capacity");
+                self.release(out.ev);
+                self.buffer.push(Reverse(b));
+            }
+        } else {
+            self.buffer.push(Reverse(b));
+        }
+        let depth = self.buffer.len();
+        self.stats.max_buffer_depth = self.stats.max_buffer_depth.max(depth);
+        cells().reorder_depth.record(depth as f64);
+
+        // 8. Release everything the watermark has passed.
+        self.drain_watermark();
+        Admission::Admitted
+    }
+
+    /// Offer many events in order.
+    pub fn extend(&mut self, events: impl IntoIterator<Item = StreamEvent>) {
+        for ev in events {
+            self.push(ev);
+        }
+    }
+
+    /// Flush the reorder buffer and return the reconstructed graph, the
+    /// quarantine log, and the accounting.
+    pub fn finish(mut self) -> StreamOutcome {
+        while let Some(Reverse(b)) = self.buffer.pop() {
+            self.release(b.ev);
+        }
+        StreamOutcome { graph: self.graph, quarantine: self.log, stats: self.stats }
+    }
+
+    fn drain_watermark(&mut self) {
+        let wm = self.watermark();
+        while self.buffer.peek().is_some_and(|min| min.0.ev.time <= wm) {
+            let Reverse(b) = self.buffer.pop().expect("peeked");
+            self.release(b.ev);
+        }
+    }
+
+    fn release(&mut self, ev: StreamEvent) {
+        match self.graph.try_add_edge(ev.src, ev.dst, ev.time) {
+            Ok(()) => {
+                self.frontier = self.frontier.max(ev.time);
+                self.stats.released += 1;
+                cells().released.inc();
+                if self.max_seen.is_finite() {
+                    cells().watermark_lag.record(self.max_seen - ev.time);
+                }
+                // Prune dedup keys strictly behind the frontier: any future
+                // arrival with such a time is rejected (late or overflow)
+                // before the dedup check, so the keys can never match again.
+                if self.cfg.dedup {
+                    self.seen = self.seen.split_off(&(self.frontier.to_bits(), 0, 0));
+                }
+            }
+            // Unreachable by construction (events are validated before
+            // buffering) — but ingestion must never panic, so a defect here
+            // degrades to a quarantine entry instead.
+            Err(e) => {
+                self.reject(ev, RejectReason::Malformed(e));
+            }
+        }
+    }
+
+    fn reject(&mut self, ev: StreamEvent, reason: RejectReason) -> Admission {
+        let kind = reason.kind();
+        self.stats.quarantined += 1;
+        cells().quarantined.inc();
+        cells().by_kind[kind.index()].inc();
+        self.log.push(QuarantinedEvent { seq: self.seq, event: ev, reason });
+        Admission::Quarantined(kind)
+    }
+}
+
+struct Cells {
+    events: &'static Counter,
+    released: &'static Counter,
+    quarantined: &'static Counter,
+    by_kind: [&'static Counter; 5],
+    reorder_depth: &'static Histogram,
+    watermark_lag: &'static Histogram,
+}
+
+fn cells() -> &'static Cells {
+    static CELLS: OnceLock<Cells> = OnceLock::new();
+    CELLS.get_or_init(|| Cells {
+        events: metrics::counter("stream.events"),
+        released: metrics::counter("stream.released"),
+        quarantined: metrics::counter("stream.quarantined"),
+        by_kind: [
+            metrics::counter("stream.quarantine.late_event"),
+            metrics::counter("stream.quarantine.duplicate"),
+            metrics::counter("stream.quarantine.non_monotonic_clock"),
+            metrics::counter("stream.quarantine.malformed"),
+            metrics::counter("stream.quarantine.buffer_overflow"),
+        ],
+        reorder_depth: metrics::histogram(
+            "stream.reorder_depth",
+            &metrics::exponential_buckets(1.0, 2.0, 12),
+        ),
+        watermark_lag: metrics::histogram(
+            "stream.watermark_lag",
+            &metrics::exponential_buckets(0.125, 2.0, 16),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: usize, dst: usize, t: f64) -> StreamEvent {
+        StreamEvent::new(src, dst, t)
+    }
+
+    fn times(g: &Ctdn) -> Vec<f64> {
+        g.edges().iter().map(|e| e.time).collect()
+    }
+
+    #[test]
+    fn in_order_stream_reconstructs_direct_loader_graph() {
+        let mut direct = Ctdn::with_zero_features(4, 2);
+        let mut b = CtdnBuilder::with_zero_features(4, 2, StreamConfig::default());
+        for (s, d, t) in [(0, 1, 1.0), (1, 2, 2.0), (1, 3, 2.0), (2, 3, 5.0)] {
+            direct.add_edge(s, d, t);
+            assert_eq!(b.push(ev(s, d, t)), Admission::Admitted);
+        }
+        let out = b.finish();
+        assert!(out.quarantine.is_empty());
+        assert_eq!(out.graph.edges(), direct.edges());
+        assert_eq!(out.graph.features(), direct.features());
+        assert_eq!(out.stats.received, 4);
+        assert_eq!(out.stats.released, 4);
+    }
+
+    #[test]
+    fn out_of_order_within_capacity_is_resorted() {
+        let mut b = CtdnBuilder::with_zero_features(5, 1, StreamConfig::default());
+        for (s, d, t) in [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 4.0)] {
+            b.push(ev(s, d, t));
+        }
+        let out = b.finish();
+        assert!(out.quarantine.is_empty());
+        assert_eq!(times(&out.graph), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn ties_keep_arrival_order() {
+        let mut b = CtdnBuilder::with_zero_features(4, 1, StreamConfig::default());
+        b.push(ev(0, 1, 1.0));
+        b.push(ev(0, 2, 1.0));
+        b.push(ev(0, 3, 1.0));
+        let out = b.finish();
+        let dsts: Vec<usize> = out.graph.edges().iter().map(|e| e.dst).collect();
+        assert_eq!(dsts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn late_event_is_quarantined_with_watermark_evidence() {
+        let cfg = StreamConfig { lateness: 1.0, ..StreamConfig::default() };
+        let mut b = CtdnBuilder::with_zero_features(3, 1, cfg);
+        b.push(ev(0, 1, 10.0)); // watermark now 9.0
+        let adm = b.push(ev(1, 2, 5.0));
+        assert_eq!(adm, Admission::Quarantined(RejectKind::LateEvent));
+        let out = b.finish();
+        assert_eq!(out.quarantine.count(RejectKind::LateEvent), 1);
+        let entry = &out.quarantine.entries()[0];
+        assert!(matches!(
+            entry.reason,
+            RejectReason::LateEvent { time, watermark } if time == 5.0 && watermark == 9.0
+        ));
+        assert_eq!(times(&out.graph), vec![10.0]);
+    }
+
+    #[test]
+    fn watermark_releases_progressively() {
+        let cfg = StreamConfig { lateness: 2.0, ..StreamConfig::default() };
+        let mut b = CtdnBuilder::with_zero_features(8, 1, cfg);
+        b.push(ev(0, 1, 1.0));
+        b.push(ev(1, 2, 2.0));
+        assert_eq!(b.stats().released, 0, "watermark 0.0 has released nothing");
+        b.push(ev(2, 3, 5.0)); // watermark 3.0 passes t=1,2
+        assert_eq!(b.stats().released, 2);
+        assert_eq!(b.buffer_depth(), 1);
+        let out = b.finish();
+        assert_eq!(times(&out.graph), vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn duplicates_are_quarantined() {
+        let mut b = CtdnBuilder::with_zero_features(3, 1, StreamConfig::default());
+        b.push(ev(0, 1, 1.0));
+        assert_eq!(b.push(ev(0, 1, 1.0)), Admission::Quarantined(RejectKind::Duplicate));
+        // Same endpoints at a different time is NOT a duplicate.
+        assert_eq!(b.push(ev(0, 1, 2.0)), Admission::Admitted);
+        let out = b.finish();
+        assert_eq!(out.quarantine.count(RejectKind::Duplicate), 1);
+        assert_eq!(out.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let cfg = StreamConfig { dedup: false, ..StreamConfig::default() };
+        let mut b = CtdnBuilder::with_zero_features(3, 1, cfg);
+        b.push(ev(0, 1, 1.0));
+        assert_eq!(b.push(ev(0, 1, 1.0)), Admission::Admitted);
+        assert_eq!(b.finish().graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_records_are_quarantined_not_panicked() {
+        let mut b = CtdnBuilder::with_zero_features(3, 1, StreamConfig::default());
+        assert_eq!(b.push(ev(9, 1, 1.0)), Admission::Quarantined(RejectKind::Malformed));
+        assert_eq!(b.push(ev(0, 7, 1.0)), Admission::Quarantined(RejectKind::Malformed));
+        assert_eq!(b.push(ev(0, 1, f64::NAN)), Admission::Quarantined(RejectKind::Malformed));
+        assert_eq!(b.push(ev(0, 1, -3.0)), Admission::Quarantined(RejectKind::Malformed));
+        assert_eq!(b.push(ev(0, 1, 0.0)), Admission::Quarantined(RejectKind::Malformed));
+        let out = b.finish();
+        assert_eq!(out.quarantine.count(RejectKind::Malformed), 5);
+        assert_eq!(out.stats.received, 5);
+        assert_eq!(out.stats.released, 0);
+        assert_eq!(out.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn non_monotonic_origin_clock_is_caught() {
+        let cfg = StreamConfig { clock_tolerance: 0.5, ..StreamConfig::default() };
+        let mut b = CtdnBuilder::with_zero_features(4, 1, cfg);
+        b.push(StreamEvent::from_origin(0, 1, 10.0, 7));
+        // Within tolerance: fine.
+        assert_eq!(b.push(StreamEvent::from_origin(1, 2, 9.8, 7)), Admission::Admitted);
+        // Beyond tolerance on the same origin: rejected.
+        let adm = b.push(StreamEvent::from_origin(2, 3, 4.0, 7));
+        assert_eq!(adm, Admission::Quarantined(RejectKind::NonMonotonicClock));
+        // A different origin has its own clock.
+        assert_eq!(b.push(StreamEvent::from_origin(2, 3, 4.0, 8)), Admission::Admitted);
+        let out = b.finish();
+        assert_eq!(out.quarantine.count(RejectKind::NonMonotonicClock), 1);
+        assert_eq!(times(&out.graph), vec![4.0, 9.8, 10.0]);
+    }
+
+    #[test]
+    fn declared_skew_offsets_are_normalized_away() {
+        let cfg = StreamConfig {
+            origin_offsets: vec![(1, 100.0)],
+            ..StreamConfig::default()
+        };
+        let mut b = CtdnBuilder::with_zero_features(4, 1, cfg);
+        b.push(StreamEvent::from_origin(0, 1, 1.0, 0));
+        b.push(StreamEvent::from_origin(1, 2, 102.0, 1)); // normalized to 2.0
+        b.push(StreamEvent::from_origin(2, 3, 3.0, 0));
+        let out = b.finish();
+        assert!(out.quarantine.is_empty());
+        assert_eq!(times(&out.graph), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn buffer_is_bounded_and_overflow_is_typed() {
+        let cfg = StreamConfig { reorder_capacity: 4, ..StreamConfig::default() };
+        let mut b = CtdnBuilder::with_zero_features(64, 1, cfg);
+        // Adversarial: strictly decreasing times. The buffer can only absorb
+        // four of them; everything pushed after the frontier advances past
+        // its time lands in quarantine as BufferOverflow.
+        for i in 0..16usize {
+            b.push(ev(i, i + 1, 100.0 - i as f64));
+            assert!(b.buffer_depth() <= 4, "buffer exceeded its configured bound");
+        }
+        let out = b.finish();
+        assert!(out.stats.max_buffer_depth <= 4);
+        assert_eq!(out.stats.received, 16);
+        assert_eq!(out.stats.received, out.stats.released + out.stats.quarantined);
+        assert!(out.quarantine.count(RejectKind::BufferOverflow) > 0);
+        // Whatever was released is chronologically ordered.
+        let ts = times(&out.graph);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zero_capacity_is_strict_passthrough() {
+        let cfg = StreamConfig { reorder_capacity: 0, ..StreamConfig::default() };
+        let mut b = CtdnBuilder::with_zero_features(4, 1, cfg);
+        b.push(ev(0, 1, 2.0));
+        let adm = b.push(ev(1, 2, 1.0));
+        assert_eq!(adm, Admission::Quarantined(RejectKind::BufferOverflow));
+        let out = b.finish();
+        assert_eq!(times(&out.graph), vec![2.0]);
+    }
+
+    #[test]
+    fn accounting_invariant_holds() {
+        let mut b = CtdnBuilder::with_zero_features(8, 1, StreamConfig::default());
+        b.extend([ev(0, 1, 1.0), ev(0, 1, 1.0), ev(9, 9, 1.0), ev(1, 2, 3.0)]);
+        let out = b.finish();
+        assert_eq!(out.stats.received, 4);
+        assert_eq!(out.stats.received, out.stats.released + out.stats.quarantined);
+        assert_eq!(out.stats.quarantined, out.quarantine.len());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_labeled() {
+        let run = || {
+            let mut b = CtdnBuilder::with_zero_features(3, 1, StreamConfig::default());
+            b.extend([ev(0, 1, 1.0), ev(0, 1, 1.0), ev(0, 9, 2.0)]);
+            b.finish().quarantine.render()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.starts_with("late_event=0 duplicate=1 non_monotonic_clock=0 malformed=1 buffer_overflow=0"));
+        assert!(a.contains("#2 duplicate src=0 dst=1"));
+        assert!(a.contains("#3 malformed src=0 dst=9"));
+    }
+}

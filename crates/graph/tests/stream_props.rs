@@ -1,0 +1,138 @@
+//! Property-based tests for the streaming ingestion path
+//! ([`CtdnBuilder`]), on the in-repo `tpgnn_rng::check` harness.
+//! Reproduce a failing case with `TPGNN_PROP_SEED=<seed> cargo test -q <name>`.
+
+use tpgnn_graph::{
+    Admission, Ctdn, CtdnBuilder, RejectKind, StreamConfig, StreamEvent,
+};
+use tpgnn_rng::seq::SliceRandom;
+use tpgnn_rng::{check, Rng, StdRng};
+
+const NODES: usize = 12;
+
+/// Generator: a chronological event sequence over `NODES` nodes with
+/// strictly increasing timestamps (so reconstruction is exact — no tie
+/// permutation ambiguity) and no duplicates.
+fn gen_monotone(rng: &mut StdRng, max_len: usize) -> Vec<StreamEvent> {
+    let len = rng.random_range(2usize..=max_len);
+    let mut t = 0.0f64;
+    (0..len)
+        .map(|_| {
+            t += rng.random_range(0.5..2.0);
+            StreamEvent::new(rng.random_range(0..NODES), rng.random_range(0..NODES), t)
+        })
+        .collect()
+}
+
+fn direct(events: &[StreamEvent]) -> Ctdn {
+    let mut g = Ctdn::with_zero_features(NODES, 2);
+    for ev in events {
+        g.try_add_edge(ev.src, ev.dst, ev.time).expect("generator emits valid edges");
+    }
+    g
+}
+
+/// Any permutation that fits in the reorder buffer is fully repaired: the
+/// built graph is bitwise identical to loading the events in order, with
+/// zero quarantines.
+#[test]
+fn any_permutation_within_capacity_reconstructs() {
+    check::cases_with_rng(
+        "any_permutation_within_capacity_reconstructs",
+        64,
+        |rng| gen_monotone(rng, 40),
+        |events, rng| {
+            let mut shuffled = events.clone();
+            shuffled.shuffle(rng);
+            let cfg = StreamConfig { reorder_capacity: events.len(), ..StreamConfig::default() };
+            let mut b = CtdnBuilder::with_zero_features(NODES, 2, cfg);
+            b.extend(shuffled.iter().copied());
+            let out = b.finish();
+            assert!(out.quarantine.is_empty(), "{}", out.quarantine.render());
+            let mut got = out.graph;
+            let mut want = direct(events);
+            assert_eq!(got.edges_chronological(), want.edges_chronological());
+        },
+    );
+}
+
+/// An event held back beyond the lateness bound is quarantined as exactly
+/// one `LateEvent`; everything else is released untouched.
+#[test]
+fn beyond_window_stragglers_are_typed_late() {
+    check::cases_with_rng(
+        "beyond_window_stragglers_are_typed_late",
+        64,
+        |rng| gen_monotone(rng, 40),
+        |events, rng| {
+            let lateness = 1.0;
+            let t_max = events.last().expect("non-empty").time;
+            // Pick a straggler provably behind the final watermark.
+            let eligible: Vec<usize> = (0..events.len())
+                .filter(|&i| events[i].time < t_max - lateness - 1e-9)
+                .collect();
+            if eligible.is_empty() {
+                return;
+            }
+            let pick = eligible[rng.random_range(0..eligible.len())];
+            let cfg = StreamConfig {
+                reorder_capacity: events.len(),
+                lateness,
+                ..StreamConfig::default()
+            };
+            let mut b = CtdnBuilder::with_zero_features(NODES, 2, cfg);
+            for (i, ev) in events.iter().enumerate() {
+                if i != pick {
+                    assert!(matches!(b.push(*ev), Admission::Admitted));
+                }
+            }
+            match b.push(events[pick]) {
+                Admission::Quarantined(RejectKind::LateEvent) => {}
+                other => panic!("straggler admission was {other:?}"),
+            }
+            let out = b.finish();
+            assert_eq!(out.stats.released, events.len() - 1);
+            assert_eq!(out.quarantine.count(RejectKind::LateEvent), 1);
+            assert_eq!(out.quarantine.len(), 1, "{}", out.quarantine.render());
+        },
+    );
+}
+
+/// The reorder buffer never exceeds its configured capacity, no matter how
+/// adversarial the arrival order, and the accounting invariant
+/// `received == released + quarantined` holds after `finish`.
+#[test]
+fn buffer_bound_and_accounting_hold_under_any_order() {
+    check::cases_with_rng(
+        "buffer_bound_and_accounting_hold_under_any_order",
+        64,
+        |rng| {
+            let cap = rng.random_range(1usize..24);
+            (gen_monotone(rng, 60), cap)
+        },
+        |(events, cap), rng| {
+            let mut arrival = events.clone();
+            arrival.shuffle(rng);
+            let cfg = StreamConfig {
+                reorder_capacity: *cap,
+                dedup: false,
+                ..StreamConfig::default()
+            };
+            let mut b = CtdnBuilder::with_zero_features(NODES, 2, cfg);
+            for ev in &arrival {
+                b.push(*ev);
+                assert!(b.buffer_depth() <= *cap, "depth {} > cap {cap}", b.buffer_depth());
+            }
+            let out = b.finish();
+            assert!(out.stats.max_buffer_depth <= *cap);
+            assert_eq!(out.stats.received, arrival.len());
+            assert_eq!(out.stats.received, out.stats.released + out.stats.quarantined);
+            assert_eq!(out.stats.quarantined, out.quarantine.len());
+            // Whatever was released is chronologically ordered.
+            let edges = out.graph.edges();
+            for w in edges.windows(2) {
+                assert!(w[0].time <= w[1].time, "released edges out of order");
+            }
+        },
+    );
+}

@@ -32,7 +32,7 @@ mod tape;
 mod tensor;
 
 pub use error::TensorError;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, CheckpointError, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
 pub use tape::{Grads, Tape, Var};
 pub use tensor::Tensor;

@@ -71,6 +71,57 @@ impl Adam {
     }
 }
 
+/// Typed failure modes of checkpoint persistence and restore.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The serialized text is structurally invalid (bad header, shape
+    /// mismatch, unparsable numbers, …).
+    Format(String),
+    /// The `checksum` trailer does not match the body — the file was
+    /// truncated or corrupted on disk.
+    ChecksumMismatch {
+        /// Checksum recorded in the trailer.
+        expected: u64,
+        /// Checksum recomputed over the body.
+        actual: u64,
+    },
+    /// Filesystem failure while persisting or reading.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Format(msg) => write!(f, "malformed training state: {msg}"),
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint checksum mismatch: recorded {expected:016x}, recomputed {actual:016x}"
+            ),
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// FNV-1a over the checkpoint body — same hash family the in-repo property
+/// harness uses; collision resistance is irrelevant here, torn-write
+/// detection is the job.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// Serialize the complete Adam training state — step count, learning rate,
 /// and the store's parameter values plus both moment buffers — to the
 /// in-repo line format (`adam <t> <lr>` header followed by a
@@ -78,36 +129,104 @@ impl Adam {
 ///
 /// Restoring with [`load_training_state`] resumes training
 /// bitwise-identically; this is what the training guardrails checkpoint
-/// after every good epoch so a diverged run can roll back.
+/// after every good epoch so a diverged run can roll back. No checksum is
+/// embedded here — in-memory states cannot tear; the file path
+/// ([`write_training_state`]) appends one.
 pub fn save_training_state(opt: &Adam, store: &ParamStore) -> String {
     format!("adam {} {}\n{}", opt.t, opt.lr, store.to_checkpoint_full())
 }
 
-/// Restore an `(Adam, ParamStore)` pair from [`save_training_state`] output.
+/// Restore an `(Adam, ParamStore)` pair from [`save_training_state`] or
+/// [`write_training_state`] output.
 ///
 /// The store's parameters are matched by name and must agree in shape;
 /// `β₁/β₂/ε` keep their current values (they are compile-time constants of
-/// the paper's protocol, not trained state).
-pub fn load_training_state(opt: &mut Adam, store: &mut ParamStore, text: &str) -> Result<(), String> {
-    let (header, body) = text.split_once('\n').ok_or("empty training state")?;
+/// the paper's protocol, not trained state). A `checksum` trailer, when
+/// present, is verified against the body before anything is parsed.
+pub fn load_training_state(
+    opt: &mut Adam,
+    store: &mut ParamStore,
+    text: &str,
+) -> Result<(), CheckpointError> {
+    let text = verify_checksum_trailer(text)?;
+    let (header, body) = text
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Format("empty training state".into()))?;
     let mut p = header.split_whitespace();
     if p.next() != Some("adam") {
-        return Err("missing `adam` header".into());
+        return Err(CheckpointError::Format("missing `adam` header".into()));
     }
     let t: u64 = p
         .next()
-        .ok_or("missing step count")?
+        .ok_or_else(|| CheckpointError::Format("missing step count".into()))?
         .parse()
-        .map_err(|e| format!("bad step count: {e}"))?;
+        .map_err(|e| CheckpointError::Format(format!("bad step count: {e}")))?;
     let lr: f32 = p
         .next()
-        .ok_or("missing learning rate")?
+        .ok_or_else(|| CheckpointError::Format("missing learning rate".into()))?
         .parse()
-        .map_err(|e| format!("bad learning rate: {e}"))?;
-    store.load_checkpoint(body)?;
+        .map_err(|e| CheckpointError::Format(format!("bad learning rate: {e}")))?;
+    store.load_checkpoint(body).map_err(CheckpointError::Format)?;
     opt.t = t;
     opt.lr = lr;
     Ok(())
+}
+
+/// If `text` ends with a `checksum <hex>` trailer line, verify it against
+/// everything before it and return the body; otherwise return `text`
+/// unchanged (in-memory states carry no trailer).
+fn verify_checksum_trailer(text: &str) -> Result<&str, CheckpointError> {
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let Some(at) = trimmed.rfind('\n') else { return Ok(text) };
+    let last = &trimmed[at + 1..];
+    let Some(hex) = last.strip_prefix("checksum ") else { return Ok(text) };
+    let expected = u64::from_str_radix(hex.trim(), 16)
+        .map_err(|e| CheckpointError::Format(format!("bad checksum trailer: {e}")))?;
+    let body = &text[..at + 1];
+    let actual = fnv1a(body.as_bytes());
+    if actual != expected {
+        return Err(CheckpointError::ChecksumMismatch { expected, actual });
+    }
+    Ok(body)
+}
+
+/// Persist the training state to `path` crash-safely: the checksummed state
+/// is written to a sibling temp file, fsynced, and atomically renamed into
+/// place, so a crash at any point leaves either the previous checkpoint or
+/// the complete new one — never a torn file.
+pub fn write_training_state(
+    opt: &Adam,
+    store: &ParamStore,
+    path: &std::path::Path,
+) -> Result<(), CheckpointError> {
+    use std::io::Write;
+
+    let mut state = save_training_state(opt, store);
+    if !state.ends_with('\n') {
+        state.push('\n');
+    }
+    let checksum = fnv1a(state.as_bytes());
+    state.push_str(&format!("checksum {checksum:016x}\n"));
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(state.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Restore a training state persisted by [`write_training_state`],
+/// verifying its checksum trailer.
+pub fn read_training_state(
+    opt: &mut Adam,
+    store: &mut ParamStore,
+    path: &std::path::Path,
+) -> Result<(), CheckpointError> {
+    let text = std::fs::read_to_string(path)?;
+    load_training_state(opt, store, &text)
 }
 
 impl Optimizer for Adam {
@@ -239,6 +358,59 @@ mod tests {
         assert!(load_training_state(&mut opt, &mut store, "").is_err());
         assert!(load_training_state(&mut opt, &mut store, "sgd 1 0.1\ncheckpoint 0\n").is_err());
         assert!(load_training_state(&mut opt, &mut store, "adam x 0.1\ncheckpoint 0\n").is_err());
+    }
+
+    #[test]
+    fn file_checkpoint_roundtrip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join(format!("tpgnn-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("state.ckpt");
+
+        let mut store = ParamStore::new();
+        let id = store.register("w", Tensor::scalar(1.25));
+        let mut opt = Adam::new(0.05);
+        opt.set_steps(7);
+        write_training_state(&opt, &store, &path).expect("write");
+        assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+
+        let mut store_b = ParamStore::new();
+        let id_b = store_b.register("w", Tensor::scalar(0.0));
+        let mut opt_b = Adam::new(1.0);
+        read_training_state(&mut opt_b, &mut store_b, &path).expect("read");
+        assert_eq!(opt_b.steps(), 7);
+        assert_eq!(
+            store.value(id).item().to_bits(),
+            store_b.value(id_b).item().to_bits()
+        );
+
+        // Flip one byte of the body: the checksum trailer must catch it.
+        let mut text = std::fs::read_to_string(&path).expect("reread");
+        assert!(text.lines().last().expect("trailer").starts_with("checksum "));
+        text = text.replacen("1.25", "1.26", 1);
+        let err = load_training_state(&mut opt_b, &mut store_b, &text).expect_err("corrupted");
+        assert!(matches!(err, CheckpointError::ChecksumMismatch { .. }), "got: {err}");
+
+        // A truncated file (torn write simulation) must also fail closed.
+        let torn = &text[..text.len() / 2];
+        assert!(load_training_state(&mut opt_b, &mut store_b, torn).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_trailer_is_optional_for_in_memory_states() {
+        // Guardrail rollback states never traverse a disk, carry no trailer,
+        // and must keep loading (including deliberately doctored ones — the
+        // trainer's poison tests rely on this).
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::scalar(4.0));
+        let opt = Adam::new(0.1);
+        let state = save_training_state(&opt, &store);
+        assert!(!state.contains("checksum"));
+        let mut store_b = ParamStore::new();
+        store_b.register("w", Tensor::scalar(0.0));
+        let mut opt_b = Adam::new(0.5);
+        load_training_state(&mut opt_b, &mut store_b, &state).expect("no trailer, no check");
     }
 
     #[test]

@@ -44,4 +44,13 @@ done < "$trace_file"
 echo "trace OK: $(wc -l < "$trace_file") JSONL records in $trace_file"
 
 echo
-echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke."
+echo "== chaos smoke (seeded fault schedules, --smoke) =="
+# Every injector type across 10 seeded schedules: zero panics, bounded
+# reorder buffer, typed rejections reconciling exactly with injected
+# counts, and a zero-fault schedule that reproduces the direct loader
+# bitwise (including training losses). The binary exits non-zero on any
+# reconciliation failure.
+cargo run --release --offline -p tpgnn-bench --bin chaos_smoke -- --smoke
+
+echo
+echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke, chaos smoke."

@@ -209,6 +209,85 @@ fn persistent_poison_is_abandoned_not_panicked() {
     assert_eq!(report.final_loss(), report.epoch_losses.first().copied());
 }
 
+/// A classifier whose epochs stall — the hung-training scenario the
+/// epoch-time budget exists for.
+struct Sleepy {
+    inner: TpGnn,
+    sleep: std::time::Duration,
+}
+
+impl GraphClassifier for Sleepy {
+    fn name(&self) -> String {
+        "sleepy".into()
+    }
+    fn fit_epoch(&mut self, train: &mut [(Ctdn, f32)]) -> f32 {
+        std::thread::sleep(self.sleep);
+        self.inner.fit_epoch(train)
+    }
+    fn predict_proba(&mut self, g: &mut Ctdn) -> f32 {
+        self.inner.predict_proba(g)
+    }
+    fn learning_rate(&self) -> Option<f32> {
+        self.inner.learning_rate()
+    }
+}
+
+#[test]
+fn epoch_time_budget_abandons_hung_training_with_timeout_trace() {
+    use tpgnn_obs::{reader, trace};
+
+    let path =
+        std::env::temp_dir().join(format!("tpgnn_guard_timeout_{}.jsonl", std::process::id()));
+    trace::init_to("guard-timeout-test", &path);
+
+    let train = forum_java_corpus(11, 2);
+    let mut model =
+        Sleepy { inner: TpGnn::new(TpGnnConfig::sum(3).with_seed(1)), sleep: std::time::Duration::from_millis(40) };
+    let guard = GuardConfig { max_epoch_ms: Some(5), ..GuardConfig::default() };
+    let report = train_guarded(&mut model, &train, &TrainConfig::default(), &guard);
+    trace::finish();
+
+    assert!(report.aborted, "over-budget epoch must abandon the run");
+    assert!(report.epoch_losses.is_empty(), "the first epoch already blew the budget");
+    assert_eq!(report.recoveries.len(), 1);
+    let ev = &report.recoveries[0];
+    assert!(ev.abandoned, "timeout goes straight to abandonment, no retry");
+    assert!(
+        matches!(ev.reason, DivergenceReason::EpochTimeout { budget_ms: 5, .. }),
+        "reason: {:?}",
+        ev.reason
+    );
+
+    let records = reader::read_trace(&path).expect("trace parses back");
+    std::fs::remove_file(&path).ok();
+    let timeouts: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == "event" && r.name == "guard.timeout")
+        .filter(|r| r.field("model").and_then(|j| j.as_str()) == Some("sleepy"))
+        .collect();
+    assert_eq!(timeouts.len(), 1, "exactly one traced timeout: {timeouts:?}");
+    assert_eq!(timeouts[0].level, "warn");
+    assert_eq!(timeouts[0].field("budget_ms").and_then(|j| j.as_i64()), Some(5));
+    assert!(
+        timeouts[0].field("elapsed_ms").and_then(|j| j.as_i64()).unwrap_or(0) > 5,
+        "elapsed must exceed the budget"
+    );
+}
+
+#[test]
+fn generous_epoch_budget_is_an_observer() {
+    // With a budget no realistic epoch exceeds, training must be unaffected.
+    let train = forum_java_corpus(13, 2);
+    let mut model = TpGnn::new(TpGnnConfig::sum(3).with_seed(2));
+    model.set_learning_rate(0.01);
+    let cfg = TrainConfig { epochs: 3, shuffle_ties: true, seed: 2 };
+    let guard = GuardConfig { max_epoch_ms: Some(600_000), ..GuardConfig::default() };
+    let report = train_guarded(&mut model, &train, &cfg, &guard);
+    assert!(!report.aborted);
+    assert_eq!(report.epoch_losses.len(), 3);
+    assert!(report.recoveries.is_empty());
+}
+
 #[test]
 fn corrupt_dataset_files_report_line_numbers() {
     let dir = std::env::temp_dir().join("tpgnn_guardrails_test");
