@@ -24,6 +24,8 @@ const WINDOW: usize = 3;
 pub struct AddGraph {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     gcn: Linear,
     gru: GruCell,
     /// Attention scores over the previous-window hidden states.
@@ -41,7 +43,7 @@ impl AddGraph {
         let gru = GruCell::new(&mut store, "addg.gru", HIDDEN, HIDDEN, &mut rng);
         let att = Linear::new(&mut store, "addg.att", HIDDEN, 1, &mut rng);
         let head = Linear::new(&mut store, "addg.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), gcn, gru, att, head, snapshot_size }
+        Self { store, opt: Adam::new(1e-3), gcn, gru, att, head, snapshot_size, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

@@ -32,8 +32,12 @@ pub fn dense_input(tape: &mut Tape, n: usize, data: Vec<f32>) -> Var {
 }
 
 /// Implements [`tpgnn_core::GraphClassifier`] for a model with fields
-/// `store: ParamStore` and `opt: Adam` plus a method
+/// `store: ParamStore`, `opt: Adam`, and `tape: Tape` plus a method
 /// `fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var`.
+///
+/// The `tape` field is reused across every forward pass (leased out with
+/// `mem::take` around `forward_logit`, which needs `&mut self`), so steady
+/// state training and inference allocate no fresh tape buffers.
 #[macro_export]
 macro_rules! impl_graph_classifier {
     ($ty:ty, $name:expr) => {
@@ -48,8 +52,9 @@ macro_rules! impl_graph_classifier {
                     return 0.0;
                 }
                 let mut total = 0.0;
+                let mut tape = std::mem::take(&mut self.tape);
                 for (g, target) in train.iter_mut() {
-                    let mut tape = tpgnn_tensor::Tape::new();
+                    tape.reset();
                     let logit = self.forward_logit(&mut tape, g);
                     let loss = tape.bce_with_logits(logit, *target);
                     total += tape.value(loss).item();
@@ -64,19 +69,24 @@ macro_rules! impl_graph_classifier {
                     let grads = tape.backward(loss);
                     if let Some(e) = grads.non_finite() {
                         tpgnn_core::guard::record_fault(format!("{}: backward: {e}", $name));
+                        tape.absorb(grads);
                         continue;
                     }
                     tape.flush_grads(&grads, &mut self.store);
+                    tape.absorb(grads);
                     self.store.clip_grad_norm(tpgnn_core::GRAD_CLIP);
                     self.opt.step(&mut self.store);
                 }
+                self.tape = tape;
                 total / train.len() as f32
             }
 
             fn predict_proba(&mut self, g: &mut tpgnn_graph::Ctdn) -> f32 {
-                let mut tape = tpgnn_tensor::Tape::new();
+                let mut tape = std::mem::take(&mut self.tape);
+                tape.reset();
                 let logit = self.forward_logit(&mut tape, g);
                 let z = tape.value(logit).item();
+                self.tape = tape;
                 1.0 / (1.0 + (-z).exp())
             }
 

@@ -110,6 +110,8 @@ impl DyGnnCore {
 pub struct DyGnn {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     core: DyGnnCore,
     head: Linear,
 }
@@ -121,7 +123,7 @@ impl DyGnn {
         let mut rng = StdRng::seed_from_u64(seed);
         let core = DyGnnCore::build(&mut store, "dygnn", feature_dim, &mut rng);
         let head = Linear::new(&mut store, "dygnn.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), core, head }
+        Self { store, opt: Adam::new(1e-3), core, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

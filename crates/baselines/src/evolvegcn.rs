@@ -21,6 +21,8 @@ use crate::common::{feature_matrix, HIDDEN};
 pub struct EvolveGcn {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     /// Initial GCN weight `W_0` (the evolved state's starting value).
     w0: ParamId,
     evolve: GruCell,
@@ -37,7 +39,7 @@ impl EvolveGcn {
         let w0 = store.register("egcn.w0", init::xavier_uniform(feature_dim, HIDDEN, &mut rng));
         let evolve = GruCell::new(&mut store, "egcn.evolve", HIDDEN, HIDDEN, &mut rng);
         let head = Linear::new(&mut store, "egcn.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), w0, evolve, head, feature_dim, snapshot_size }
+        Self { store, opt: Adam::new(1e-3), w0, evolve, head, feature_dim, snapshot_size, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

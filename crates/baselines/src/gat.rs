@@ -17,6 +17,8 @@ use crate::common::{feature_matrix, HIDDEN};
 pub struct Gat {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     w: Linear,
     /// Attention vector `a ∈ R^{2·HIDDEN × 1}`.
     a: ParamId,
@@ -31,7 +33,7 @@ impl Gat {
         let w = Linear::new(&mut store, "gat.w", feature_dim, HIDDEN, &mut rng);
         let a = store.register("gat.a", init::xavier_uniform(2 * HIDDEN, 1, &mut rng));
         let head = Linear::new(&mut store, "gat.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), w, a, head }
+        Self { store, opt: Adam::new(1e-3), w, a, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

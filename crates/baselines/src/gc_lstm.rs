@@ -18,6 +18,8 @@ use crate::common::{feature_matrix, HIDDEN};
 pub struct GcLstm {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     conv: Linear,
     lstm: LstmCell,
     head: Linear,
@@ -32,7 +34,7 @@ impl GcLstm {
         let conv = Linear::new(&mut store, "gclstm.conv", feature_dim, HIDDEN, &mut rng);
         let lstm = LstmCell::new(&mut store, "gclstm.lstm", HIDDEN, HIDDEN, &mut rng);
         let head = Linear::new(&mut store, "gclstm.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), conv, lstm, head, snapshot_size }
+        Self { store, opt: Adam::new(1e-3), conv, lstm, head, snapshot_size, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

@@ -17,6 +17,8 @@ use crate::common::{feature_matrix, HIDDEN};
 pub struct Gcn {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     l1: Linear,
     l2: Linear,
     head: Linear,
@@ -30,7 +32,7 @@ impl Gcn {
         let l1 = Linear::new(&mut store, "gcn.l1", feature_dim, HIDDEN, &mut rng);
         let l2 = Linear::new(&mut store, "gcn.l2", HIDDEN, HIDDEN, &mut rng);
         let head = Linear::new(&mut store, "gcn.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), l1, l2, head }
+        Self { store, opt: Adam::new(1e-3), l1, l2, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

@@ -146,6 +146,8 @@ impl GraphMixerCore {
 pub struct GraphMixer {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     core: GraphMixerCore,
     head: Linear,
 }
@@ -157,7 +159,7 @@ impl GraphMixer {
         let mut rng = StdRng::seed_from_u64(seed);
         let core = GraphMixerCore::build(&mut store, "gmix", feature_dim, &mut rng);
         let head = Linear::new(&mut store, "gmix.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), core, head }
+        Self { store, opt: Adam::new(1e-3), core, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

@@ -16,6 +16,8 @@ use crate::common::{feature_matrix, HIDDEN};
 pub struct GraphSage {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     l1: Linear,
     l2: Linear,
     head: Linear,
@@ -30,7 +32,7 @@ impl GraphSage {
         let l1 = Linear::new(&mut store, "sage.l1", 2 * feature_dim, HIDDEN, &mut rng);
         let l2 = Linear::new(&mut store, "sage.l2", 2 * HIDDEN, HIDDEN, &mut rng);
         let head = Linear::new(&mut store, "sage.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), l1, l2, head }
+        Self { store, opt: Adam::new(1e-3), l1, l2, head, tape: Tape::new() }
     }
 
     /// Row-normalized undirected adjacency (mean aggregation operator);

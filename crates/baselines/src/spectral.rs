@@ -22,6 +22,8 @@ use crate::common::HIDDEN;
 pub struct SpectralClustering {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     head: Linear,
     /// Eigen-decompositions are expensive; cache spectra per graph
     /// fingerprint across epochs.
@@ -34,7 +36,7 @@ impl SpectralClustering {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(seed);
         let head = Linear::new(&mut store, "spec.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-2), head, cache: HashMap::new() }
+        Self { store, opt: Adam::new(1e-2), head, cache: HashMap::new(), tape: Tape::new() }
     }
 
     fn fingerprint(g: &Ctdn) -> u64 {

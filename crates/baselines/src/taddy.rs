@@ -21,6 +21,8 @@ use crate::common::{feature_matrix, HIDDEN, TIME_DIM};
 pub struct Taddy {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     node_enc: Linear,
     t2v: Time2Vec,
     att: MultiHeadAttention,
@@ -42,7 +44,7 @@ impl Taddy {
         let att = MultiHeadAttention::new(&mut store, "taddy.att", width, width, HIDDEN, 2, &mut rng);
         let query = Linear::new(&mut store, "taddy.query", width, width, &mut rng);
         let head = Linear::new(&mut store, "taddy.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), node_enc, t2v, att, query, head, snapshot_size }
+        Self { store, opt: Adam::new(1e-3), node_enc, t2v, att, query, head, snapshot_size, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

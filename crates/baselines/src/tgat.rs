@@ -99,6 +99,8 @@ impl TgatCore {
 pub struct Tgat {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     core: TgatCore,
     head: Linear,
 }
@@ -110,7 +112,7 @@ impl Tgat {
         let mut rng = StdRng::seed_from_u64(seed);
         let core = TgatCore::build(&mut store, "tgat", feature_dim, &mut rng);
         let head = Linear::new(&mut store, "tgat.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), core, head }
+        Self { store, opt: Adam::new(1e-3), core, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

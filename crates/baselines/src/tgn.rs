@@ -105,6 +105,8 @@ impl TgnCore {
 pub struct Tgn {
     store: ParamStore,
     opt: Adam,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
     core: TgnCore,
     head: Linear,
 }
@@ -116,7 +118,7 @@ impl Tgn {
         let mut rng = StdRng::seed_from_u64(seed);
         let core = TgnCore::build(&mut store, "tgn", feature_dim, &mut rng);
         let head = Linear::new(&mut store, "tgn.head", HIDDEN, 1, &mut rng);
-        Self { store, opt: Adam::new(1e-3), core, head }
+        Self { store, opt: Adam::new(1e-3), core, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {

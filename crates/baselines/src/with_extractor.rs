@@ -52,6 +52,8 @@ pub struct WithExtractor<E: NodeEmbedder> {
     core: E,
     extractor: GlobalExtractor,
     head: Linear,
+    /// Reusable autodiff tape; reset at the start of every forward pass.
+    tape: Tape,
 }
 
 impl<E: NodeEmbedder> WithExtractor<E> {
@@ -63,7 +65,7 @@ impl<E: NodeEmbedder> WithExtractor<E> {
         let cfg = TpGnnConfig::sum(1); // feature_dim unused by the extractor
         let extractor = GlobalExtractor::new(&mut store, &cfg, core.out_dim(), &mut rng);
         let head = Linear::new(&mut store, "withg.head", extractor.out_dim(), 1, &mut rng);
-        Self { name: name.into(), store, opt: Adam::new(1e-3), core, extractor, head }
+        Self { name: name.into(), store, opt: Adam::new(1e-3), core, extractor, head, tape: Tape::new() }
     }
 
     fn forward_logit(&mut self, tape: &mut Tape, g: &mut Ctdn) -> Var {
@@ -85,8 +87,9 @@ impl<E: NodeEmbedder> tpgnn_core::GraphClassifier for WithExtractor<E> {
             return 0.0;
         }
         let mut total = 0.0;
+        let mut tape = std::mem::take(&mut self.tape);
         for (g, target) in train.iter_mut() {
-            let mut tape = Tape::new();
+            tape.reset();
             let logit = self.forward_logit(&mut tape, g);
             let loss = tape.bce_with_logits(logit, *target);
             total += tape.value(loss).item();
@@ -99,19 +102,24 @@ impl<E: NodeEmbedder> tpgnn_core::GraphClassifier for WithExtractor<E> {
             let grads = tape.backward(loss);
             if let Some(e) = grads.non_finite() {
                 tpgnn_core::guard::record_fault(format!("{}: backward: {e}", self.name));
+                tape.absorb(grads);
                 continue;
             }
             tape.flush_grads(&grads, &mut self.store);
+            tape.absorb(grads);
             self.store.clip_grad_norm(tpgnn_core::GRAD_CLIP);
             self.opt.step(&mut self.store);
         }
+        self.tape = tape;
         total / train.len() as f32
     }
 
     fn predict_proba(&mut self, g: &mut Ctdn) -> f32 {
-        let mut tape = Tape::new();
+        let mut tape = std::mem::take(&mut self.tape);
+        tape.reset();
         let logit = self.forward_logit(&mut tape, g);
         let z = tape.value(logit).item();
+        self.tape = tape;
         1.0 / (1.0 + (-z).exp())
     }
 

@@ -9,7 +9,7 @@
 //! embeddings and trail.
 
 use tpgnn_core::{TpGnn, TpGnnConfig};
-use tpgnn_eval::{run_cell_with, ExperimentConfig};
+use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 use tpgnn_nn::EdgeAgg;
 
 fn main() {
@@ -17,17 +17,27 @@ fn main() {
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("EdgeAgg ablation (extension; Sec. IV-C)", &cfg);
 
-    for kind in tpgnn_bench::figure_datasets() {
-        let mut rows = Vec::new();
-        for agg in EdgeAgg::ALL {
-            eprintln!("[edgeagg] {} / {:?} …", kind.name(), agg);
-            let cell = run_cell_with(&format!("{agg:?}"), kind, &cfg, move |fd, _snap, seed| {
-                let mut c = TpGnnConfig::sum(fd).with_seed(seed);
-                c.edge_agg = agg;
-                Box::new(TpGnn::new(c))
-            });
-            rows.push((format!("{agg:?}"), cell.f1, cell.precision, cell.recall));
-        }
+    let datasets = tpgnn_bench::figure_datasets();
+    let specs: Vec<CellSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            EdgeAgg::ALL.iter().map(move |&agg| {
+                CellSpec::new(format!("{agg:?}"), kind, move |fd, _snap, seed| {
+                    let mut c = TpGnnConfig::sum(fd).with_seed(seed);
+                    c.edge_agg = agg;
+                    Box::new(TpGnn::new(c))
+                })
+            })
+        })
+        .collect();
+    eprintln!("[edgeagg] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+    let per_dataset = EdgeAgg::ALL.len();
+    for (di, kind) in datasets.iter().enumerate() {
+        let rows: Vec<_> = results[di * per_dataset..(di + 1) * per_dataset]
+            .iter()
+            .map(|cell| (cell.model.clone(), cell.f1, cell.precision, cell.recall))
+            .collect();
         println!("{}", tpgnn_eval::table::render_ablation(kind.name(), &rows));
     }
 }

@@ -5,7 +5,7 @@
 //! graph-level readout, for both updaters.
 
 use tpgnn_core::{Readout, TpGnn, TpGnnConfig, UpdaterKind};
-use tpgnn_eval::{run_cell_with, ExperimentConfig};
+use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 
 fn main() {
     let _trace = tpgnn_bench::init_trace("ablation_extractor");
@@ -17,25 +17,31 @@ fn main() {
         ("Transformer", Readout::TransformerExtractor),
         ("Mean pooling", Readout::MeanPool),
     ];
-    for kind in tpgnn_bench::figure_datasets() {
-        let mut rows = Vec::new();
-        for updater in [UpdaterKind::Sum, UpdaterKind::Gru] {
-            for (label, readout) in readouts {
-                eprintln!("[extractor] {} / {updater:?} / {label} …", kind.name());
-                let cell = run_cell_with(label, kind, &cfg, move |fd, _snap, seed| {
-                    let mut c = TpGnnConfig::sum(fd).with_seed(seed);
-                    c.updater = updater;
-                    c.readout = readout;
-                    Box::new(TpGnn::new(c))
-                });
-                rows.push((
-                    format!("{:?}/{label}", updater),
-                    cell.f1,
-                    cell.precision,
-                    cell.recall,
-                ));
-            }
-        }
+    let datasets = tpgnn_bench::figure_datasets();
+    // One flat (dataset × updater × readout × run) fan-out over the pool.
+    let specs: Vec<CellSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            [UpdaterKind::Sum, UpdaterKind::Gru].into_iter().flat_map(move |updater| {
+                readouts.into_iter().map(move |(label, readout)| {
+                    CellSpec::new(format!("{updater:?}/{label}"), kind, move |fd, _snap, seed| {
+                        let mut c = TpGnnConfig::sum(fd).with_seed(seed);
+                        c.updater = updater;
+                        c.readout = readout;
+                        Box::new(TpGnn::new(c))
+                    })
+                })
+            })
+        })
+        .collect();
+    eprintln!("[extractor] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+    let per_dataset = 2 * readouts.len();
+    for (di, kind) in datasets.iter().enumerate() {
+        let rows: Vec<_> = results[di * per_dataset..(di + 1) * per_dataset]
+            .iter()
+            .map(|cell| (cell.model.clone(), cell.f1, cell.precision, cell.recall))
+            .collect();
         println!("{}", tpgnn_eval::table::render_ablation(kind.name(), &rows));
     }
 }

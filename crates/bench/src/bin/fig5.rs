@@ -6,7 +6,7 @@
 //! around `d = 32`, `d_t = 6` (the paper's default configuration).
 
 use tpgnn_core::{TpGnn, TpGnnConfig};
-use tpgnn_eval::{run_cell_with, ExperimentConfig};
+use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 
 const HIDDEN_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
 const TIME_DIMS: [usize; 4] = [2, 4, 6, 8];
@@ -16,22 +16,32 @@ fn main() {
     let cfg = ExperimentConfig::default();
     tpgnn_bench::banner("Fig. 5: hyperparameter sensitivity of TP-GNN-SUM", &cfg);
 
-    for kind in tpgnn_bench::figure_datasets() {
-        let mut grid = Vec::with_capacity(HIDDEN_SIZES.len());
-        for &d in &HIDDEN_SIZES {
-            let mut row = Vec::with_capacity(TIME_DIMS.len());
-            for &dt in &TIME_DIMS {
-                eprintln!("[fig5] {} d={d} d_t={dt} …", kind.name());
-                let cell = run_cell_with("TP-GNN-SUM", kind, &cfg, move |fd, _snap, seed| {
-                    let mut c = TpGnnConfig::sum(fd).with_seed(seed);
-                    c.hidden_dim = d;
-                    c.time_dim = dt;
-                    Box::new(TpGnn::new(c))
-                });
-                row.push(cell.f1);
-            }
-            grid.push(row);
-        }
+    let datasets = tpgnn_bench::figure_datasets();
+    // One flat (dataset × d × d_t × run) fan-out over the worker pool.
+    let specs: Vec<CellSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            HIDDEN_SIZES.iter().flat_map(move |&d| {
+                TIME_DIMS.iter().map(move |&dt| {
+                    CellSpec::new(format!("d={d},d_t={dt}"), kind, move |fd, _snap, seed| {
+                        let mut c = TpGnnConfig::sum(fd).with_seed(seed);
+                        c.hidden_dim = d;
+                        c.time_dim = dt;
+                        Box::new(TpGnn::new(c))
+                    })
+                })
+            })
+        })
+        .collect();
+    eprintln!("[fig5] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+    let per_dataset = HIDDEN_SIZES.len() * TIME_DIMS.len();
+    for (di, kind) in datasets.iter().enumerate() {
+        let block = &results[di * per_dataset..(di + 1) * per_dataset];
+        let grid: Vec<Vec<_>> = block
+            .chunks(TIME_DIMS.len())
+            .map(|row| row.iter().map(|cell| cell.f1).collect())
+            .collect();
         println!(
             "{}",
             tpgnn_eval::table::render_heatmap(

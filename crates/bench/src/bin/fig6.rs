@@ -5,7 +5,7 @@
 //! (fast + accurate) except on edge-dense Brightkite where its per-edge
 //! cost shows (Sec. V-G).
 
-use tpgnn_eval::{run_cell, ExperimentConfig};
+use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 
 /// Fig. 6 compares the continuous models plus both TP-GNN variants.
 const MODELS: [&str; 6] = ["TGN", "DyGNN", "TGAT", "GraphMixer", "TP-GNN-SUM", "TP-GNN-GRU"];
@@ -16,12 +16,15 @@ fn main() {
     tpgnn_bench::banner("Fig. 6: running time vs F1 (continuous DGNNs)", &cfg);
 
     let models = tpgnn_bench::selected_models(&MODELS);
-    for kind in tpgnn_bench::figure_datasets() {
-        let mut cells = Vec::with_capacity(models.len());
-        for model in &models {
-            eprintln!("[fig6] {} / {model} …", kind.name());
-            cells.push(run_cell(model, kind, &cfg));
-        }
-        println!("{}", tpgnn_eval::table::render_scatter(kind.name(), &cells));
+    let datasets = tpgnn_bench::figure_datasets();
+    let specs: Vec<CellSpec> = datasets
+        .iter()
+        .flat_map(|&kind| models.iter().map(move |model| CellSpec::zoo(*model, kind)))
+        .collect();
+    eprintln!("[fig6] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+    for (di, kind) in datasets.iter().enumerate() {
+        let cells = &results[di * models.len()..(di + 1) * models.len()];
+        println!("{}", tpgnn_eval::table::render_scatter(kind.name(), cells));
     }
 }

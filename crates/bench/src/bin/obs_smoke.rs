@@ -107,6 +107,16 @@ fn main() {
         fail("faulted run did not recover exactly once");
     }
 
+    // Exercise the worker pool so the metrics sidecar carries the pool.*
+    // series even on single-core machines (the override forces a 2-wide
+    // pool regardless of TPGNN_THREADS / available cores).
+    let pooled = tpgnn_par::with_thread_override(2, || {
+        tpgnn_par::map_indexed(&[10usize, 20, 30, 40], |i, &x| x + i)
+    });
+    if pooled != vec![10, 21, 32, 43] {
+        fail("worker pool returned wrong or out-of-order results");
+    }
+
     let path = trace::finish().unwrap_or_else(|| fail("trace::finish returned no path"));
 
     // Validate from the outside, exactly as CI does.
@@ -144,6 +154,16 @@ fn main() {
         .count();
     if epoch_spans_with_loss == 0 {
         fail("epoch spans carry no loss/lr metrics");
+    }
+
+    // The metrics sidecar must carry the worker-pool series recorded above.
+    let metrics_path = path.with_file_name("metrics-smoke.json");
+    let metrics = std::fs::read_to_string(&metrics_path)
+        .unwrap_or_else(|e| fail(&format!("metrics sidecar unreadable: {e}")));
+    for series in ["pool.tasks", "pool.workers", "pool.queue_depth", "pool.task_ms"] {
+        if !metrics.contains(series) {
+            fail(&format!("metrics sidecar is missing the {series} series"));
+        }
     }
 
     println!(

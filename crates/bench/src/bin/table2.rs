@@ -6,7 +6,7 @@
 //! models; Spectral Clustering worst.
 
 use tpgnn_baselines::zoo::TABLE2_MODELS;
-use tpgnn_eval::{run_cell, ExperimentConfig};
+use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 
 fn main() {
     let _trace = tpgnn_bench::init_trace("table2");
@@ -14,13 +14,19 @@ fn main() {
     tpgnn_bench::banner("Table II: dynamic graph classification", &cfg);
 
     let models = tpgnn_bench::selected_models(&TABLE2_MODELS);
-    for kind in tpgnn_bench::selected_datasets() {
-        let mut cells = Vec::with_capacity(models.len());
-        for model in &models {
-            eprintln!("[table2] {} / {} …", kind.name(), model);
-            cells.push(run_cell(model, kind, &cfg));
-        }
-        println!("{}", tpgnn_eval::table::render_metric_table(kind.name(), &cells));
+    let datasets = tpgnn_bench::selected_datasets();
+    // The whole table is one flat (dataset × model × run) fan-out over the
+    // worker pool; results come back in spec order, so each dataset's block
+    // is a contiguous slice.
+    let specs: Vec<CellSpec> = datasets
+        .iter()
+        .flat_map(|&kind| models.iter().map(move |model| CellSpec::zoo(*model, kind)))
+        .collect();
+    eprintln!("[table2] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+    for (di, kind) in datasets.iter().enumerate() {
+        let cells = &results[di * models.len()..(di + 1) * models.len()];
+        println!("{}", tpgnn_eval::table::render_metric_table(kind.name(), cells));
         // Paper's headline: average F1 improvement of TP-GNN over the best
         // continuous baseline.
         let best_tp = cells

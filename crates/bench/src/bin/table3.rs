@@ -7,7 +7,7 @@
 //! propagation's contribution.
 
 use tpgnn_baselines::zoo::TABLE3_MODELS;
-use tpgnn_eval::{run_cell, ExperimentConfig};
+use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 
 fn main() {
     let _trace = tpgnn_bench::init_trace("table3");
@@ -17,17 +17,23 @@ fn main() {
     let models = tpgnn_bench::selected_models(&TABLE3_MODELS);
     let datasets = tpgnn_bench::figure_datasets();
 
+    // One flat (model × dataset × run) fan-out; results in spec order.
+    let specs: Vec<CellSpec> = models
+        .iter()
+        .flat_map(|model| datasets.iter().map(move |&kind| CellSpec::zoo(*model, kind)))
+        .collect();
+    eprintln!("[table3] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+
     print!("{:<16}", "Model");
     for kind in &datasets {
         print!("{:>14}", kind.name());
     }
     println!();
     println!("{}", "-".repeat(16 + 14 * datasets.len()));
-    for model in &models {
+    for (mi, model) in models.iter().enumerate() {
         print!("{model:<16}");
-        for kind in &datasets {
-            eprintln!("[table3] {} / {model} …", kind.name());
-            let cell = run_cell(model, *kind, &cfg);
+        for cell in &results[mi * datasets.len()..(mi + 1) * datasets.len()] {
             print!("{:>14}", format!("{:.2}", cell.f1.mean * 100.0));
         }
         println!();

@@ -92,7 +92,7 @@ fn filter_by_env<T: Copy>(var: &str, all: &[T], name: impl Fn(T) -> &'static str
 /// datasets and prints one block per dataset.
 pub fn run_ablation_figure(updater: tpgnn_core::UpdaterKind, figure_name: &str) {
     use tpgnn_core::{AblationVariant, TpGnn, TpGnnConfig, UpdaterKind};
-    use tpgnn_eval::{run_cell_with, ExperimentConfig};
+    use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
 
     let cfg = ExperimentConfig::default();
     let updater_name = match updater {
@@ -101,17 +101,28 @@ pub fn run_ablation_figure(updater: tpgnn_core::UpdaterKind, figure_name: &str) 
     };
     banner(&format!("{figure_name}: ablation study of {updater_name}"), &cfg);
 
-    for kind in figure_datasets() {
-        let mut rows = Vec::new();
-        for variant in AblationVariant::ALL {
-            eprintln!("[{figure_name}] {} / {} …", kind.name(), variant.label());
-            let cell = run_cell_with(variant.label(), kind, &cfg, |fd, _snap, seed| {
-                let mut base = TpGnnConfig::sum(fd).with_seed(seed);
-                base.updater = updater;
-                Box::new(TpGnn::new(variant.apply(base)))
-            });
-            rows.push((variant.label().to_string(), cell.f1, cell.precision, cell.recall));
-        }
+    let datasets = figure_datasets();
+    // One flat (dataset × variant × run) fan-out over the worker pool.
+    let specs: Vec<CellSpec> = datasets
+        .iter()
+        .flat_map(|&kind| {
+            AblationVariant::ALL.iter().map(move |&variant| {
+                CellSpec::new(variant.label(), kind, move |fd, _snap, seed| {
+                    let mut base = TpGnnConfig::sum(fd).with_seed(seed);
+                    base.updater = updater;
+                    Box::new(TpGnn::new(variant.apply(base)))
+                })
+            })
+        })
+        .collect();
+    eprintln!("[{figure_name}] {} cells x {} runs on the worker pool …", specs.len(), cfg.runs);
+    let results = run_cells(&specs, &cfg);
+    let per_dataset = AblationVariant::ALL.len();
+    for (di, kind) in datasets.iter().enumerate() {
+        let rows: Vec<_> = results[di * per_dataset..(di + 1) * per_dataset]
+            .iter()
+            .map(|cell| (cell.model.clone(), cell.f1, cell.precision, cell.recall))
+            .collect();
         println!("{}", tpgnn_eval::table::render_ablation(kind.name(), &rows));
     }
 }

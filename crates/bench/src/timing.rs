@@ -44,6 +44,12 @@ pub struct Suite {
     git_sha: String,
     /// RNG seed the benchmark data was generated from (see [`Suite::set_seed`]).
     seed: u64,
+    /// Worker-pool width the run was configured for (`TPGNN_THREADS`).
+    threads: usize,
+    /// Physical parallelism of the machine (`available_parallelism`).
+    cores: usize,
+    /// Free-form derived numbers (e.g. speedups), serialized under `extras`.
+    extras: Vec<(String, f64)>,
     results: Vec<BenchStats>,
 }
 
@@ -94,6 +100,9 @@ impl Suite {
             samples_override,
             git_sha: git_sha(),
             seed,
+            threads: tpgnn_par::configured_threads(),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            extras: Vec::new(),
             results: Vec::new(),
         }
     }
@@ -112,6 +121,17 @@ impl Suite {
 
     fn sample_count(&self) -> usize {
         self.samples_override.unwrap_or(if self.smoke { 3 } else { 20 })
+    }
+
+    /// Median of an already-recorded benchmark, for deriving ratios
+    /// (e.g. parallel speedup) inside a bench binary.
+    pub fn median_ns(&self, name: &str) -> Option<u128> {
+        self.results.iter().find(|s| s.name == name).map(|s| s.median_ns)
+    }
+
+    /// Attach a derived number (serialized under `"extras"` in the JSON).
+    pub fn annotate(&mut self, key: &str, value: f64) {
+        self.extras.push((key.to_string(), value));
     }
 
     /// Time `f`: warm up until ~200 ms have elapsed (smoke: one call),
@@ -182,7 +202,19 @@ impl Suite {
         out.push_str(&format!("  \"smoke\": {},\n", self.smoke));
         out.push_str(&format!("  \"git_sha\": \"{}\",\n", self.git_sha));
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
         out.push_str(&format!("  \"default_samples\": {},\n", self.sample_count()));
+        if !self.extras.is_empty() {
+            out.push_str("  \"extras\": {");
+            for (i, (k, v)) in self.extras.iter().enumerate() {
+                out.push_str(&format!(
+                    "\"{k}\": {v:.4}{}",
+                    if i + 1 < self.extras.len() { ", " } else { "" }
+                ));
+            }
+            out.push_str("},\n");
+        }
         out.push_str("  \"benchmarks\": [\n");
         for (i, s) in self.results.iter().enumerate() {
             out.push_str(&format!(
@@ -217,8 +249,12 @@ mod tests {
             samples_override: Some(5),
             git_sha: git_sha(),
             seed: 7,
+            threads: tpgnn_par::configured_threads(),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            extras: Vec::new(),
             results: Vec::new(),
         };
+        suite.annotate("speedup", 1.5);
         suite.bench("busy_loop", || {
             let mut acc = 0u64;
             for i in 0..1000 {
@@ -235,6 +271,9 @@ mod tests {
         assert!(json.contains("\"git_sha\": \""), "run metadata: git sha");
         assert!(json.contains("\"seed\": 7"), "run metadata: seed");
         assert!(json.contains("\"default_samples\": 5"), "run metadata: samples");
+        assert!(json.contains("\"threads\": "), "run metadata: pool width");
+        assert!(json.contains("\"cores\": "), "run metadata: machine cores");
+        assert!(json.contains("\"speedup\": 1.5000"), "extras serialized");
         assert!(!json.contains("\"git_sha\": \"\""), "sha is non-empty or 'unknown'");
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -32,6 +32,16 @@ pub trait GraphClassifier {
     /// Probability that `g` is a positive (label 1) graph.
     fn predict_proba(&mut self, g: &mut Ctdn) -> f32;
 
+    /// Probabilities for a batch of graphs, in input order.
+    ///
+    /// The default runs [`GraphClassifier::predict_proba`] sequentially;
+    /// models whose forward pass is `&self`-clean (TP-GNN) override this to
+    /// fan out over the pool with one tape per worker. Implementations must
+    /// return results bitwise-identical to the sequential loop.
+    fn predict_proba_batch(&mut self, graphs: &mut [Ctdn]) -> Vec<f32> {
+        graphs.iter_mut().map(|g| self.predict_proba(g)).collect()
+    }
+
     /// Hard decision at the 0.5 threshold.
     fn predict(&mut self, g: &mut Ctdn) -> bool {
         self.predict_proba(g) >= 0.5
@@ -104,6 +114,10 @@ pub struct TpGnn {
     /// zeroes the gradient buffers after stepping, so this is the only
     /// place the norm survives for the trace.
     last_grad_norm: Option<f32>,
+    /// The model's reusable autodiff tape: reset (retaining its buffer
+    /// pool) at the start of every `train_on`/`predict_proba`, so steady-
+    /// state training and inference do not touch the global allocator.
+    tape: Tape,
 }
 
 impl TpGnn {
@@ -121,7 +135,16 @@ impl TpGnn {
         let propagation = TemporalPropagation::new(&mut store, &cfg, &mut rng);
         let extractor = GlobalExtractor::new(&mut store, &cfg, cfg.node_embed_dim(), &mut rng);
         let classifier = Linear::new(&mut store, "clf", extractor.out_dim(), 1, &mut rng);
-        Self { cfg, store, propagation, extractor, classifier, opt: Adam::new(1e-3), last_grad_norm: None }
+        Self {
+            cfg,
+            store,
+            propagation,
+            extractor,
+            classifier,
+            opt: Adam::new(1e-3),
+            last_grad_norm: None,
+            tape: Tape::new(),
+        }
     }
 
     /// The active configuration.
@@ -172,8 +195,17 @@ impl TpGnn {
     /// optimizer step is skipped, so the blow-up cannot poison the
     /// parameters.
     pub fn train_on(&mut self, g: &mut Ctdn, target: f32) -> f32 {
-        let mut tape = Tape::new();
-        let logit = self.forward_logit(&mut tape, g);
+        // Lease the model's tape out so `self` stays borrowable; reset
+        // recycles the previous pass's buffers and re-samples the guard.
+        let mut tape = std::mem::take(&mut self.tape);
+        tape.reset();
+        let loss_val = self.train_on_tape(&mut tape, g, target);
+        self.tape = tape;
+        loss_val
+    }
+
+    fn train_on_tape(&mut self, tape: &mut Tape, g: &mut Ctdn, target: f32) -> f32 {
+        let logit = self.forward_logit(tape, g);
         let loss = tape.bce_with_logits(logit, target);
         let loss_val = tape.value(loss).item();
         if let Some(e) = tape.non_finite() {
@@ -183,9 +215,11 @@ impl TpGnn {
         let grads = tape.backward(loss);
         if let Some(e) = grads.non_finite() {
             crate::guard::record_fault(format!("{}: backward: {e}", self.name()));
+            tape.absorb(grads);
             return loss_val;
         }
         tape.flush_grads(&grads, &mut self.store);
+        tape.absorb(grads);
         self.last_grad_norm = Some(self.store.clip_grad_norm(GRAD_CLIP));
         self.opt.step(&mut self.store);
         loss_val
@@ -212,10 +246,26 @@ impl GraphClassifier for TpGnn {
     }
 
     fn predict_proba(&mut self, g: &mut Ctdn) -> f32 {
-        let mut tape = Tape::new();
+        let mut tape = std::mem::take(&mut self.tape);
+        tape.reset();
         let logit = self.forward_logit(&mut tape, g);
         let z = tape.value(logit).item();
+        self.tape = tape;
         1.0 / (1.0 + (-z).exp())
+    }
+
+    fn predict_proba_batch(&mut self, graphs: &mut [Ctdn]) -> Vec<f32> {
+        // The TP-GNN forward pass is `&self`-clean, so graphs fan out over
+        // the pool with one worker-local tape each. `map_mut` collects in
+        // input order and the per-graph arithmetic is untouched, so the
+        // result is bitwise-identical to the sequential loop.
+        let this: &TpGnn = self;
+        tpgnn_par::map_mut(graphs, Tape::new, |tape, _i, g| {
+            tape.reset();
+            let logit = this.forward_logit(tape, g);
+            let z = tape.value(logit).item();
+            1.0 / (1.0 + (-z).exp())
+        })
     }
 
     fn set_learning_rate(&mut self, lr: f32) {
@@ -288,6 +338,25 @@ mod tests {
     fn names_match_paper() {
         assert_eq!(TpGnn::new(TpGnnConfig::sum(3)).name(), "TP-GNN-SUM");
         assert_eq!(TpGnn::new(TpGnnConfig::gru(3)).name(), "TP-GNN-GRU");
+    }
+
+    #[test]
+    fn predict_proba_batch_is_bitwise_identical_across_thread_counts() {
+        let mut model = TpGnn::new(TpGnnConfig::sum(3).with_seed(11));
+        let mut graphs: Vec<Ctdn> = (0..6).map(|i| toy_graph(i % 2 == 1)).collect();
+        let sequential: Vec<u32> = graphs
+            .iter_mut()
+            .map(|g| model.predict_proba(g).to_bits())
+            .collect();
+        for threads in [1, 4] {
+            let batch: Vec<u32> = tpgnn_par::with_thread_override(threads, || {
+                model.predict_proba_batch(&mut graphs)
+            })
+            .into_iter()
+            .map(f32::to_bits)
+            .collect();
+            assert_eq!(sequential, batch, "threads={threads}");
+        }
     }
 
     #[test]

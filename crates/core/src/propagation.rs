@@ -28,8 +28,11 @@ pub struct TemporalPropagation {
     updater: Updater,
     kind: PropagationKind,
     time_dim: usize,
-    /// Deterministic seed stream for the `rand` ablation's random edge order.
-    rand_counter: std::cell::Cell<u64>,
+    /// Deterministic seed stream for the `rand` ablation's random edge
+    /// order. Atomic (not `Cell`) so a shared model can run forward passes
+    /// from several threads; the `rand` variant is per-call stochastic by
+    /// design, so tick handout order does not need to be schedule-stable.
+    rand_counter: std::sync::atomic::AtomicU64,
     rand_seed: u64,
     /// Constant pre-scaling of the SUM updater's inputs (see `sweep`).
     sum_scale: f32,
@@ -55,7 +58,7 @@ impl TemporalPropagation {
             updater,
             kind: cfg.propagation,
             time_dim: cfg.time_dim,
-            rand_counter: std::cell::Cell::new(0),
+            rand_counter: std::sync::atomic::AtomicU64::new(0),
             rand_seed: cfg.seed,
             sum_scale: cfg.sum_scale,
         }
@@ -89,8 +92,7 @@ impl TemporalPropagation {
                 // `rand` ablation: neighbors aggregated in a random order;
                 // timestamps carry no meaning, so the edge list is permuted.
                 let mut edges = g.edges_chronological().to_vec();
-                let tick = self.rand_counter.get();
-                self.rand_counter.set(tick + 1);
+                let tick = self.rand_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let mut rng = StdRng::seed_from_u64(self.rand_seed ^ (tick.wrapping_mul(0x9e37_79b9)));
                 edges.shuffle(&mut rng);
                 self.sweep(tape, store, node_embeds, &edges)

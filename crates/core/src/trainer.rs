@@ -112,23 +112,37 @@ pub fn train(
     TrainReport { epoch_losses, recoveries: Vec::new(), aborted: false }
 }
 
-/// Restores the process-wide tape-guard default on drop, so an early return
-/// (or a panic inside a model) cannot leak the scan into unrelated code.
-struct TapeGuardScope {
-    prev: bool,
-}
+/// Number of live guarded-training scopes across the process.
+///
+/// The tape-guard default is "on" while at least one scope is alive.
+/// Refcounting (rather than save/restore of the previous value) makes the
+/// scope safe under the parallel eval grid, where several guarded cells run
+/// concurrently on pool workers: a plain save/restore pair racing another
+/// scope could leave the flag stuck on (or snap it off under a still-live
+/// scope).
+static GUARD_SCOPES: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Turns the process-wide tape guard on for its lifetime; the guard drops
+/// back off when the *last* concurrent scope drops, so an early return (or
+/// a panic inside a model) cannot leak the scan into unrelated code.
+struct TapeGuardScope;
 
 impl TapeGuardScope {
     fn enable() -> Self {
-        let prev = Tape::default_guard();
-        Tape::set_default_guard(true);
-        Self { prev }
+        use std::sync::atomic::Ordering;
+        if GUARD_SCOPES.fetch_add(1, Ordering::SeqCst) == 0 {
+            Tape::set_default_guard(true);
+        }
+        Self
     }
 }
 
 impl Drop for TapeGuardScope {
     fn drop(&mut self) {
-        Tape::set_default_guard(self.prev);
+        use std::sync::atomic::Ordering;
+        if GUARD_SCOPES.fetch_sub(1, Ordering::SeqCst) == 1 {
+            Tape::set_default_guard(false);
+        }
     }
 }
 
@@ -357,16 +371,20 @@ pub fn train_guarded(
 }
 
 /// Run `model` over `test_set`, returning `(probability, truth)` pairs.
+///
+/// Routed through [`GraphClassifier::predict_proba_batch`], so models with
+/// a parallel batch path (TP-GNN) fan the test split out over the pool;
+/// results are in input order and bitwise-identical at any thread count.
 pub fn predict_all(
     model: &mut dyn GraphClassifier,
     test_set: &[(Ctdn, f32)],
 ) -> Vec<(f32, bool)> {
-    test_set
-        .iter()
-        .map(|(g, target)| {
-            let mut g = g.clone();
-            (model.predict_proba(&mut g), *target > 0.5)
-        })
+    let mut graphs: Vec<Ctdn> = test_set.iter().map(|(g, _)| g.clone()).collect();
+    let probs = model.predict_proba_batch(&mut graphs);
+    probs
+        .into_iter()
+        .zip(test_set)
+        .map(|(p, (_, target))| (p, *target > 0.5))
         .collect()
 }
 

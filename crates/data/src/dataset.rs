@@ -68,11 +68,14 @@ impl GraphDataset {
     /// Summary statistics across all graphs (feeds the Table I harness).
     pub fn stats(&mut self) -> DatasetStats {
         let n = self.graphs.len();
+        // Per-graph stats are independent; fan out over the worker pool and
+        // fold the (input-ordered) results sequentially.
+        let per_graph =
+            tpgnn_par::map_mut(&mut self.graphs, || (), |_, _i, lg| GraphStats::compute(&mut lg.graph));
         let mut nodes = 0usize;
         let mut edges = 0usize;
         let mut feature_dim = 0usize;
-        for lg in &mut self.graphs {
-            let s = GraphStats::compute(&mut lg.graph);
+        for s in &per_graph {
             nodes += s.active_nodes;
             edges += s.num_edges;
             feature_dim = s.feature_dim;

@@ -55,9 +55,24 @@ pub fn run_degradation(
     sweep_span.set("dataset", kind.name());
     sweep_span.set("rates", rates.len() as i64);
 
+    // Every (rate × run) pair is one pool task; outcomes come back in task
+    // order, so the per-rate reduction below is independent of scheduling.
+    let tasks: Vec<(usize, usize)> = (0..rates.len())
+        .flat_map(|ri| (0..cfg.runs).map(move |run| (ri, run)))
+        .collect();
+    let outcomes = tpgnn_par::map_indexed(&tasks, |_, &(ri, run)| {
+        let plan = FaultPlan::mixed(rates[ri]);
+        let seed = cfg.base_seed + run as u64;
+        let clean = kind.generate(cfg.num_graphs, seed);
+        let (ds, report) = rebuild_dataset(&clean, &plan, seed);
+        let mut recoveries = 0usize;
+        let metrics = train_and_score(model_name, &ds, kind, cfg, seed, &mut recoveries);
+        (metrics, report.stats.received, report.stats.released, report.counts, recoveries)
+    });
+
     let mut rows = Vec::with_capacity(rates.len());
-    for &rate in rates {
-        let plan = FaultPlan::mixed(rate);
+    for (ri, &rate) in rates.iter().enumerate() {
+        let per_run = &outcomes[ri * cfg.runs..(ri + 1) * cfg.runs];
         let mut f1s = Vec::with_capacity(cfg.runs);
         let mut precisions = Vec::with_capacity(cfg.runs);
         let mut recalls = Vec::with_capacity(cfg.runs);
@@ -65,19 +80,14 @@ pub fn run_degradation(
         let mut released = 0usize;
         let mut counts = QuarantineCounts::default();
         let mut recoveries = 0usize;
-
-        for run in 0..cfg.runs {
-            let seed = cfg.base_seed + run as u64;
-            let clean = kind.generate(cfg.num_graphs, seed);
-            let (ds, report) = rebuild_dataset(&clean, &plan, seed);
-            received += report.stats.received;
-            released += report.stats.released;
-            counts.absorb_counts(&report.counts);
-
-            let metrics_run = train_and_score(model_name, &ds, kind, cfg, seed, &mut recoveries);
-            f1s.push(metrics_run.f1);
-            precisions.push(metrics_run.precision);
-            recalls.push(metrics_run.recall);
+        for (metrics, recv, rel, run_counts, recs) in per_run {
+            f1s.push(metrics.f1);
+            precisions.push(metrics.precision);
+            recalls.push(metrics.recall);
+            received += recv;
+            released += rel;
+            counts.absorb_counts(run_counts);
+            recoveries += recs;
         }
 
         rows.push(DegradationRow {

@@ -20,4 +20,4 @@ pub mod table;
 
 pub use degradation::{run_degradation, DegradationRow};
 pub use metrics::{roc_auc, MeanStd, Metrics};
-pub use runner::{run_cell, run_cell_with, to_pairs, CellResult, ExperimentConfig};
+pub use runner::{run_cell, run_cell_with, run_cells, to_pairs, CellResult, CellSpec, ExperimentConfig};

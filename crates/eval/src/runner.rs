@@ -92,20 +92,89 @@ pub fn to_pairs(split: &[tpgnn_data::LabeledGraph]) -> Vec<(Ctdn, f32)> {
     split.iter().map(|lg| (lg.graph.clone(), lg.target())).collect()
 }
 
-/// Run one model (by zoo name) on one dataset kind under `cfg`.
+/// One (model, dataset) cell of an experiment grid.
 ///
-/// `build` receives `(feature_dim, snapshot_size, seed)` so callers can
-/// inject arbitrary models (e.g. ablation variants) while the common path
-/// uses [`tpgnn_baselines::zoo::build`].
-pub fn run_cell_with(
+/// The builder must be `Sync`: [`run_cells`] fans the grid's individual
+/// training runs out over the worker pool, so the same builder may be
+/// invoked from several threads at once (each invocation constructs an
+/// independent model).
+pub struct CellSpec<'a> {
+    model: String,
+    kind: DatasetKind,
+    #[allow(clippy::type_complexity)]
+    build: Box<dyn Fn(usize, usize, u64) -> Box<dyn GraphClassifier> + Sync + 'a>,
+}
+
+impl<'a> CellSpec<'a> {
+    /// A cell with a custom model builder; `build` receives
+    /// `(feature_dim, snapshot_size, seed)`.
+    pub fn new(
+        model_name: impl Into<String>,
+        kind: DatasetKind,
+        build: impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier> + Sync + 'a,
+    ) -> Self {
+        Self { model: model_name.into(), kind, build: Box::new(build) }
+    }
+
+    /// A cell built from the standard model zoo by display name.
+    pub fn zoo(model_name: impl Into<String>, kind: DatasetKind) -> Self {
+        let model: String = model_name.into();
+        let name_for_build = model.clone();
+        Self {
+            model,
+            kind,
+            build: Box::new(move |feature_dim, snapshot_size, seed| {
+                tpgnn_baselines::zoo::build(&name_for_build, feature_dim, snapshot_size, seed)
+            }),
+        }
+    }
+}
+
+/// Run a grid of cells, fanning every (cell × run) pair out as one pool
+/// task, and reduce the outcomes back into one [`CellResult`] per spec —
+/// always in the input spec order, regardless of which runs finish first.
+///
+/// Determinism: each run's dataset and model seed depend only on
+/// `cfg.base_seed + run`, and per-run outcomes are reduced in run order, so
+/// the returned results are bitwise-identical at any `TPGNN_THREADS`. The
+/// `eval.cell` span is emitted at reduce time with the same aggregate
+/// fields as the sequential runner (its own duration no longer measures
+/// cell wall-clock; the summed `train_ms`/`predict_ms` fields do).
+pub fn run_cells(specs: &[CellSpec<'_>], cfg: &ExperimentConfig) -> Vec<CellResult> {
+    let tasks: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|cell| (0..cfg.runs).map(move |run| (cell, run)))
+        .collect();
+    let outcomes = tpgnn_par::map_indexed(&tasks, |_, &(cell, run)| {
+        let spec = &specs[cell];
+        let seed = cfg.base_seed + run as u64;
+        let mut run_span = trace::span("eval.run");
+        run_span.set("model", spec.model.as_str());
+        run_span.set("dataset", spec.kind.name());
+        run_span.set("run", run as i64);
+        let ds = spec.kind.generate(cfg.num_graphs, seed);
+        run_once(&spec.model, &ds, spec.kind, cfg, seed, spec.build.as_ref())
+    });
+
+    specs
+        .iter()
+        .enumerate()
+        .map(|(cell, spec)| {
+            let per_run = &outcomes[cell * cfg.runs..(cell + 1) * cfg.runs];
+            reduce_cell(&spec.model, spec.kind, cfg, per_run)
+        })
+        .collect()
+}
+
+/// Fold one cell's per-run outcomes (in run order) into its [`CellResult`].
+fn reduce_cell(
     model_name: &str,
     kind: DatasetKind,
     cfg: &ExperimentConfig,
-    build: impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier>,
+    per_run: &[(RunOutcome, Duration, Duration, usize)],
 ) -> CellResult {
-    let mut f1s = Vec::with_capacity(cfg.runs);
-    let mut precisions = Vec::with_capacity(cfg.runs);
-    let mut recalls = Vec::with_capacity(cfg.runs);
+    let mut f1s = Vec::with_capacity(per_run.len());
+    let mut precisions = Vec::with_capacity(per_run.len());
+    let mut recalls = Vec::with_capacity(per_run.len());
     let mut total_predict = Duration::ZERO;
     let mut total_train = Duration::ZERO;
     let mut total_test_graphs = 0usize;
@@ -116,16 +185,12 @@ pub fn run_cell_with(
     cell_span.set("model", model_name);
     cell_span.set("dataset", kind.name());
     cell_span.set("runs", cfg.runs as i64);
-    for run in 0..cfg.runs {
-        let seed = cfg.base_seed + run as u64;
-        let ds = kind.generate(cfg.num_graphs, seed);
-        let (outcome, predict_time, train_time, n_test) =
-            run_once(model_name, &ds, kind, cfg, seed, &build);
+    for (outcome, predict_time, train_time, n_test) in per_run {
         f1s.push(outcome.metrics.f1);
         precisions.push(outcome.metrics.precision);
         recalls.push(outcome.metrics.recall);
-        total_predict += predict_time;
-        total_train += train_time;
+        total_predict += *predict_time;
+        total_train += *train_time;
         total_test_graphs += n_test;
         recoveries += outcome.recoveries;
         aborted_runs += outcome.aborted as usize;
@@ -155,11 +220,31 @@ pub fn run_cell_with(
     }
 }
 
+/// Run one model (by zoo name) on one dataset kind under `cfg`.
+///
+/// `build` receives `(feature_dim, snapshot_size, seed)` so callers can
+/// inject arbitrary models (e.g. ablation variants) while the common path
+/// uses [`tpgnn_baselines::zoo::build`]. Individual runs execute on the
+/// worker pool; prefer batching a whole grid through [`run_cells`] so the
+/// pool sees every (cell × run) task at once.
+pub fn run_cell_with(
+    model_name: &str,
+    kind: DatasetKind,
+    cfg: &ExperimentConfig,
+    build: impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier> + Sync,
+) -> CellResult {
+    let specs = [CellSpec::new(model_name, kind, build)];
+    run_cells(&specs, cfg)
+        .pop()
+        .expect("run_cells returns one result per spec")
+}
+
 /// [`run_cell_with`] using the standard model zoo.
 pub fn run_cell(model_name: &str, kind: DatasetKind, cfg: &ExperimentConfig) -> CellResult {
-    run_cell_with(model_name, kind, cfg, |feature_dim, snapshot_size, seed| {
-        tpgnn_baselines::zoo::build(model_name, feature_dim, snapshot_size, seed)
-    })
+    let specs = [CellSpec::zoo(model_name, kind)];
+    run_cells(&specs, cfg)
+        .pop()
+        .expect("run_cells returns one result per spec")
 }
 
 /// Metrics plus guard history from one training run of a cell.
@@ -175,7 +260,7 @@ fn run_once(
     kind: DatasetKind,
     cfg: &ExperimentConfig,
     seed: u64,
-    build: &impl Fn(usize, usize, u64) -> Box<dyn GraphClassifier>,
+    build: &(dyn Fn(usize, usize, u64) -> Box<dyn GraphClassifier> + Sync),
 ) -> (RunOutcome, Duration, Duration, usize) {
     let feature_dim = ds
         .graphs

@@ -102,6 +102,15 @@ impl InfluenceAnalysis {
         Self { sets }
     }
 
+    /// Run the sweep over many graphs on the worker pool.
+    ///
+    /// Each graph's sweep is independent and purely sequential internally,
+    /// so results are identical to calling [`Self::compute`] in a loop and
+    /// come back in input order at any `TPGNN_THREADS`.
+    pub fn compute_many(graphs: &mut [Ctdn]) -> Vec<Self> {
+        tpgnn_par::map_mut(graphs, || (), |_, _i, g| Self::compute(g))
+    }
+
     /// Nodes influential to `v`.
     pub fn set(&self, v: usize) -> &NodeSet {
         &self.sets[v]
@@ -171,6 +180,30 @@ mod tests {
         g.add_edge(9, 8, 7.0);
         g.add_edge(7, 6, 7.4);
         g
+    }
+
+    #[test]
+    fn compute_many_matches_sequential() {
+        let graphs: Vec<Ctdn> = (0..5)
+            .map(|i| {
+                let mut g = fig1_like();
+                g.add_edge(i % 10, (i + 3) % 10, 8.0 + i as f64);
+                g
+            })
+            .collect();
+        let sequential: Vec<InfluenceAnalysis> =
+            graphs.clone().iter_mut().map(InfluenceAnalysis::compute).collect();
+        for threads in [1, 4] {
+            let mut copies = graphs.clone();
+            let many = tpgnn_par::with_thread_override(threads, || {
+                InfluenceAnalysis::compute_many(&mut copies)
+            });
+            for (a, b) in sequential.iter().zip(&many) {
+                for v in 0..10 {
+                    assert_eq!(a.set(v), b.set(v), "threads={threads}, node {v}");
+                }
+            }
+        }
     }
 
     #[test]

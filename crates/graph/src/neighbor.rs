@@ -57,6 +57,15 @@ impl TemporalNeighborIndex {
         Self { events }
     }
 
+    /// Build indices for many graphs on the worker pool.
+    ///
+    /// Each build is independent, so results are identical to calling
+    /// [`Self::new`] in a loop and come back in input order at any
+    /// `TPGNN_THREADS`.
+    pub fn new_many(graphs: &mut [crate::Ctdn]) -> Vec<Self> {
+        tpgnn_par::map_mut(graphs, || (), |_, _i, g| Self::new(g))
+    }
+
     /// All interactions of `v`, chronological.
     pub fn events(&self, v: usize) -> &[NeighborEvent] {
         &self.events[v]
@@ -159,6 +168,21 @@ mod tests {
         assert_eq!(idx.last_interaction_before(1, 2.0), Some(2.0));
         assert_eq!(idx.last_interaction_before(1, 0.5), None);
         assert_eq!(idx.last_interaction_before(3, 10.0), Some(3.0));
+    }
+
+    #[test]
+    fn new_many_matches_sequential() {
+        let mut graphs: Vec<Ctdn> = (0..6).map(|_| sample()).collect();
+        let sequential: Vec<TemporalNeighborIndex> =
+            graphs.clone().iter_mut().map(TemporalNeighborIndex::new).collect();
+        let many = tpgnn_par::with_thread_override(4, || {
+            TemporalNeighborIndex::new_many(&mut graphs)
+        });
+        for (a, b) in sequential.iter().zip(&many) {
+            for v in 0..4 {
+                assert_eq!(a.events(v), b.events(v));
+            }
+        }
     }
 
     #[test]

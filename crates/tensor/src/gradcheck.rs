@@ -19,7 +19,7 @@ use crate::tensor::Tensor;
 ///
 /// # Panics
 /// Panics if any component deviates more than `tol_abs + tol_rel * |num|`.
-pub fn check_gradients(tape: &Tape, loss: Var, inputs: &[Var], tol_abs: f32, tol_rel: f32) {
+pub fn check_gradients(tape: &mut Tape, loss: Var, inputs: &[Var], tol_abs: f32, tol_rel: f32) {
     let grads = tape.backward(loss);
     for &v in inputs {
         let g = grads.wrt(v);

@@ -15,9 +15,12 @@
 //!   Spectral Clustering baseline,
 //! * [`gradcheck`] — finite-difference gradient checking for test suites.
 //!
-//! Usage protocol: build **one tape per dynamic graph**, lease parameters in
-//! with [`Tape::param`], run the forward pass, call [`Tape::backward`], flush
-//! gradients with [`Tape::flush_grads`], and step the optimizer.
+//! Usage protocol: hold **one reusable tape per model** and call
+//! [`Tape::reset`] before each dynamic graph (node and gradient buffers are
+//! recycled through an internal pool), lease parameters in with
+//! [`Tape::param`], run the forward pass, call [`Tape::backward`], flush
+//! gradients with [`Tape::flush_grads`], return them with [`Tape::absorb`],
+//! and step the optimizer.
 
 #![warn(missing_docs)]
 
@@ -35,4 +38,4 @@ pub use error::TensorError;
 pub use optim::{Adam, CheckpointError, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
 pub use tape::{Grads, Tape, Var};
-pub use tensor::Tensor;
+pub use tensor::{matmul_a_bt_into, matmul_at_b_into, matmul_into, Tensor};

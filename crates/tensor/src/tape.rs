@@ -7,9 +7,13 @@
 //!
 //! Dynamic-graph models unroll to a different compute graph per sample (one
 //! GRU step per temporal edge), so the intended usage is **one tape per
-//! graph**: lease parameters in with [`Tape::param`], build the forward pass,
-//! call `backward`, then flush parameter gradients back to the
-//! [`ParamStore`](crate::ParamStore) with [`Tape::flush_grads`].
+//! graph, one `Tape` allocation per model**: lease parameters in with
+//! [`Tape::param`], build the forward pass, call `backward`, flush parameter
+//! gradients back to the [`ParamStore`](crate::ParamStore) with
+//! [`Tape::flush_grads`], then [`Tape::absorb`] the gradient arena and
+//! [`Tape::reset`] for the next graph. Every op output and every gradient
+//! tensor is carved out of an internal buffer pool, so a warmed-up tape runs
+//! forward + backward without touching the global allocator.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -17,9 +21,10 @@ use std::time::Instant;
 use crate::error::TensorError;
 use crate::profile;
 use crate::params::{ParamId, ParamStore};
-use crate::tensor::{matmul_a_bt_into, matmul_at_b_into, Tensor};
+use crate::tensor::{matmul_a_bt_into, matmul_at_b_into, matmul_into, Tensor};
 
-/// Process-wide default for [`Tape::set_guard`], applied by [`Tape::new`].
+/// Process-wide default for [`Tape::set_guard`], applied by [`Tape::new`]
+/// and re-sampled by [`Tape::reset`].
 ///
 /// The training guardrails (`tpgnn_core::GuardConfig { scan_tapes: true }`)
 /// flip this on so that every tape built anywhere in the stack — including
@@ -173,10 +178,77 @@ struct Node {
     op: Op,
 }
 
+/// Per-bucket element budget: spares beyond ~64 MB per bucket are dropped
+/// at filing time, so buffers arriving from outside the pool (caller-built
+/// input tensors filed at reset) cannot grow the pool without bound across
+/// graphs.
+const BUCKET_CAP_ELEMS: usize = 1 << 24;
+
+/// Minimum buffer-count cap regardless of class. The floor matters for the
+/// tiny classes: event-sequential models file thousands of gate-sized
+/// buffers per pass, and a cap below the per-pass count would drop and
+/// re-allocate the excess on every single pass.
+const BUCKET_CAP_FLOOR: usize = 4096;
+
+/// How many spare buffers bucket `class` retains.
+fn bucket_cap(class: usize) -> usize {
+    BUCKET_CAP_FLOOR.max(BUCKET_CAP_ELEMS >> class)
+}
+
+/// File a retired buffer into its `floor(log2(capacity))` bucket.
+/// Zero-capacity buffers carry nothing worth keeping.
+fn file_buf(pool: &mut Vec<Vec<Vec<f32>>>, buf: Vec<f32>) {
+    let cap = buf.capacity();
+    if cap == 0 {
+        return;
+    }
+    let class = (usize::BITS - 1 - cap.leading_zeros()) as usize;
+    if pool.len() <= class {
+        pool.resize_with(class + 1, Vec::new);
+    }
+    if pool[class].len() < bucket_cap(class) {
+        pool[class].push(buf);
+    }
+}
+
+/// Pop a recycled buffer from the `ceil(log2(need))` bucket — whose every
+/// member has `capacity ≥ need` — cleared, or a fresh one.
+///
+/// Fresh allocations are class-rounded (`next_power_of_two(need)`), so
+/// once filed they land back in the bucket they are taken from: a
+/// replayed op sequence reaches a steady state where no pass allocates.
+/// An exact-capacity fresh buffer would file one class *below* its take
+/// class and never be found again.
+fn take_from(pool: &mut [Vec<Vec<f32>>], need: usize) -> Vec<f32> {
+    let rounded = need.max(1).next_power_of_two();
+    let class = rounded.trailing_zeros() as usize;
+    match pool.get_mut(class).and_then(Vec::pop) {
+        Some(mut buf) => {
+            buf.clear();
+            buf
+        }
+        None => Vec::with_capacity(rounded),
+    }
+}
+
 /// Arena of one forward pass; see the module docs for the usage protocol.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Retired value buffers, bucketed by power-of-two capacity class,
+    /// LIFO within each bucket. Every op draws its output buffer from
+    /// here, and [`Tape::reset`]/[`Tape::absorb`] return buffers, so a
+    /// warmed-up tape is allocation-free per graph.
+    ///
+    /// Buffers are filed by `floor(log2(capacity))` and taken by
+    /// `ceil(log2(need))`, so a popped buffer always has `capacity ≥
+    /// need`: reuse never reallocates, and capacities never ratchet (an
+    /// un-bucketed LIFO hands each buffer to a different-sized node every
+    /// pass and grows toward `num_nodes × max_node_len` floats). LIFO
+    /// within the bucket keeps the most recently touched — cache-hottest —
+    /// memory in circulation; a plain FIFO queue serves the coldest buffer
+    /// on every op and costs 2–6× on the larger models.
+    pool: Vec<Vec<Vec<f32>>>,
     /// When set, every recorded value is scanned for NaN/Inf as it is
     /// pushed, and the first offender is remembered in `non_finite`.
     guard: bool,
@@ -188,6 +260,7 @@ impl Tape {
     pub fn new() -> Self {
         Self {
             nodes: Vec::with_capacity(256),
+            pool: Vec::new(),
             guard: DEFAULT_GUARD.load(Ordering::Relaxed),
             non_finite: None,
         }
@@ -235,10 +308,38 @@ impl Tape {
         Ok(())
     }
 
-    /// Clears all recorded nodes, keeping the allocation.
+    /// Return the tape to the state of a fresh [`Tape::new`] — including
+    /// re-sampling the process-wide default guard — while keeping the node
+    /// arena and every recorded value buffer for reuse.
+    ///
+    /// Re-sampling the guard matters for tapes owned by long-lived models:
+    /// a guarded training scope (`GuardConfig::scan_tapes`) that begins
+    /// *after* the model was built still takes effect at the next reset.
     pub fn reset(&mut self) {
-        self.nodes.clear();
+        let pool = &mut self.pool;
+        for node in self.nodes.drain(..) {
+            file_buf(pool, node.value.into_vec());
+        }
         self.non_finite = None;
+        self.guard = DEFAULT_GUARD.load(Ordering::Relaxed);
+    }
+
+    /// Recycle the gradient arena of a finished backward pass so the next
+    /// forward/backward on this tape reuses its buffers.
+    pub fn absorb(&mut self, grads: Grads) {
+        for t in grads.grads {
+            file_buf(&mut self.pool, t.into_vec());
+        }
+    }
+
+    /// Number of retired buffers currently available for reuse.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.iter().map(Vec::len).sum()
+    }
+
+    /// Pop a recycled buffer with `capacity ≥ need` (cleared) or a fresh one.
+    fn take_buf(&mut self, need: usize) -> Vec<f32> {
+        take_from(&mut self.pool, need)
     }
 
     /// Number of recorded nodes.
@@ -269,6 +370,32 @@ impl Tape {
         Var { idx, rows, cols }
     }
 
+    /// Record `f` applied elementwise to `a` — the shared unary-op path,
+    /// writing into a pooled buffer in data order (bitwise-identical to
+    /// `Tensor::map`).
+    fn map_op(&mut self, a: Var, op: Op, f: impl Fn(f32) -> f32) -> Var {
+        let t0 = profile::op_start();
+        let mut buf = self.take_buf(a.rows * a.cols);
+        buf.extend(self.nodes[a.idx].value.data().iter().map(|&x| f(x)));
+        let v = Tensor::from_vec(a.rows, a.cols, buf);
+        self.push(v, op, t0)
+    }
+
+    /// Record `f` combined elementwise over `a` and `b` — the shared
+    /// binary-op path (bitwise-identical to `Tensor::zip_map`).
+    fn zip_op(&mut self, a: Var, b: Var, op: Op, f: impl Fn(f32, f32) -> f32) -> Var {
+        let t0 = profile::op_start();
+        assert_eq!(a.shape(), b.shape(), "{} shape mismatch", op.name());
+        let mut buf = self.take_buf(a.rows * a.cols);
+        {
+            let av = self.nodes[a.idx].value.data();
+            let bv = self.nodes[b.idx].value.data();
+            buf.extend(av.iter().zip(bv).map(|(&x, &y)| f(x, y)));
+        }
+        let v = Tensor::from_vec(a.rows, a.cols, buf);
+        self.push(v, op, t0)
+    }
+
     /// Record a constant input (no gradient is propagated out of it).
     pub fn input(&mut self, value: Tensor) -> Var {
         let t0 = profile::op_start();
@@ -277,7 +404,10 @@ impl Tape {
 
     /// Record a scalar constant as a `1 × 1` input.
     pub fn scalar_input(&mut self, value: f32) -> Var {
-        self.input(Tensor::scalar(value))
+        let t0 = profile::op_start();
+        let mut buf = self.take_buf(1);
+        buf.push(value);
+        self.push(Tensor::from_vec(1, 1, buf), Op::Leaf, t0)
     }
 
     /// Lease parameter `id` from `store` onto the tape.
@@ -286,35 +416,44 @@ impl Tape {
     /// [`Tape::flush_grads`] to accumulate its gradient back into the store.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
         let t0 = profile::op_start();
-        self.push(store.value(id).clone(), Op::Param(id), t0)
+        let src = store.value(id);
+        let (rows, cols) = src.shape();
+        let mut buf = self.take_buf(rows * cols);
+        buf.extend_from_slice(src.data());
+        self.push(Tensor::from_vec(rows, cols, buf), Op::Param(id), t0)
     }
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.matmul(&self.nodes[b.idx].value);
+        assert_eq!(
+            a.cols, b.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            a.rows, a.cols, b.rows, b.cols
+        );
+        let mut buf = self.take_buf(a.rows * b.cols);
+        buf.resize(a.rows * b.cols, 0.0);
+        let mut v = Tensor::from_vec(a.rows, b.cols, buf);
+        // The buffer is pre-zeroed, so accumulate=true skips the kernel's
+        // own zeroing pass; the accumulation order is that of the
+        // sequential kernel either way.
+        matmul_into(&self.nodes[a.idx].value, &self.nodes[b.idx].value, &mut v, true);
         self.push(v, Op::MatMul(a.idx, b.idx), t0)
     }
 
     /// Elementwise sum.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.add(&self.nodes[b.idx].value);
-        self.push(v, Op::Add(a.idx, b.idx), t0)
+        self.zip_op(a, b, Op::Add(a.idx, b.idx), |x, y| x + y)
     }
 
     /// Elementwise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.sub(&self.nodes[b.idx].value);
-        self.push(v, Op::Sub(a.idx, b.idx), t0)
+        self.zip_op(a, b, Op::Sub(a.idx, b.idx), |x, y| x - y)
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.hadamard(&self.nodes[b.idx].value);
-        self.push(v, Op::Mul(a.idx, b.idx), t0)
+        self.zip_op(a, b, Op::Mul(a.idx, b.idx), |x, y| x * y)
     }
 
     /// Broadcast addition of a `1 × c` row vector to every row of an `r × c` matrix.
@@ -322,15 +461,15 @@ impl Tape {
         let t0 = profile::op_start();
         assert_eq!(row.rows, 1, "add_row expects a 1-row broadcast operand");
         assert_eq!(a.cols, row.cols, "add_row width mismatch");
-        let rv = &self.nodes[row.idx].value;
-        let av = &self.nodes[a.idx].value;
-        let mut v = av.clone();
-        for i in 0..v.rows() {
-            let r = v.row_mut(i);
-            for (x, &b) in r.iter_mut().zip(rv.data()) {
-                *x += b;
+        let mut buf = self.take_buf(a.rows * a.cols);
+        {
+            let av = &self.nodes[a.idx].value;
+            let rv = self.nodes[row.idx].value.data();
+            for i in 0..a.rows {
+                buf.extend(av.row(i).iter().zip(rv).map(|(&x, &b)| x + b));
             }
         }
+        let v = Tensor::from_vec(a.rows, a.cols, buf);
         self.push(v, Op::AddRow(a.idx, row.idx), t0)
     }
 
@@ -342,85 +481,73 @@ impl Tape {
 
     /// Multiply by a compile-time-known scalar.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.scale(s);
-        self.push(v, Op::Scale(a.idx, s), t0)
+        self.map_op(a, Op::Scale(a.idx, s), |x| x * s)
     }
 
     /// Add a compile-time-known scalar to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(|x| x + s);
-        self.push(v, Op::AddScalar(a.idx), t0)
+        self.map_op(a, Op::AddScalar(a.idx), |x| x + s)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a.idx), t0)
+        self.map_op(a, Op::Sigmoid(a.idx), |x| 1.0 / (1.0 + (-x).exp()))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(f32::tanh);
-        self.push(v, Op::Tanh(a.idx), t0)
+        self.map_op(a, Op::Tanh(a.idx), f32::tanh)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a.idx), t0)
+        self.map_op(a, Op::Relu(a.idx), |x| x.max(0.0))
     }
 
     /// Leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(|x| if x >= 0.0 { x } else { slope * x });
-        self.push(v, Op::LeakyRelu(a.idx, slope), t0)
+        self.map_op(a, Op::LeakyRelu(a.idx, slope), |x| if x >= 0.0 { x } else { slope * x })
     }
 
     /// Elementwise sine (used by Time2Vec, eq. 2 of the paper).
     pub fn sin(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(f32::sin);
-        self.push(v, Op::Sin(a.idx), t0)
+        self.map_op(a, Op::Sin(a.idx), f32::sin)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(f32::exp);
-        self.push(v, Op::Exp(a.idx), t0)
+        self.map_op(a, Op::Exp(a.idx), f32::exp)
     }
 
     /// Elementwise natural logarithm.
     pub fn ln(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(f32::ln);
-        self.push(v, Op::Ln(a.idx), t0)
+        self.map_op(a, Op::Ln(a.idx), f32::ln)
     }
 
     /// Elementwise absolute value (Weighted-L1 edge aggregation).
     pub fn abs(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(f32::abs);
-        self.push(v, Op::Abs(a.idx), t0)
+        self.map_op(a, Op::Abs(a.idx), f32::abs)
     }
 
     /// `1 - x`, the complement used by GRU update gates (eq. 10).
     pub fn one_minus(&mut self, a: Var) -> Var {
-        let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.map(|x| 1.0 - x);
-        self.push(v, Op::OneMinus(a.idx), t0)
+        self.map_op(a, Op::OneMinus(a.idx), |x| 1.0 - x)
     }
 
     /// Concatenate along columns (`⊕` in the paper).
     pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
         let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.concat_cols(&self.nodes[b.idx].value);
+        assert_eq!(a.rows, b.rows, "concat_cols row mismatch");
+        let mut buf = self.take_buf(a.rows * (a.cols + b.cols));
+        {
+            let av = &self.nodes[a.idx].value;
+            let bv = &self.nodes[b.idx].value;
+            for i in 0..a.rows {
+                buf.extend_from_slice(av.row(i));
+                buf.extend_from_slice(bv.row(i));
+            }
+        }
+        let v = Tensor::from_vec(a.rows, a.cols + b.cols, buf);
         self.push(v, Op::ConcatCols(a.idx, b.idx), t0)
     }
 
@@ -428,11 +555,14 @@ impl Tape {
     pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
         let t0 = profile::op_start();
         assert!(start + len <= a.cols, "slice_cols out of bounds");
-        let av = &self.nodes[a.idx].value;
-        let mut v = Tensor::zeros(a.rows, len);
-        for i in 0..a.rows {
-            v.row_mut(i).copy_from_slice(&av.row(i)[start..start + len]);
+        let mut buf = self.take_buf(a.rows * len);
+        {
+            let av = &self.nodes[a.idx].value;
+            for i in 0..a.rows {
+                buf.extend_from_slice(&av.row(i)[start..start + len]);
+            }
         }
+        let v = Tensor::from_vec(a.rows, len, buf);
         self.push(v, Op::SliceCols(a.idx, start, len), t0)
     }
 
@@ -440,11 +570,14 @@ impl Tape {
     pub fn slice_rows(&mut self, a: Var, start: usize, len: usize) -> Var {
         let t0 = profile::op_start();
         assert!(start + len <= a.rows, "slice_rows out of bounds");
-        let av = &self.nodes[a.idx].value;
-        let mut v = Tensor::zeros(len, a.cols);
-        for i in 0..len {
-            v.row_mut(i).copy_from_slice(av.row(start + i));
+        let mut buf = self.take_buf(len * a.cols);
+        {
+            let av = &self.nodes[a.idx].value;
+            for i in 0..len {
+                buf.extend_from_slice(av.row(start + i));
+            }
         }
+        let v = Tensor::from_vec(len, a.cols, buf);
         self.push(v, Op::SliceRows(a.idx, start, len), t0)
     }
 
@@ -456,55 +589,94 @@ impl Tape {
     /// Mean over rows, producing a `1 × c` row (the *Mean* graph pooling of Sec. V-D).
     pub fn mean_rows(&mut self, a: Var) -> Var {
         let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.mean_rows();
+        let mut buf = self.take_buf(a.cols);
+        buf.resize(a.cols, 0.0);
+        {
+            let av = &self.nodes[a.idx].value;
+            for i in 0..a.rows {
+                for (o, &x) in buf.iter_mut().zip(av.row(i)) {
+                    *o += x;
+                }
+            }
+            if a.rows > 0 {
+                let inv = 1.0 / a.rows as f32;
+                buf.iter_mut().for_each(|x| *x *= inv);
+            }
+        }
+        let v = Tensor::from_vec(1, a.cols, buf);
         self.push(v, Op::MeanRows(a.idx), t0)
     }
 
     /// Sum over rows, producing a `1 × c` row.
     pub fn sum_rows(&mut self, a: Var) -> Var {
         let t0 = profile::op_start();
-        let av = &self.nodes[a.idx].value;
-        let mut v = Tensor::zeros(1, a.cols);
-        for i in 0..a.rows {
-            for (o, &x) in v.row_mut(0).iter_mut().zip(av.row(i)) {
-                *o += x;
+        let mut buf = self.take_buf(a.cols);
+        buf.resize(a.cols, 0.0);
+        {
+            let av = &self.nodes[a.idx].value;
+            for i in 0..a.rows {
+                for (o, &x) in buf.iter_mut().zip(av.row(i)) {
+                    *o += x;
+                }
             }
         }
+        let v = Tensor::from_vec(1, a.cols, buf);
         self.push(v, Op::SumRows(a.idx), t0)
     }
 
     /// Mean over all elements, producing `1 × 1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let t0 = profile::op_start();
-        let v = Tensor::scalar(self.nodes[a.idx].value.mean());
-        self.push(v, Op::MeanAll(a.idx), t0)
+        let mean = self.nodes[a.idx].value.mean();
+        let mut buf = self.take_buf(1);
+        buf.push(mean);
+        self.push(Tensor::from_vec(1, 1, buf), Op::MeanAll(a.idx), t0)
     }
 
     /// Stack `1 × c` rows into an `n × c` matrix.
     pub fn stack_rows(&mut self, rows: &[Var]) -> Var {
         let t0 = profile::op_start();
         assert!(!rows.is_empty(), "stack_rows requires at least one row");
-        let tensors: Vec<Tensor> = rows.iter().map(|r| self.nodes[r.idx].value.clone()).collect();
-        let v = Tensor::stack_rows(&tensors);
+        let cols = rows[0].cols;
+        let mut buf = self.take_buf(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.rows, 1, "stack_rows entries must be row vectors");
+            assert_eq!(r.cols, cols, "stack_rows width mismatch");
+            buf.extend_from_slice(self.nodes[r.idx].value.data());
+        }
+        let v = Tensor::from_vec(rows.len(), cols, buf);
         self.push(v, Op::StackRows(rows.iter().map(|r| r.idx).collect()), t0)
     }
 
     /// Softmax over **all** elements of `a` (attention score vectors).
     pub fn softmax(&mut self, a: Var) -> Var {
         let t0 = profile::op_start();
-        let av = &self.nodes[a.idx].value;
-        let max = av.data().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-        let mut v = av.map(|x| (x - max).exp());
-        let sum: f32 = v.data().iter().sum();
-        let inv = 1.0 / sum;
-        v.data_mut().iter_mut().for_each(|x| *x *= inv);
+        let mut buf = self.take_buf(a.rows * a.cols);
+        {
+            let av = self.nodes[a.idx].value.data();
+            let max = av.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            buf.extend(av.iter().map(|&x| (x - max).exp()));
+            let sum: f32 = buf.iter().sum();
+            let inv = 1.0 / sum;
+            buf.iter_mut().for_each(|x| *x *= inv);
+        }
+        let v = Tensor::from_vec(a.rows, a.cols, buf);
         self.push(v, Op::Softmax(a.idx), t0)
     }
 
     /// Transposed copy.
     pub fn transpose(&mut self, a: Var) -> Var {
         let t0 = profile::op_start();
-        let v = self.nodes[a.idx].value.transpose();
+        let mut buf = self.take_buf(a.rows * a.cols);
+        {
+            let av = self.nodes[a.idx].value.data();
+            for j in 0..a.cols {
+                for i in 0..a.rows {
+                    buf.push(av[i * a.cols + j]);
+                }
+            }
+        }
+        let v = Tensor::from_vec(a.cols, a.rows, buf);
         self.push(v, Op::Transpose(a.idx), t0)
     }
 
@@ -517,7 +689,9 @@ impl Tape {
         let z = self.nodes[logit.idx].value.item();
         // max(z,0) - z*y + ln(1 + e^{-|z|})
         let loss = z.max(0.0) - z * target + (1.0 + (-z.abs()).exp()).ln();
-        self.push(Tensor::scalar(loss), Op::BceWithLogits(logit.idx, target), t0)
+        let mut buf = self.take_buf(1);
+        buf.push(loss);
+        self.push(Tensor::from_vec(1, 1, buf), Op::BceWithLogits(logit.idx, target), t0)
     }
 
     /// Mean of two vars, `(a + b) / 2` — the *Average* EdgeAgg of Sec. IV-C.
@@ -530,14 +704,22 @@ impl Tape {
     ///
     /// Returns the gradient arena so callers can inspect input gradients via
     /// [`Grads::wrt`]. Parameter gradients are pulled from the same arena by
-    /// [`Tape::flush_grads`].
-    pub fn backward(&self, loss: Var) -> Grads {
+    /// [`Tape::flush_grads`]. Takes `&mut self` so the arena's zeroed
+    /// tensors come from the buffer pool; hand the spent arena back with
+    /// [`Tape::absorb`].
+    pub fn backward(&mut self, loss: Var) -> Grads {
         assert_eq!(loss.shape(), (1, 1), "backward expects a scalar loss");
+        let mut pool = std::mem::take(&mut self.pool);
         let mut grads: Vec<Tensor> = self
             .nodes
             .iter()
-            .map(|n| Tensor::zeros(n.value.rows(), n.value.cols()))
+            .map(|n| {
+                let mut buf = take_from(&mut pool, n.value.len());
+                buf.resize(n.value.len(), 0.0);
+                Tensor::from_vec(n.value.rows(), n.value.cols(), buf)
+            })
             .collect();
+        self.pool = pool;
         grads[loss.idx].set(0, 0, 1.0);
 
         for i in (0..=loss.idx).rev() {
@@ -825,7 +1007,7 @@ mod tests {
         let a = tape.input(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
         let p = tape.matmul(a, a);
         let loss = tape.mean_all(p);
-        check_gradients(&tape, loss, &[a], 1e-2, 2e-2);
+        check_gradients(&mut tape, loss, &[a], 1e-2, 2e-2);
     }
 
     #[test]
@@ -968,5 +1150,54 @@ mod tests {
         assert!(tape.is_empty());
         let _ = tape.input(Tensor::zeros(1, 1));
         assert_eq!(tape.len(), 1);
+    }
+
+    /// Builds a small forward pass and returns its loss value and gradient.
+    fn forward_backward(tape: &mut Tape) -> (f32, Vec<f32>) {
+        let a = tape.input(Tensor::from_vec(2, 3, vec![0.3, -1.2, 2.0, 0.7, 0.0, -0.4]));
+        let b = tape.input(Tensor::from_vec(3, 2, vec![1.0, -0.5, 0.25, 2.0, -1.5, 0.8]));
+        let p = tape.matmul(a, b);
+        let h = tape.tanh(p);
+        let pooled = tape.mean_rows(h);
+        let loss = tape.mean_all(pooled);
+        let grads = tape.backward(loss);
+        let ga = grads.wrt(a).data().to_vec();
+        let lv = tape.value(loss).item();
+        tape.absorb(grads);
+        (lv, ga)
+    }
+
+    #[test]
+    fn reused_tape_is_bitwise_identical_to_fresh() {
+        let mut fresh = Tape::new();
+        let (loss0, grad0) = forward_backward(&mut fresh);
+
+        let mut reused = Tape::new();
+        let _ = forward_backward(&mut reused);
+        reused.reset();
+        let (loss1, grad1) = forward_backward(&mut reused);
+
+        assert_eq!(loss0.to_bits(), loss1.to_bits());
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&grad0), bits(&grad1));
+    }
+
+    #[test]
+    fn reset_and_absorb_recycle_buffers() {
+        let mut tape = Tape::new();
+        assert_eq!(tape.pooled_buffers(), 0);
+        let (_, _) = forward_backward(&mut tape);
+        // absorb() inside forward_backward returned the gradient arena.
+        let after_absorb = tape.pooled_buffers();
+        assert!(after_absorb > 0, "absorbed gradients must land in the pool");
+        tape.reset();
+        let after_reset = tape.pooled_buffers();
+        assert!(after_reset > after_absorb, "reset must recycle node values");
+        // A second pass draws from the pool instead of growing it.
+        let (_, _) = forward_backward(&mut tape);
+        assert!(
+            tape.pooled_buffers() <= after_reset,
+            "warmed-up pass must reuse pooled buffers"
+        );
     }
 }

@@ -21,6 +21,14 @@ echo "== cargo test -q (offline) =="
 cargo test -q --workspace --offline
 
 echo
+echo "== cross-thread-count determinism (TPGNN_THREADS=1 vs 4) =="
+# The parallel execution layer guarantees bitwise-identical results at any
+# pool width; run the determinism suite under both a forced-sequential and
+# a 4-wide pool so a violation fails CI on any machine.
+TPGNN_THREADS=1 cargo test -q --offline --test determinism
+TPGNN_THREADS=4 cargo test -q --offline --test determinism
+
+echo
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

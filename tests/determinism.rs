@@ -96,6 +96,83 @@ fn mid_training_checkpoint_resumes_bitwise_identically() {
     }
 }
 
+/// The parallel execution layer must not change a single bit: training
+/// losses under `TPGNN_THREADS=1` (pure sequential, no worker threads) and
+/// under a 4-wide pool must be identical. Parallel prediction fans out per
+/// graph and the matmul kernels split by output row, but every per-element
+/// accumulation order is unchanged — this test pins that contract.
+#[test]
+fn training_losses_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        tpgnn_par::with_thread_override(threads, || {
+            let train = forum_java_corpus(2024, 8);
+            let mut model = TpGnn::new(TpGnnConfig::gru(3).with_seed(11));
+            tpgnn_core::train(
+                &mut model,
+                &train,
+                &TrainConfig { epochs: 3, shuffle_ties: true, seed: 11 },
+            )
+            .epoch_losses
+        })
+    };
+    let seq = run(1);
+    let par = run(4);
+    for (epoch, (x, y)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "epoch {epoch}: loss differs between 1 and 4 threads ({x} vs {y}) — \
+             a parallel path changed an accumulation order"
+        );
+    }
+}
+
+/// A full eval-grid cell (dataset generation → guarded training → parallel
+/// test-set inference → metric aggregation) must also be bitwise-identical
+/// across thread counts, including when several cells share the pool.
+#[test]
+fn eval_cell_metrics_identical_across_thread_counts() {
+    use tpgnn_data::DatasetKind;
+    use tpgnn_eval::{run_cells, CellSpec, ExperimentConfig};
+
+    let cfg = ExperimentConfig {
+        num_graphs: 16,
+        runs: 2,
+        epochs: 1,
+        train_frac: 0.5,
+        learning_rate: 3e-3,
+        base_seed: 3,
+    };
+    let run = |threads: usize| {
+        tpgnn_par::with_thread_override(threads, || {
+            let specs = [
+                CellSpec::zoo("TP-GNN-SUM", DatasetKind::Hdfs),
+                CellSpec::zoo("GCN", DatasetKind::Hdfs),
+            ];
+            run_cells(&specs, &cfg)
+        })
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(&par) {
+        assert_eq!(a.model, b.model);
+        for (label, x, y) in [
+            ("f1.mean", a.f1.mean, b.f1.mean),
+            ("f1.std", a.f1.std, b.f1.std),
+            ("precision.mean", a.precision.mean, b.precision.mean),
+            ("recall.mean", a.recall.mean, b.recall.mean),
+        ] {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{}: {label} differs between 1 and 4 threads ({x} vs {y})",
+                a.model
+            );
+        }
+    }
+}
+
 /// Different training seeds must actually change the trajectory —
 /// otherwise the test above passes vacuously (e.g. if seeding were
 /// ignored and everything ran from a fixed state).
