@@ -100,13 +100,13 @@ mod tests {
         let mut model = AddGraph::new(3, 5, 1);
         let feats = NodeFeatures::zeros(4, 3);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
-        g1.add_edge(2, 3, 3.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
+        g1.try_add_edge(2, 3, 3.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(1, 2, 2.0);
-        g2.add_edge(0, 1, 3.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(1, 2, 2.0).unwrap();
+        g2.try_add_edge(0, 1, 3.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() < 1e-6, "within-snapshot order must be invisible");
     }
@@ -119,11 +119,11 @@ mod tests {
         feats.row_mut(3).copy_from_slice(&[0.2, 0.8, 0.3]);
         let mut g1 = Ctdn::new(feats.clone());
         for (i, (s, d)) in [(0, 1), (1, 2), (2, 3), (3, 4)].iter().enumerate() {
-            g1.add_edge(*s, *d, (i + 1) as f64);
+            g1.try_add_edge(*s, *d, (i + 1) as f64).unwrap();
         }
         let mut g2 = Ctdn::new(feats);
         for (i, (s, d)) in [(2, 3), (3, 4), (0, 1), (1, 2)].iter().enumerate() {
-            g2.add_edge(*s, *d, (i + 1) as f64);
+            g2.try_add_edge(*s, *d, (i + 1) as f64).unwrap();
         }
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-7, "cross-snapshot order should matter");

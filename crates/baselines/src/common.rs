@@ -145,14 +145,14 @@ pub mod testkit {
         if negative {
             // Reversed information flow + a cross edge.
             for i in (1..n).rev() {
-                g.add_edge(i, i - 1, (n - i) as f64);
+                g.try_add_edge(i, i - 1, (n - i) as f64).unwrap();
             }
-            g.add_edge(0, n - 1, n as f64);
+            g.try_add_edge(0, n - 1, n as f64).unwrap();
         } else {
             for i in 0..n - 1 {
-                g.add_edge(i, i + 1, (i + 1) as f64);
+                g.try_add_edge(i, i + 1, (i + 1) as f64).unwrap();
             }
-            g.add_edge(0, n - 1, n as f64);
+            g.try_add_edge(0, n - 1, n as f64).unwrap();
         }
         g
     }

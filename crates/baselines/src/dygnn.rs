@@ -148,13 +148,13 @@ mod tests {
         let mut feats = NodeFeatures::zeros(4, 3);
         feats.row_mut(0).copy_from_slice(&[0.7, 0.2, 0.1]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
-        g1.add_edge(2, 3, 3.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
+        g1.try_add_edge(2, 3, 3.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(1, 2, 2.0);
-        g2.add_edge(0, 1, 3.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(1, 2, 2.0).unwrap();
+        g2.try_add_edge(0, 1, 3.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8, "DyGNN streams interactions in order");
     }
@@ -168,10 +168,10 @@ mod tests {
         let core = DyGnnCore::build(&mut store, "d", 3, &mut rng);
         let feats = NodeFeatures::zeros(3, 3);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(0, 1, 1.0);
+        g2.try_add_edge(0, 1, 1.0).unwrap();
         // No second interaction in g2.
         let mut tape = Tape::new();
         let h1 = core.node_embeddings(&mut tape, &store, &mut g1);

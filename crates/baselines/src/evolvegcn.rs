@@ -87,7 +87,7 @@ mod tests {
         let mut model = EvolveGcn::new(3, 2, 1);
         let mut g = Ctdn::new(NodeFeatures::zeros(5, 3));
         for i in 0..4 {
-            g.add_edge(i, i + 1, (i + 1) as f64);
+            g.try_add_edge(i, i + 1, (i + 1) as f64).unwrap();
         }
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
@@ -106,11 +106,11 @@ mod tests {
         feats.row_mut(2).copy_from_slice(&[0.1, 0.8, 0.3]);
         feats.row_mut(3).copy_from_slice(&[-0.5, 0.4, 0.9]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(2, 3, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(2, 3, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(0, 1, 2.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 2.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8, "snapshot order should evolve different weights");
     }

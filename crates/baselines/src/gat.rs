@@ -85,7 +85,7 @@ mod tests {
     fn handles_isolated_nodes_via_self_attention() {
         let mut model = Gat::new(3, 1);
         let mut g = Ctdn::new(NodeFeatures::zeros(3, 3));
-        g.add_edge(0, 1, 1.0); // node 2 isolated
+        g.try_add_edge(0, 1, 1.0).unwrap(); // node 2 isolated
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
     }
@@ -96,11 +96,11 @@ mod tests {
         let mut feats = NodeFeatures::zeros(3, 3);
         feats.row_mut(2).copy_from_slice(&[0.9, 0.1, 0.4]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(1, 2, 3.0);
-        g2.add_edge(0, 1, 8.0);
+        g2.try_add_edge(1, 2, 3.0).unwrap();
+        g2.try_add_edge(0, 1, 8.0).unwrap();
         assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() < 1e-6);
     }
 

@@ -69,9 +69,9 @@ mod tests {
     fn forward_probability_in_range() {
         let mut model = GcLstm::new(3, 2, 1);
         let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
-        g.add_edge(2, 3, 3.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
+        g.try_add_edge(2, 3, 3.0).unwrap();
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
     }
@@ -87,11 +87,11 @@ mod tests {
         feats.row_mut(2).copy_from_slice(&[-0.4, 0.7, 0.2]);
         feats.row_mut(3).copy_from_slice(&[0.2, 0.9, 0.1]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(2, 3, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(2, 3, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(0, 1, 2.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 2.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8);
     }
@@ -101,11 +101,11 @@ mod tests {
         let mut model = GcLstm::new(3, 5, 3);
         let feats = NodeFeatures::zeros(4, 3);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(1, 2, 1.0);
-        g2.add_edge(0, 1, 2.0);
+        g2.try_add_edge(1, 2, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 2.0).unwrap();
         assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() < 1e-6);
     }
 

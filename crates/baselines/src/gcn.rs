@@ -68,8 +68,8 @@ mod tests {
     fn forward_shape_and_range() {
         let mut model = Gcn::new(3, 1);
         let mut g = Ctdn::new(NodeFeatures::zeros(5, 3));
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
     }
@@ -82,11 +82,11 @@ mod tests {
         let mut feats = NodeFeatures::zeros(4, 3);
         feats.row_mut(1).copy_from_slice(&[0.3, 0.6, 0.9]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(2, 3, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(2, 3, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(0, 1, 9.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 9.0).unwrap();
         assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() < 1e-6);
     }
 
@@ -98,9 +98,9 @@ mod tests {
         let mut f2 = NodeFeatures::zeros(3, 3);
         f2.row_mut(0).copy_from_slice(&[0.0, 1.0, 0.0]);
         let mut g1 = Ctdn::new(f1);
-        g1.add_edge(0, 1, 1.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
         let mut g2 = Ctdn::new(f2);
-        g2.add_edge(0, 1, 1.0);
+        g2.try_add_edge(0, 1, 1.0).unwrap();
         assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() > 1e-7);
     }
 

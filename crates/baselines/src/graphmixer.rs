@@ -192,11 +192,11 @@ mod tests {
         let mut model = GraphMixer::new(3, 1);
         let feats = NodeFeatures::zeros(3, 3);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(2, 1, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(2, 1, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(0, 1, 1.0);
-        g2.add_edge(2, 1, 40.0);
+        g2.try_add_edge(0, 1, 1.0).unwrap();
+        g2.try_add_edge(2, 1, 40.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8);
     }
@@ -205,7 +205,7 @@ mod tests {
     fn handles_nodes_with_no_links() {
         let mut model = GraphMixer::new(3, 2);
         let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
-        g.add_edge(0, 1, 1.0); // nodes 2, 3 isolated
+        g.try_add_edge(0, 1, 1.0).unwrap(); // nodes 2, 3 isolated
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
     }

@@ -85,8 +85,8 @@ mod tests {
     #[test]
     fn mean_operator_rows_sum_to_one_or_zero() {
         let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(0, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(0, 2, 2.0).unwrap();
         let m = GraphSage::mean_operator(&g);
         let row0: f32 = m.row(0).iter().sum();
         assert!((row0 - 1.0).abs() < 1e-6);
@@ -99,11 +99,11 @@ mod tests {
         let mut model = GraphSage::new(3, 1);
         let feats = NodeFeatures::zeros(3, 3);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(1, 2, 5.0);
-        g2.add_edge(0, 1, 6.0);
+        g2.try_add_edge(1, 2, 5.0).unwrap();
+        g2.try_add_edge(0, 1, 6.0).unwrap();
         assert!((model.predict_proba(&mut g1) - model.predict_proba(&mut g2)).abs() < 1e-6);
     }
 

@@ -95,8 +95,8 @@ mod tests {
     fn spectrum_is_cached_and_padded() {
         let mut model = SpectralClustering::new(1);
         let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         let s1 = model.spectrum(&g);
         assert_eq!(s1.shape(), (1, HIDDEN));
         assert_eq!(model.cache.len(), 1);
@@ -111,11 +111,11 @@ mod tests {
         let mut feats = NodeFeatures::zeros(4, 3);
         feats.row_mut(0).copy_from_slice(&[1.0, 1.0, 1.0]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(1, 2, 1.0); // same static edges, different times/order
-        g2.add_edge(0, 1, 7.0);
+        g2.try_add_edge(1, 2, 1.0).unwrap(); // same static edges, different times/order
+        g2.try_add_edge(0, 1, 7.0).unwrap();
         assert_eq!(
             model.predict_proba(&mut g1),
             model.predict_proba(&mut g2),

@@ -92,8 +92,8 @@ mod tests {
     fn forward_runs_on_single_snapshot() {
         let mut model = Taddy::new(3, 10, 1);
         let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
     }
@@ -107,11 +107,11 @@ mod tests {
         feats.row_mut(0).copy_from_slice(&[0.9, 0.1, 0.4]);
         feats.row_mut(2).copy_from_slice(&[0.2, 0.8, 0.3]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(2, 3, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(2, 3, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(0, 1, 2.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 2.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-7);
     }

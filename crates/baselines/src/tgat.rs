@@ -137,8 +137,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let core = TgatCore::build(&mut store, "t", 3, &mut rng);
         let mut g = Ctdn::new(NodeFeatures::zeros(4, 3));
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         let mut tape = Tape::new();
         let h = core.node_embeddings(&mut tape, &store, &mut g);
         assert_eq!(h.len(), 4);
@@ -153,11 +153,11 @@ mod tests {
         let mut model = Tgat::new(3, 2);
         let feats = NodeFeatures::zeros(3, 3);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(2, 1, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(2, 1, 2.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(0, 1, 1.0);
-        g2.add_edge(2, 1, 50.0);
+        g2.try_add_edge(0, 1, 1.0).unwrap();
+        g2.try_add_edge(2, 1, 50.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8, "TGAT must be sensitive to interaction times");
     }
@@ -172,10 +172,10 @@ mod tests {
         let build = |early_src: usize| {
             let mut g = Ctdn::new(feats.clone());
             // Node 9's early interaction differs between the two graphs...
-            g.add_edge(early_src, 9, 1.0);
+            g.try_add_edge(early_src, 9, 1.0).unwrap();
             // ...but is pushed out of the recent-K window by later edges.
             for i in 0..NUM_NEIGHBORS {
-                g.add_edge(i, 9, (i + 2) as f64);
+                g.try_add_edge(i, 9, (i + 2) as f64).unwrap();
             }
             g
         };

@@ -145,13 +145,13 @@ mod tests {
     fn memory_is_order_sensitive() {
         let mut model = Tgn::new(3, 1);
         let mut g1 = Ctdn::new(zero_feats(4));
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(1, 2, 2.0);
-        g1.add_edge(2, 3, 3.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(1, 2, 2.0).unwrap();
+        g1.try_add_edge(2, 3, 3.0).unwrap();
         let mut g2 = Ctdn::new(zero_feats(4));
-        g2.add_edge(2, 3, 1.0);
-        g2.add_edge(1, 2, 2.0);
-        g2.add_edge(0, 1, 3.0);
+        g2.try_add_edge(2, 3, 1.0).unwrap();
+        g2.try_add_edge(1, 2, 2.0).unwrap();
+        g2.try_add_edge(0, 1, 3.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8, "TGN memory depends on interaction order");
     }
@@ -160,7 +160,7 @@ mod tests {
     fn isolated_nodes_fall_back_to_memory_skip() {
         let mut model = Tgn::new(3, 2);
         let mut g = Ctdn::new(zero_feats(3));
-        g.add_edge(0, 1, 1.0); // node 2 never interacts
+        g.try_add_edge(0, 1, 1.0).unwrap(); // node 2 never interacts
         let p = model.predict_proba(&mut g);
         assert!((0.0..=1.0).contains(&p));
     }
@@ -169,11 +169,11 @@ mod tests {
     fn time_gaps_enter_messages() {
         let mut model = Tgn::new(3, 3);
         let mut g1 = Ctdn::new(zero_feats(2));
-        g1.add_edge(0, 1, 1.0);
-        g1.add_edge(0, 1, 2.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
+        g1.try_add_edge(0, 1, 2.0).unwrap();
         let mut g2 = Ctdn::new(zero_feats(2));
-        g2.add_edge(0, 1, 1.0);
-        g2.add_edge(0, 1, 80.0);
+        g2.try_add_edge(0, 1, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 80.0).unwrap();
         let (p1, p2) = (model.predict_proba(&mut g1), model.predict_proba(&mut g2));
         assert!((p1 - p2).abs() > 1e-8, "Δt must flow into the memory updater");
     }

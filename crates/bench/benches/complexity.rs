@@ -24,7 +24,7 @@ fn chain_graph(m: usize) -> Ctdn {
     }
     let mut g = Ctdn::new(feats);
     for i in 0..m {
-        g.add_edge(i % n, (i + 1) % n, (i + 1) as f64);
+        g.try_add_edge(i % n, (i + 1) % n, (i + 1) as f64).unwrap();
     }
     g
 }

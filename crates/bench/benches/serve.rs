@@ -1,0 +1,64 @@
+//! Online-serving benchmark: drives seeded chaos-model traffic through a
+//! resident `SessionServer` and records request-latency percentiles and
+//! sustained event throughput to `results/bench_serve.json`.
+//!
+//! The suite's standard run metadata (git sha, seed, `TPGNN_THREADS`,
+//! machine cores) makes entries comparable across PRs; the `extras` block
+//! carries the serving-specific numbers: `p50_us` / `p99_us` per-request
+//! latency, `events_per_sec`, and the run's deterministic counters (events,
+//! scores, sessions) so a perf diff can first confirm the two runs did
+//! bitwise-identical work.
+
+use tpgnn_bench::timing::{black_box, Suite};
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_data::chaos::FaultPlan;
+use tpgnn_serve::loadgen::{generate, percentile, run, LoadPlan};
+
+fn main() {
+    let mut suite = Suite::from_args("serve");
+    let seed = 42;
+    suite.set_seed(seed);
+    let sessions = if suite.is_smoke() { 24 } else { 192 };
+
+    let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(7));
+    // The delay component gives the stream config a finite lateness
+    // horizon, so edges release (and early warnings fire) while sessions
+    // are open — the realistic serving regime, not close-time batch work.
+    let fault = FaultPlan { delay_rate: 0.05, delay_margin: 3.0, ..FaultPlan::mixed(0.1) };
+    let plan = LoadPlan {
+        sessions,
+        seed,
+        fault,
+        batch_size: 128,
+        early_warning_every: 8,
+        ..LoadPlan::default()
+    };
+
+    suite.bench("serve/loadgen", || {
+        black_box(generate(&plan));
+    });
+
+    let mut last = None;
+    suite.bench("serve/run_mixed_traffic", || {
+        last = Some(run(&model, &plan).expect("TP-GNN serves incrementally"));
+    });
+    let summary = last.expect("bench ran at least once");
+
+    let total_us: f64 = summary.latencies_us.iter().sum();
+    suite.annotate("p50_us", percentile(&summary.latencies_us, 50.0));
+    suite.annotate("p99_us", percentile(&summary.latencies_us, 99.0));
+    suite.annotate("events_per_sec", summary.total_events as f64 / (total_us / 1e6));
+    suite.annotate("requests", summary.latencies_us.len() as f64);
+    // Deterministic work counters: identical at any thread count (pinned by
+    // tests/determinism.rs), so perf diffs compare like with like.
+    suite.annotate("sessions", sessions as f64);
+    suite.annotate("total_events", summary.total_events as f64);
+    suite.annotate("early_scores", summary.stats.early_scores as f64);
+    suite.annotate("final_scores", summary.stats.final_scores as f64);
+
+    assert_eq!(
+        summary.stats.final_scores, sessions,
+        "serve bench lost sessions — timing numbers would be meaningless"
+    );
+    suite.finish();
+}

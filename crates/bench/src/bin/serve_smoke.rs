@@ -1,0 +1,136 @@
+//! Traced serving smoke for CI: one healthy (clean-traffic) and one
+//! fault-injected load-generator run through the resident `SessionServer`,
+//! then validation of the emitted telemetry from the outside — the trace
+//! JSONL via the snapshot reader, the `serve.*` series via the metrics
+//! sidecar.
+//!
+//! Exit codes: 0 = runs completed and telemetry is valid; 1 = validation
+//! failed; 2 = tracing is disabled (`TPGNN_TRACE` unset) — the run is
+//! meaningless.
+//!
+//! `scripts/ci.sh` runs this as `TPGNN_TRACE=1 cargo run --bin serve_smoke`
+//! next to `obs_smoke` and `chaos_smoke`, and additionally asserts the
+//! trace file is non-empty JSONL.
+
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_data::chaos::FaultPlan;
+use tpgnn_obs::{reader, trace};
+use tpgnn_serve::loadgen::{run, LoadPlan};
+use tpgnn_serve::ScoreKind;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    if !trace::init("serve-smoke") {
+        eprintln!("serve_smoke: TPGNN_TRACE is not set; nothing to validate (exit 2)");
+        std::process::exit(2);
+    }
+
+    let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(7));
+
+    // Healthy run: clean traffic, every session scores exactly once and
+    // nothing is quarantined.
+    let clean_plan = LoadPlan {
+        sessions: 8,
+        seed: 5,
+        fault: FaultPlan::clean(),
+        batch_size: 32,
+        ..LoadPlan::default()
+    };
+    let healthy = run(&model, &clean_plan).unwrap_or_else(|e| fail(&e));
+    if healthy.stats.final_scores != clean_plan.sessions {
+        fail("healthy run lost sessions");
+    }
+    for r in &healthy.records {
+        let stats = r.stats.as_ref().unwrap_or_else(|| fail("final record without stats"));
+        if stats.quarantined != 0 {
+            fail("clean traffic was quarantined");
+        }
+        if !(0.0..=1.0).contains(&r.proba) {
+            fail("score escaped [0, 1]");
+        }
+    }
+
+    // Faulted run: mixed chaos traffic with a finite lateness horizon (the
+    // delay component) so early warnings fire mid-session. Zero panics,
+    // exact per-session accounting.
+    let fault = FaultPlan { delay_rate: 0.1, delay_margin: 3.0, ..FaultPlan::mixed(0.25) };
+    let dirty_plan = LoadPlan {
+        sessions: 8,
+        seed: 6,
+        fault,
+        batch_size: 32,
+        early_warning_every: 6,
+        ..LoadPlan::default()
+    };
+    let dirty = run(&model, &dirty_plan).unwrap_or_else(|e| fail(&e));
+    if dirty.stats.final_scores != dirty_plan.sessions {
+        fail("faulted run lost sessions");
+    }
+    if dirty.stats.early_scores == 0 {
+        fail("faulted run produced no early warnings");
+    }
+    let mut quarantined = 0;
+    for r in dirty.records.iter().filter(|r| r.kind == ScoreKind::Final) {
+        let stats = r.stats.as_ref().unwrap_or_else(|| fail("final record without stats"));
+        if stats.received != stats.released + stats.quarantined {
+            fail("per-session ingestion accounting leaked events");
+        }
+        quarantined += stats.quarantined;
+    }
+    if quarantined < dirty.ledger.duplicated + dirty.ledger.corrupted {
+        fail("quarantine undercounts the injected duplicate/corrupt faults");
+    }
+
+    let path = trace::finish().unwrap_or_else(|| fail("trace::finish returned no path"));
+
+    // Validate the trace from the outside, exactly as CI does.
+    let records = reader::read_trace(&path)
+        .unwrap_or_else(|e| fail(&format!("trace does not parse: {e}")));
+    let request_spans: Vec<_> = records
+        .iter()
+        .filter(|r| r.kind == "span" && r.name == "serve.request")
+        .collect();
+    let expected_requests = healthy.latencies_us.len() + dirty.latencies_us.len();
+    if request_spans.len() < expected_requests {
+        fail(&format!(
+            "expected at least {expected_requests} serve.request spans, found {}",
+            request_spans.len()
+        ));
+    }
+    if !request_spans
+        .iter()
+        .any(|s| s.field("events").is_some() && s.field("resident").is_some())
+    {
+        fail("serve.request spans carry no events/resident fields");
+    }
+
+    // The metrics sidecar must carry the serving series.
+    let metrics_path = path.with_file_name("metrics-serve-smoke.json");
+    let metrics = std::fs::read_to_string(&metrics_path)
+        .unwrap_or_else(|e| fail(&format!("metrics sidecar unreadable: {e}")));
+    for series in [
+        "serve.requests",
+        "serve.events",
+        "serve.advanced",
+        "serve.closed",
+        "serve.sessions_resident",
+        "serve.request_us",
+    ] {
+        if !metrics.contains(series) {
+            fail(&format!("metrics sidecar is missing the {series} series"));
+        }
+    }
+
+    println!(
+        "serve_smoke: OK — {} serve.request spans, {} early + {} final scores, \
+         {quarantined} quarantined, trace in {}",
+        request_spans.len(),
+        dirty.stats.early_scores,
+        healthy.stats.final_scores + dirty.stats.final_scores,
+        path.display()
+    );
+}

@@ -27,9 +27,9 @@
 //!
 //! // A 3-node dynamic network with 3-dimensional node features.
 //! let mut g = Ctdn::new(NodeFeatures::zeros(3, 3));
-//! g.add_edge(0, 1, 1.0);
-//! g.add_edge(1, 2, 2.0);
-//! g.add_edge(0, 2, 3.0);
+//! g.try_add_edge(0, 1, 1.0).unwrap();
+//! g.try_add_edge(1, 2, 2.0).unwrap();
+//! g.try_add_edge(0, 2, 3.0).unwrap();
 //!
 //! let mut model = TpGnn::new(TpGnnConfig::sum(3));
 //! let p = model.predict_proba(&mut g);
@@ -41,6 +41,7 @@
 mod config;
 mod extractor;
 pub mod guard;
+mod incremental;
 mod model;
 mod propagation;
 pub mod trainer;
@@ -48,6 +49,7 @@ pub mod trainer;
 pub use config::{AblationVariant, PropagationKind, Readout, TpGnnConfig, UpdaterKind};
 pub use extractor::GlobalExtractor;
 pub use guard::{DivergenceReason, GuardConfig, RecoveryEvent};
+pub use incremental::{IncrementalScorer, SessionState};
 pub use model::{GraphClassifier, TpGnn, GRAD_CLIP};
 pub use propagation::TemporalPropagation;
 pub use trainer::{predict_all, train, train_guarded, TrainConfig, TrainReport};

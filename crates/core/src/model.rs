@@ -99,16 +99,25 @@ pub trait GraphClassifier {
     fn grad_norm(&self) -> Option<f32> {
         None
     }
+
+    /// The model's incremental per-session scoring interface, or `None`
+    /// for batch-only models. The serving layer
+    /// (`tpgnn-serve`) requires `Some`; every score it produces is bitwise
+    /// equal to [`GraphClassifier::predict_proba`] on the equivalent batch
+    /// graph.
+    fn as_incremental(&self) -> Option<&dyn crate::IncrementalScorer> {
+        None
+    }
 }
 
 /// TP-GNN: temporal propagation → global temporal embedding extractor →
 /// fully-connected classifier (eqs. 11–12).
 pub struct TpGnn {
     cfg: TpGnnConfig,
-    store: ParamStore,
-    propagation: TemporalPropagation,
-    extractor: GlobalExtractor,
-    classifier: Linear,
+    pub(crate) store: ParamStore,
+    pub(crate) propagation: TemporalPropagation,
+    pub(crate) extractor: GlobalExtractor,
+    pub(crate) classifier: Linear,
     opt: Adam,
     /// Pre-clip gradient norm of the most recent `train_on` step — Adam
     /// zeroes the gradient buffers after stepping, so this is the only
@@ -296,6 +305,12 @@ impl GraphClassifier for TpGnn {
     fn grad_norm(&self) -> Option<f32> {
         self.last_grad_norm
     }
+
+    fn as_incremental(&self) -> Option<&dyn crate::IncrementalScorer> {
+        // Except under the `rand` ablation, whose per-call edge shuffle has
+        // no incremental form — `open_session` reports that as an error.
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -311,13 +326,13 @@ mod tests {
         }
         let mut g = Ctdn::new(feats);
         if order_flip {
-            g.add_edge(2, 3, 1.0);
-            g.add_edge(1, 2, 2.0);
-            g.add_edge(0, 1, 3.0);
+            g.try_add_edge(2, 3, 1.0).unwrap();
+            g.try_add_edge(1, 2, 2.0).unwrap();
+            g.try_add_edge(0, 1, 3.0).unwrap();
         } else {
-            g.add_edge(0, 1, 1.0);
-            g.add_edge(1, 2, 2.0);
-            g.add_edge(2, 3, 3.0);
+            g.try_add_edge(0, 1, 1.0).unwrap();
+            g.try_add_edge(1, 2, 2.0).unwrap();
+            g.try_add_edge(2, 3, 3.0).unwrap();
         }
         g
     }

@@ -9,7 +9,7 @@
 use tpgnn_rng::rngs::StdRng;
 use tpgnn_rng::seq::SliceRandom;
 use tpgnn_rng::SeedableRng;
-use tpgnn_graph::{Ctdn, TemporalEdge};
+use tpgnn_graph::{Ctdn, NodeFeatures, TemporalEdge};
 use tpgnn_nn::{GruCell, Linear, Time2Vec};
 use tpgnn_tensor::{ParamStore, Tape, Tensor, Var};
 
@@ -65,11 +65,13 @@ impl TemporalPropagation {
     }
 
     /// Embed every node's raw features (eq. 1) and return one `(1, q)` `Var`
-    /// per node.
-    fn embed_nodes(&self, tape: &mut Tape, store: &ParamStore, g: &Ctdn) -> Vec<Var> {
-        let n = g.num_nodes();
-        let q = g.feature_dim();
-        let raw = Tensor::from_vec(n, q, g.features().data().to_vec());
+    /// per node. One matmul over the full feature matrix, then per-node row
+    /// extraction — the incremental path reuses this verbatim so its initial
+    /// states are bitwise-identical to the batch sweep's.
+    fn embed_nodes(&self, tape: &mut Tape, store: &ParamStore, features: &NodeFeatures) -> Vec<Var> {
+        let n = features.num_nodes();
+        let q = features.dim();
+        let raw = Tensor::from_vec(n, q, features.data().to_vec());
         let raw_var = tape.input(raw);
         let embedded = self.embed.forward(tape, store, raw_var); // (n, embed)
         (0..n).map(|v| tape.row(embedded, v)).collect()
@@ -78,7 +80,7 @@ impl TemporalPropagation {
     /// Run the propagation sweep, returning the local node embedding vectors
     /// `h(v)` (already passed through `tanh`, line 19 of Algorithm 1).
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, g: &mut Ctdn) -> Vec<Var> {
-        let node_embeds = self.embed_nodes(tape, store, g);
+        let node_embeds = self.embed_nodes(tape, store, g.features());
         match self.kind {
             PropagationKind::None => {
                 // `w/o tem`: the embedded raw features are the node states.
@@ -168,6 +170,160 @@ impl TemporalPropagation {
             }
         }
     }
+
+    /// Initialize incremental per-node propagation state for one session.
+    ///
+    /// Runs exactly the batch sweep's initialization — embed all node
+    /// features in one matmul (eq. 1), then pre-scale (SUM) or keep (GRU)
+    /// per-node rows — and stores the *values*, so per-edge
+    /// [`advance_state`](Self::advance_state) calls continue the identical
+    /// arithmetic. The `rand` ablation re-permutes the edge order on every
+    /// forward call, so it has no well-defined incremental form and is
+    /// rejected.
+    pub(crate) fn init_state(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        features: &NodeFeatures,
+    ) -> Result<PropState, String> {
+        if matches!(self.kind, PropagationKind::Random) {
+            return Err("the `rand` ablation re-shuffles edges per call and cannot be \
+                        advanced incrementally"
+                .to_string());
+        }
+        if features.dim() != self.embed.in_dim() {
+            return Err(format!(
+                "feature dim {} does not match the model's input dim {}",
+                features.dim(),
+                self.embed.in_dim()
+            ));
+        }
+        let rows = self.embed_nodes(tape, store, features);
+        let state = match (self.kind, &self.updater) {
+            // `w/o tem`: edges never touch the node states.
+            (PropagationKind::None, _) => PropState {
+                frozen: true,
+                sum: false,
+                x: rows.iter().map(|&r| tape.value(r).clone()).collect(),
+                m: None,
+            },
+            (_, Updater::Sum) => PropState {
+                frozen: false,
+                sum: true,
+                // X̂_{t_0} := X (line 5), pre-scaled exactly as in `sweep`.
+                x: rows
+                    .iter()
+                    .map(|&r| {
+                        let s = tape.scale(r, self.sum_scale);
+                        tape.value(s).clone()
+                    })
+                    .collect(),
+                // M̂_{t_0} := 0 (line 4).
+                m: self
+                    .t2v
+                    .as_ref()
+                    .map(|_| (0..rows.len()).map(|_| Tensor::zeros(1, self.time_dim)).collect()),
+            },
+            (_, Updater::Gru(_)) => PropState {
+                frozen: false,
+                sum: false,
+                // ĥ_{t_0}(v) := X(v) (line 13).
+                x: rows.iter().map(|&r| tape.value(r).clone()).collect(),
+                m: None,
+            },
+        };
+        Ok(state)
+    }
+
+    /// Advance the incremental state one step for edge `e` — the loop body
+    /// of Algorithm 1 (eqs. 3–4 for SUM, eq. 6 for GRU) applied to stored
+    /// values. Edges must arrive in the chronological order the batch sweep
+    /// would use; the streaming builder's release order guarantees this.
+    pub(crate) fn advance_state(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        state: &mut PropState,
+        e: &TemporalEdge,
+    ) {
+        if state.frozen {
+            return; // `w/o tem`: node states ignore edges.
+        }
+        if state.sum {
+            // X̂(v) := X̂(u) + X̂(v)                                  (eq. 3)
+            let xs = tape.input(state.x[e.src].clone());
+            let xd = tape.input(state.x[e.dst].clone());
+            let sum = tape.add(xs, xd);
+            state.x[e.dst] = tape.value(sum).clone();
+            if let (Some(t2v), Some(m)) = (self.t2v.as_ref(), state.m.as_mut()) {
+                // M̂(v) := f(t) + M̂(v)                               (eq. 4)
+                let ft_raw = t2v.encode(tape, store, e.time);
+                let ft = tape.scale(ft_raw, self.sum_scale);
+                let md = tape.input(m[e.dst].clone());
+                let acc = tape.add(ft, md);
+                m[e.dst] = tape.value(acc).clone();
+            }
+        } else {
+            // ĥ(v) := GRU(ĥ(v), [ĥ(u) ⊕ f(t)])                       (eq. 6)
+            let Updater::Gru(cell) = &self.updater else {
+                unreachable!("non-frozen, non-sum state implies the GRU updater");
+            };
+            let hs = tape.input(state.x[e.src].clone());
+            let hd = tape.input(state.x[e.dst].clone());
+            let msg = match self.t2v.as_ref() {
+                Some(t2v) => {
+                    let ft = t2v.encode(tape, store, e.time);
+                    tape.concat_cols(hs, ft)
+                }
+                None => hs,
+            };
+            let out = cell.forward(tape, store, hd, msg);
+            state.x[e.dst] = tape.value(out).clone();
+        }
+    }
+
+    /// Materialize the final node embeddings `H = tanh(Ĥ)` (line 19, eq. 5
+    /// concat for SUM) from the incremental state, as one `Var` per node in
+    /// node-index order — the exact tensors the batch sweep hands the
+    /// global extractor.
+    pub(crate) fn finalize_state(&self, tape: &mut Tape, state: &PropState) -> Vec<Var> {
+        (0..state.x.len())
+            .map(|v| {
+                let x = tape.input(state.x[v].clone());
+                let h = match &state.m {
+                    Some(m) => {
+                        let mv = tape.input(m[v].clone());
+                        tape.concat_cols(x, mv)
+                    }
+                    None => x,
+                };
+                tape.tanh(h)
+            })
+            .collect()
+    }
+}
+
+/// Incremental per-session propagation state: the pre-activation node
+/// accumulators of Algorithm 1 as plain values (no tape references), so a
+/// session can live across thousands of request tapes.
+///
+/// For SUM this is `X̂` plus (with time encoding) `M̂`; for GRU the hidden
+/// states `ĥ`; for the `w/o tem` ablation the embedded features, frozen.
+#[derive(Clone, Debug)]
+pub struct PropState {
+    /// `w/o tem`: edges never modify the state.
+    frozen: bool,
+    /// SUM updater (eqs. 3–5) vs GRU (eq. 6).
+    sum: bool,
+    x: Vec<Tensor>,
+    m: Option<Vec<Tensor>>,
+}
+
+impl PropState {
+    /// Number of nodes the state covers.
+    pub fn num_nodes(&self) -> usize {
+        self.x.len()
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +345,7 @@ mod tests {
         }
         let mut g = Ctdn::new(feats);
         for i in 0..n - 1 {
-            g.add_edge(i, i + 1, (i + 1) as f64);
+            g.try_add_edge(i, i + 1, (i + 1) as f64).unwrap();
         }
         g
     }
@@ -233,9 +389,9 @@ mod tests {
                 feats.row_mut(v).copy_from_slice(&[0.1 * v as f32, 0.3, 0.7]);
             }
             let mut g = Ctdn::new(feats);
-            g.add_edge(0, 1, 1.0);
-            g.add_edge(1, 2, 2.0);
-            g.add_edge(3, 4, 3.0);
+            g.try_add_edge(0, 1, 1.0).unwrap();
+            g.try_add_edge(1, 2, 2.0).unwrap();
+            g.try_add_edge(3, 4, 3.0).unwrap();
             // Node 5 is isolated; nodes 3,4 form a separate component.
             let inf = tpgnn_graph::InfluenceAnalysis::compute(&mut g);
 
@@ -281,14 +437,14 @@ mod tests {
         }
         // Order A: 0->1 (t1), 1->2 (t2), 2->3 (t3): chain influence flows.
         let mut ga = Ctdn::new(feats.clone());
-        ga.add_edge(0, 1, 1.0);
-        ga.add_edge(1, 2, 2.0);
-        ga.add_edge(2, 3, 3.0);
+        ga.try_add_edge(0, 1, 1.0).unwrap();
+        ga.try_add_edge(1, 2, 2.0).unwrap();
+        ga.try_add_edge(2, 3, 3.0).unwrap();
         // Order B: same static edges, reversed times: no transitive flow.
         let mut gb = Ctdn::new(feats);
-        gb.add_edge(2, 3, 1.0);
-        gb.add_edge(1, 2, 2.0);
-        gb.add_edge(0, 1, 3.0);
+        gb.try_add_edge(2, 3, 1.0).unwrap();
+        gb.try_add_edge(1, 2, 2.0).unwrap();
+        gb.try_add_edge(0, 1, 3.0).unwrap();
 
         let run = |g: &mut Ctdn| -> Vec<Tensor> {
             let mut tape = Tape::new();
@@ -328,7 +484,7 @@ mod tests {
         let mut g1 = chain_graph(5);
         let mut g2 = chain_graph(5);
         // Same features, extra edge in g2: `w/o tem` node states must match.
-        g2.add_edge(0, 4, 10.0);
+        g2.try_add_edge(0, 4, 10.0).unwrap();
         let run = |g: &mut Ctdn| -> Tensor {
             let mut tape = Tape::new();
             let h = tp.forward(&mut tape, &store, g);
@@ -345,10 +501,10 @@ mod tests {
         let mut feats = NodeFeatures::zeros(2, 3);
         feats.row_mut(0).copy_from_slice(&[0.5, 0.5, 0.5]);
         let mut g1 = Ctdn::new(feats.clone());
-        g1.add_edge(0, 1, 1.0);
+        g1.try_add_edge(0, 1, 1.0).unwrap();
         let mut g2 = Ctdn::new(feats);
-        g2.add_edge(0, 1, 1.0);
-        g2.add_edge(0, 1, 2.0);
+        g2.try_add_edge(0, 1, 1.0).unwrap();
+        g2.try_add_edge(0, 1, 2.0).unwrap();
         let run = |g: &mut Ctdn| -> Tensor {
             let mut tape = Tape::new();
             let h = tp.forward(&mut tape, &store, g);

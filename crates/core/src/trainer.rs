@@ -407,7 +407,7 @@ mod tests {
             vec![(0, 1), (1, 2), (2, 3)]
         };
         for (i, (s, d)) in order.into_iter().enumerate() {
-            g.add_edge(s, d, (i + 1) as f64);
+            g.try_add_edge(s, d, (i + 1) as f64).unwrap();
         }
         g
     }

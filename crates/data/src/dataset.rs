@@ -114,8 +114,8 @@ mod tests {
 
     fn tiny(label: bool) -> LabeledGraph {
         let mut g = Ctdn::with_zero_features(3, 3);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         LabeledGraph { graph: g, label }
     }
 

@@ -301,8 +301,8 @@ mod tests {
             feats.row_mut(0).copy_from_slice(&[0.25, 0.5]);
             feats.row_mut(2).copy_from_slice(&[1.0, -0.125]);
             let mut g = Ctdn::new(feats);
-            g.add_edge(0, 1, 1.5);
-            g.add_edge(1, 2, 2.0);
+            g.try_add_edge(0, 1, 1.5).unwrap();
+            g.try_add_edge(1, 2, 2.0).unwrap();
             ds.graphs.push(LabeledGraph { graph: g, label });
         }
         ds

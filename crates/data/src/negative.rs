@@ -136,7 +136,7 @@ mod tests {
     fn chain(n: usize) -> Ctdn {
         let mut g = Ctdn::with_zero_features(n, 3);
         for i in 0..n - 1 {
-            g.add_edge(i, i + 1, (i + 1) as f64);
+            g.try_add_edge(i, i + 1, (i + 1) as f64).unwrap();
         }
         g
     }

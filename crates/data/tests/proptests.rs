@@ -26,7 +26,7 @@ fn gen_dataset(rng: &mut StdRng) -> GraphDataset {
             let s = rng.random_range(0..n);
             let d = rng.random_range(0..n);
             let t = f64::from(rng.random_range(1u32..50));
-            g.add_edge(s, d, t);
+            g.try_add_edge(s, d, t).unwrap();
         }
         ds.graphs.push(LabeledGraph { graph: g, label: rng.random_range(0u32..2) == 1 });
     }

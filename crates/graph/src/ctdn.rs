@@ -197,13 +197,15 @@ impl Ctdn {
 
     /// Append a temporal edge.
     ///
-    /// Thin infallible wrapper over [`Ctdn::try_add_edge`] for programmatic
-    /// construction (the dataset simulators, tests) where a violation is a
-    /// bug rather than a data condition.
+    /// Thin panicking wrapper over [`Ctdn::try_add_edge`], kept only for
+    /// source compatibility. Use `try_add_edge(...).unwrap()` where a
+    /// violation is a bug, or propagate the [`GraphError`] where it is a
+    /// data condition (every in-repo call site has been migrated).
     ///
     /// # Panics
     /// Panics if an endpoint is out of bounds, the timestamp is not positive,
     /// or the timestamp is not finite.
+    #[deprecated(note = "use `try_add_edge` and handle (or unwrap) the `GraphError`")]
     pub fn add_edge(&mut self, src: usize, dst: usize, time: f64) {
         if let Err(e) = self.try_add_edge(src, dst, time) {
             panic!("{e}");
@@ -293,9 +295,9 @@ mod tests {
 
     fn chain_graph() -> Ctdn {
         let mut g = Ctdn::with_zero_features(4, 2);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
-        g.add_edge(2, 3, 3.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
+        g.try_add_edge(2, 3, 3.0).unwrap();
         g
     }
 
@@ -310,8 +312,8 @@ mod tests {
     #[test]
     fn edges_resorted_after_out_of_order_insert() {
         let mut g = Ctdn::with_zero_features(3, 1);
-        g.add_edge(0, 1, 5.0);
-        g.add_edge(1, 2, 1.0);
+        g.try_add_edge(0, 1, 5.0).unwrap();
+        g.try_add_edge(1, 2, 1.0).unwrap();
         let times: Vec<f64> = g.edges_chronological().iter().map(|e| e.time).collect();
         assert_eq!(times, vec![1.0, 5.0]);
     }
@@ -319,17 +321,20 @@ mod tests {
     #[test]
     fn stable_order_for_equal_timestamps() {
         let mut g = Ctdn::with_zero_features(3, 1);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(0, 2, 1.0);
-        g.add_edge(1, 2, 1.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(0, 2, 1.0).unwrap();
+        g.try_add_edge(1, 2, 1.0).unwrap();
         let dsts: Vec<usize> = g.edges_chronological().iter().map(|e| e.dst).collect();
         assert_eq!(dsts, vec![1, 2, 2]);
     }
 
+    // The two tests below exercise the deprecated panicking wrapper
+    // itself (its message is the contract), so they keep calling it.
     #[test]
     #[should_panic(expected = "timestamps must be finite and > 0")]
     fn zero_timestamp_rejected() {
         let mut g = Ctdn::with_zero_features(2, 1);
+        #[allow(deprecated)]
         g.add_edge(0, 1, 0.0);
     }
 
@@ -337,6 +342,7 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_edge_rejected() {
         let mut g = Ctdn::with_zero_features(2, 1);
+        #[allow(deprecated)]
         g.add_edge(0, 5, 1.0);
     }
 
@@ -375,9 +381,9 @@ mod tests {
     fn shuffle_preserves_cross_timestamp_order() {
         let mut g = Ctdn::with_zero_features(6, 1);
         for i in 0..5 {
-            g.add_edge(i, i + 1, 1.0); // five ties at t=1
+            g.try_add_edge(i, i + 1, 1.0).unwrap(); // five ties at t=1
         }
-        g.add_edge(0, 5, 2.0);
+        g.try_add_edge(0, 5, 2.0).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         g.shuffle_same_timestamp(&mut rng);
         let edges = g.edges();

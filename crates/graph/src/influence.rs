@@ -172,13 +172,13 @@ mod tests {
         // v3 -> v1 (t=1), v2 -> v1 (t=2), v1 -> v0 (t=3), v7 -> v6 (t=4.9),
         // v8 -> v7 (t=6), v9 -> v8 (t=7), v7 -> v6 (t=7.4 again)
         let mut g = Ctdn::with_zero_features(10, 1);
-        g.add_edge(3, 1, 1.0);
-        g.add_edge(2, 1, 2.0);
-        g.add_edge(1, 0, 3.0);
-        g.add_edge(7, 6, 4.9);
-        g.add_edge(8, 7, 6.0);
-        g.add_edge(9, 8, 7.0);
-        g.add_edge(7, 6, 7.4);
+        g.try_add_edge(3, 1, 1.0).unwrap();
+        g.try_add_edge(2, 1, 2.0).unwrap();
+        g.try_add_edge(1, 0, 3.0).unwrap();
+        g.try_add_edge(7, 6, 4.9).unwrap();
+        g.try_add_edge(8, 7, 6.0).unwrap();
+        g.try_add_edge(9, 8, 7.0).unwrap();
+        g.try_add_edge(7, 6, 7.4).unwrap();
         g
     }
 
@@ -187,7 +187,7 @@ mod tests {
         let graphs: Vec<Ctdn> = (0..5)
             .map(|i| {
                 let mut g = fig1_like();
-                g.add_edge(i % 10, (i + 3) % 10, 8.0 + i as f64);
+                g.try_add_edge(i % 10, (i + 3) % 10, 8.0 + i as f64).unwrap();
                 g
             })
             .collect();
@@ -235,8 +235,8 @@ mod tests {
         // Add the abnormal extra edge v7 -> v6 after v9 -> v8... that's already
         // there; instead make v9 -> v8 precede a later v8 -> v7.
         let mut g = fig1_like();
-        g.add_edge(8, 7, 8.0); // later re-interaction carries v9's influence
-        g.add_edge(7, 6, 9.0);
+        g.try_add_edge(8, 7, 8.0).unwrap(); // later re-interaction carries v9's influence
+        g.try_add_edge(7, 6, 9.0).unwrap();
         let inf = InfluenceAnalysis::compute(&mut g);
         assert!(inf.is_influential(9, 7));
         assert!(inf.is_influential(9, 6));
@@ -246,7 +246,7 @@ mod tests {
     fn transitive_chain_influence() {
         let mut g = Ctdn::with_zero_features(5, 1);
         for i in 0..4 {
-            g.add_edge(i, i + 1, (i + 1) as f64);
+            g.try_add_edge(i, i + 1, (i + 1) as f64).unwrap();
         }
         let inf = InfluenceAnalysis::compute(&mut g);
         for i in 0..4 {
@@ -263,8 +263,8 @@ mod tests {
         // Edges 3->2 (t=1), 2->1 (t=2)? that IS increasing. Use decreasing:
         // 2->1 at t=1, 3->2 at t=2: influence of 3 must NOT reach 1.
         let mut g = Ctdn::with_zero_features(4, 1);
-        g.add_edge(2, 1, 1.0);
-        g.add_edge(3, 2, 2.0);
+        g.try_add_edge(2, 1, 1.0).unwrap();
+        g.try_add_edge(3, 2, 2.0).unwrap();
         let inf = InfluenceAnalysis::compute(&mut g);
         assert!(inf.is_influential(2, 1));
         assert!(inf.is_influential(3, 2));
@@ -274,8 +274,8 @@ mod tests {
     #[test]
     fn self_loop_only_adds_self() {
         let mut g = Ctdn::with_zero_features(3, 1);
-        g.add_edge(1, 1, 1.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(1, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         let inf = InfluenceAnalysis::compute(&mut g);
         assert!(inf.is_influential(1, 1));
         assert!(inf.is_influential(1, 2));
@@ -310,8 +310,8 @@ mod tests {
     #[test]
     fn cycle_makes_node_influence_itself() {
         let mut g = Ctdn::with_zero_features(2, 1);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 0, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 0, 2.0).unwrap();
         let inf = InfluenceAnalysis::compute(&mut g);
         assert!(inf.is_influential(0, 0), "cycle carries 0's influence back to 0");
         assert!(inf.is_influential(1, 0));

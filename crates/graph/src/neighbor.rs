@@ -114,10 +114,10 @@ mod tests {
 
     fn sample() -> Ctdn {
         let mut g = Ctdn::with_zero_features(4, 1);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(2, 1, 2.0);
-        g.add_edge(1, 3, 3.0);
-        g.add_edge(0, 1, 4.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(2, 1, 2.0).unwrap();
+        g.try_add_edge(1, 3, 3.0).unwrap();
+        g.try_add_edge(0, 1, 4.0).unwrap();
         g
     }
 
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn self_loop_indexed_once() {
         let mut g = Ctdn::with_zero_features(2, 1);
-        g.add_edge(0, 0, 1.0);
+        g.try_add_edge(0, 0, 1.0).unwrap();
         let idx = TemporalNeighborIndex::new(&mut g);
         assert_eq!(idx.events(0).len(), 1);
         assert!(idx.events(0)[0].incoming);

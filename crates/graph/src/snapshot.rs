@@ -85,7 +85,7 @@ mod tests {
     fn graph(m: usize) -> Ctdn {
         let mut g = Ctdn::with_zero_features(m + 1, 1);
         for i in 0..m {
-            g.add_edge(i, i + 1, (i + 1) as f64);
+            g.try_add_edge(i, i + 1, (i + 1) as f64).unwrap();
         }
         g
     }
@@ -113,9 +113,9 @@ mod tests {
     #[test]
     fn time_window_groups_by_time() {
         let mut g = Ctdn::with_zero_features(4, 1);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(1, 2, 1.5);
-        g.add_edge(2, 3, 10.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(1, 2, 1.5).unwrap();
+        g.try_add_edge(2, 3, 10.0).unwrap();
         let snaps = snapshots(&mut g, SnapshotSpec::TimeWindow(2.0));
         assert_eq!(snaps.len(), 2);
         assert_eq!(snaps[0].edges.len(), 2);

@@ -129,10 +129,10 @@ mod tests {
 
     fn sample() -> Ctdn {
         let mut g = Ctdn::with_zero_features(4, 1);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(0, 1, 2.0); // parallel temporal edge
-        g.add_edge(1, 2, 3.0);
-        g.add_edge(3, 2, 4.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(0, 1, 2.0).unwrap(); // parallel temporal edge
+        g.try_add_edge(1, 2, 3.0).unwrap();
+        g.try_add_edge(3, 2, 4.0).unwrap();
         g
     }
 
@@ -179,8 +179,8 @@ mod tests {
     #[test]
     fn self_loop_excluded_from_undirected() {
         let mut g = Ctdn::with_zero_features(2, 1);
-        g.add_edge(0, 0, 1.0);
-        g.add_edge(0, 1, 2.0);
+        g.try_add_edge(0, 0, 1.0).unwrap();
+        g.try_add_edge(0, 1, 2.0).unwrap();
         let v = StaticView::from_ctdn(&g);
         let und = v.undirected_neighbors();
         assert_eq!(und[0], vec![1]);

@@ -60,9 +60,9 @@ mod tests {
     #[test]
     fn stats_of_small_graph() {
         let mut g = Ctdn::with_zero_features(5, 3);
-        g.add_edge(0, 1, 1.0);
-        g.add_edge(0, 1, 2.0);
-        g.add_edge(1, 2, 2.0);
+        g.try_add_edge(0, 1, 1.0).unwrap();
+        g.try_add_edge(0, 1, 2.0).unwrap();
+        g.try_add_edge(1, 2, 2.0).unwrap();
         let s = GraphStats::compute(&mut g);
         assert_eq!(s.num_nodes, 5);
         assert_eq!(s.active_nodes, 3);

@@ -272,6 +272,11 @@ pub struct StreamConfig {
     /// units) before the event is quarantined as non-monotonic.
     /// `f64::INFINITY` disables the check.
     pub clock_tolerance: f64,
+    /// Record every released event (normalized time, release order) in a
+    /// log the caller drains via [`CtdnBuilder::drain_released`]. The
+    /// serving layer uses this to advance incremental per-session model
+    /// state one step per released edge; batch ingestion leaves it off.
+    pub track_releases: bool,
 }
 
 impl Default for StreamConfig {
@@ -282,6 +287,7 @@ impl Default for StreamConfig {
             dedup: true,
             origin_offsets: Vec::new(),
             clock_tolerance: f64::INFINITY,
+            track_releases: false,
         }
     }
 }
@@ -379,6 +385,9 @@ pub struct CtdnBuilder {
     max_seen: f64,
     /// Largest time already released into the graph.
     frontier: f64,
+    /// Released events awaiting [`CtdnBuilder::drain_released`] (only
+    /// populated under [`StreamConfig::track_releases`]).
+    released_pending: Vec<StreamEvent>,
 }
 
 impl CtdnBuilder {
@@ -397,6 +406,7 @@ impl CtdnBuilder {
             seq: 0,
             max_seen: f64::NEG_INFINITY,
             frontier: 0.0,
+            released_pending: Vec::new(),
         }
     }
 
@@ -516,10 +526,30 @@ impl CtdnBuilder {
     /// Flush the reorder buffer and return the reconstructed graph, the
     /// quarantine log, and the accounting.
     pub fn finish(mut self) -> StreamOutcome {
+        self.flush_buffer();
+        StreamOutcome { graph: self.graph, quarantine: self.log, stats: self.stats }
+    }
+
+    /// Release every buffered event now, regardless of the watermark,
+    /// without consuming the builder.
+    ///
+    /// This is the session-close path of the serving layer: the watermark
+    /// has decided the session is over, so the reorder-buffer tail is
+    /// drained (in chronological order, arrival order for ties), the
+    /// caller advances its incremental state through
+    /// [`drain_released`](CtdnBuilder::drain_released), and only then
+    /// calls [`finish`](CtdnBuilder::finish) for the outcome.
+    pub fn flush_buffer(&mut self) {
         while let Some(Reverse(b)) = self.buffer.pop() {
             self.release(b.ev);
         }
-        StreamOutcome { graph: self.graph, quarantine: self.log, stats: self.stats }
+    }
+
+    /// Take the events released since the last call (normalized times, in
+    /// release order). Always empty unless
+    /// [`StreamConfig::track_releases`] is set.
+    pub fn drain_released(&mut self) -> Vec<StreamEvent> {
+        std::mem::take(&mut self.released_pending)
     }
 
     fn drain_watermark(&mut self) {
@@ -544,6 +574,9 @@ impl CtdnBuilder {
                 // before the dedup check, so the keys can never match again.
                 if self.cfg.dedup {
                     self.seen = self.seen.split_off(&(self.frontier.to_bits(), 0, 0));
+                }
+                if self.cfg.track_releases {
+                    self.released_pending.push(ev);
                 }
             }
             // Unreachable by construction (events are validated before
@@ -615,7 +648,7 @@ mod tests {
         let mut direct = Ctdn::with_zero_features(4, 2);
         let mut b = CtdnBuilder::with_zero_features(4, 2, StreamConfig::default());
         for (s, d, t) in [(0, 1, 1.0), (1, 2, 2.0), (1, 3, 2.0), (2, 3, 5.0)] {
-            direct.add_edge(s, d, t);
+            direct.try_add_edge(s, d, t).unwrap();
             assert_eq!(b.push(ev(s, d, t)), Admission::Admitted);
         }
         let out = b.finish();
@@ -787,6 +820,53 @@ mod tests {
         assert_eq!(out.stats.received, 4);
         assert_eq!(out.stats.received, out.stats.released + out.stats.quarantined);
         assert_eq!(out.stats.quarantined, out.quarantine.len());
+    }
+
+    #[test]
+    fn drain_released_reports_releases_in_release_order() {
+        let cfg = StreamConfig {
+            lateness: 2.0,
+            track_releases: true,
+            ..StreamConfig::default()
+        };
+        let mut b = CtdnBuilder::with_zero_features(8, 1, cfg);
+        b.push(ev(1, 2, 2.0));
+        b.push(ev(0, 1, 1.0));
+        assert!(b.drain_released().is_empty(), "watermark 0.0 released nothing");
+        b.push(ev(2, 3, 5.0)); // watermark 3.0 → t=1,2 release, resorted
+        let first: Vec<f64> = b.drain_released().iter().map(|e| e.time).collect();
+        assert_eq!(first, vec![1.0, 2.0]);
+        assert!(b.drain_released().is_empty(), "drain consumes the log");
+        b.flush_buffer();
+        let tail: Vec<f64> = b.drain_released().iter().map(|e| e.time).collect();
+        assert_eq!(tail, vec![5.0]);
+        // The drained sequence equals the finished graph's edge order.
+        let out = b.finish();
+        assert_eq!(times(&out.graph), vec![1.0, 2.0, 5.0]);
+        assert_eq!(out.stats.received, out.stats.released);
+    }
+
+    #[test]
+    fn drain_released_is_empty_without_tracking() {
+        let mut b = CtdnBuilder::with_zero_features(4, 1, StreamConfig::default());
+        b.push(ev(0, 1, 1.0));
+        b.flush_buffer();
+        assert!(b.drain_released().is_empty());
+        assert_eq!(b.finish().stats.released, 1);
+    }
+
+    #[test]
+    fn flush_buffer_then_finish_matches_plain_finish() {
+        let events = [ev(0, 1, 3.0), ev(1, 2, 1.0), ev(2, 3, 2.0)];
+        let mut a = CtdnBuilder::with_zero_features(5, 1, StreamConfig::default());
+        a.extend(events);
+        let mut b = CtdnBuilder::with_zero_features(5, 1, StreamConfig::default());
+        b.extend(events);
+        b.flush_buffer();
+        assert_eq!(b.buffer_depth(), 0);
+        let (oa, ob) = (a.finish(), b.finish());
+        assert_eq!(oa.graph.edges(), ob.graph.edges());
+        assert_eq!(oa.stats, ob.stats);
     }
 
     #[test]

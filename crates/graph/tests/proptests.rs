@@ -15,7 +15,7 @@ fn gen_ctdn(rng: &mut StdRng, n: usize, m: usize) -> Ctdn {
         let s = rng.random_range(0..n);
         let d = rng.random_range(0..n);
         let t = rng.random_range(1u32..100);
-        g.add_edge(s, d, f64::from(t));
+        g.try_add_edge(s, d, f64::from(t)).unwrap();
     }
     g
 }
@@ -64,7 +64,7 @@ fn influence_monotone_under_edge_addition() {
             let mut g = g.clone();
             let before = InfluenceAnalysis::compute(&mut g);
             let t_max = g.edges().iter().map(|e| e.time).fold(0.0, f64::max);
-            g.add_edge(*src, *dst, t_max + 1.0);
+            g.try_add_edge(*src, *dst, t_max + 1.0).unwrap();
             let after = InfluenceAnalysis::compute(&mut g);
             for u in 0..6 {
                 for v in 0..6 {

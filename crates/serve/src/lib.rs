@@ -1,0 +1,597 @@
+//! # tpgnn-serve
+//!
+//! Online serving for TP-GNN: a resident, sharded store of per-session
+//! incremental model states fed by the streaming ingestion path.
+//!
+//! Each arriving [`SessionEvent`] is routed to its session's
+//! [`CtdnBuilder`], which reorders, dedups, and quarantines exactly as the
+//! offline pipeline does; every event the builder *releases* advances the
+//! session's [`SessionState`] one TP-GNN step (Algorithm 1 loop body — no
+//! replay of the prefix). A global watermark (max event time seen minus
+//! [`ServeConfig::session_gap`]) decides when a session is over: the
+//! reorder-buffer tail is flushed, the state advanced through it, and the
+//! session classified and evicted. Mid-session **early-warning** scores can
+//! be emitted every [`ServeConfig::early_warning_every`] released edges.
+//!
+//! Every score — early or final — is **bitwise identical** to batch
+//! [`predict_proba`](tpgnn_core::GraphClassifier::predict_proba) on the
+//! graph of released edges, and the whole request loop is bitwise
+//! deterministic at any worker-pool width: sessions shard by
+//! `session_id % num_shards` (independent of thread count), shards fan out
+//! on the `tpgnn-par` pool with one tape per worker, and results are
+//! collected in shard order. `tests/replay_props.rs` and the workspace
+//! determinism suite pin both properties.
+//!
+//! The [`loadgen`] module turns the seeded chaos injectors into an
+//! open-loop traffic model for benchmarks and smoke tests.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use tpgnn_core::{IncrementalScorer, SessionState};
+use tpgnn_graph::stream::{CtdnBuilder, QuarantineLog, StreamConfig, StreamEvent, StreamStats};
+use tpgnn_graph::{NodeFeatures, TemporalEdge};
+use tpgnn_obs::metrics::{self, Counter, Gauge, Histogram};
+use tpgnn_obs::trace;
+use tpgnn_tensor::Tape;
+
+pub mod loadgen;
+
+/// One raw record offered to the server: which session it belongs to, plus
+/// the stream event itself (the unit the chaos injectors mutate).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SessionEvent {
+    /// The session this event belongs to.
+    pub session: u64,
+    /// The edge record as it arrived off the wire.
+    pub event: StreamEvent,
+}
+
+impl SessionEvent {
+    /// Convenience constructor.
+    pub fn new(session: u64, event: StreamEvent) -> Self {
+        Self { session, event }
+    }
+}
+
+/// Whether a score was emitted mid-session or at session close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScoreKind {
+    /// Mid-session early warning (the session is still open).
+    Early,
+    /// Final classification at watermark-driven (or forced) close.
+    Final,
+}
+
+/// One emitted score. `Final` records additionally carry the session's
+/// ingestion accounting and quarantine log, so fault reconciliation works
+/// from the outside.
+#[derive(Clone, Debug)]
+pub struct ScoreRecord {
+    /// The scored session.
+    pub session: u64,
+    /// Early warning vs final classification.
+    pub kind: ScoreKind,
+    /// Probability the session is a positive graph — bitwise equal to the
+    /// batch `predict_proba` on the released-edge graph.
+    pub proba: f32,
+    /// Released edges advanced into the state when the score was taken.
+    pub edges: usize,
+    /// Ingestion accounting (`Final` only).
+    pub stats: Option<StreamStats>,
+    /// Quarantine log (`Final` only).
+    pub quarantine: Option<QuarantineLog>,
+}
+
+/// Serving-layer configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Per-session streaming ingestion config (reorder window, lateness,
+    /// dedup, skew offsets). `track_releases` is forced on by the server.
+    pub stream: StreamConfig,
+    /// A session closes when the global watermark (max event time seen
+    /// across all sessions minus this gap) passes its last activity.
+    /// `f64::INFINITY` disables watermark closes — only
+    /// [`SessionServer::close_all`] then closes sessions.
+    pub session_gap: f64,
+    /// Number of session shards. Sessions route by `id % num_shards`;
+    /// fixed by config (NOT by thread count) so results are identical at
+    /// any pool width.
+    pub num_shards: usize,
+    /// Emit an early-warning score every N released edges; `0` disables.
+    pub early_warning_every: usize,
+    /// Node count for sessions that were never
+    /// [`register`](SessionServer::register)ed.
+    pub default_nodes: usize,
+    /// Feature dimension for unregistered sessions; must match the model's
+    /// input dimension.
+    pub default_feature_dim: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            stream: StreamConfig::default(),
+            session_gap: f64::INFINITY,
+            num_shards: 8,
+            early_warning_every: 0,
+            default_nodes: 16,
+            default_feature_dim: 3,
+        }
+    }
+}
+
+/// Cumulative serving counters (deterministic — no wall-clock content).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Ingest batches processed.
+    pub batches: usize,
+    /// Events offered across all batches.
+    pub events: usize,
+    /// Early-warning scores emitted.
+    pub early_scores: usize,
+    /// Final scores emitted.
+    pub final_scores: usize,
+    /// Sessions closed (watermark or forced).
+    pub closed: usize,
+    /// Events dropped because their session was already closed.
+    pub dropped_closed: usize,
+    /// Sessions refused at open (feature-dim mismatch or a model without
+    /// an incremental form).
+    pub refused: usize,
+}
+
+/// One resident session: its streaming builder, incremental model state,
+/// and close bookkeeping.
+struct SessionEntry {
+    builder: CtdnBuilder,
+    state: SessionState,
+    /// Max raw event time offered to this session (watermark comparisons).
+    last_seen: f64,
+    /// Released-edge count at which the next early warning fires.
+    next_warn: usize,
+}
+
+/// One shard of the session store plus its per-batch scratch queues.
+struct Shard {
+    sessions: BTreeMap<u64, SessionEntry>,
+    /// Features declared ahead of first arrival via `register`.
+    registered: BTreeMap<u64, NodeFeatures>,
+    /// Closed session ids: further traffic for them is counted and dropped.
+    tombstones: BTreeSet<u64>,
+    /// This batch's events, in arrival order (filled before fan-out).
+    pending: Vec<(u64, StreamEvent)>,
+    /// Open refusals, surfaced via [`SessionServer::take_refusals`].
+    refusals: Vec<String>,
+    dropped: usize,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            sessions: BTreeMap::new(),
+            registered: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+            pending: Vec::new(),
+            refusals: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Process this batch's pending events, then close every session the
+    /// watermark has passed. Runs on a pool worker with a worker-local
+    /// tape; output order is a pure function of the input order, so the
+    /// flattened result is identical at any pool width.
+    fn process<M: IncrementalScorer>(
+        &mut self,
+        tape: &mut Tape,
+        model: &M,
+        cfg: &ServeConfig,
+        watermark: f64,
+    ) -> Vec<ScoreRecord> {
+        let mut out = Vec::new();
+        let pending = std::mem::take(&mut self.pending);
+        for (sid, ev) in pending {
+            if self.tombstones.contains(&sid) {
+                self.dropped += 1;
+                continue;
+            }
+            if !self.sessions.contains_key(&sid) && !self.open(tape, model, cfg, sid) {
+                self.dropped += 1;
+                continue;
+            }
+            let entry = self.sessions.get_mut(&sid).expect("opened above");
+            if ev.time.is_finite() {
+                entry.last_seen = entry.last_seen.max(ev.time);
+            }
+            entry.builder.push(ev);
+            Self::advance(tape, model, entry);
+            if cfg.early_warning_every > 0 {
+                while entry.state.num_edges() >= entry.next_warn {
+                    tape.reset();
+                    let proba = model.score_session(tape, &entry.state);
+                    cells().early.inc();
+                    out.push(ScoreRecord {
+                        session: sid,
+                        kind: ScoreKind::Early,
+                        proba,
+                        edges: entry.state.num_edges(),
+                        stats: None,
+                        quarantine: None,
+                    });
+                    entry.next_warn += cfg.early_warning_every;
+                }
+            }
+        }
+
+        // Watermark close pass: ascending session id, deterministically.
+        let due: Vec<u64> = self
+            .sessions
+            .iter()
+            .filter(|(_, e)| e.last_seen < watermark)
+            .map(|(id, _)| *id)
+            .collect();
+        for sid in due {
+            let entry = self.sessions.remove(&sid).expect("listed above");
+            self.tombstones.insert(sid);
+            out.push(Self::close(tape, model, sid, entry));
+        }
+        out
+    }
+
+    /// Open a session: streaming builder plus incremental model state over
+    /// its registered (or default zero) features. Returns `false` on
+    /// refusal (recorded, never panics).
+    fn open<M: IncrementalScorer>(
+        &mut self,
+        tape: &mut Tape,
+        model: &M,
+        cfg: &ServeConfig,
+        sid: u64,
+    ) -> bool {
+        let features = self
+            .registered
+            .remove(&sid)
+            .unwrap_or_else(|| NodeFeatures::zeros(cfg.default_nodes, cfg.default_feature_dim));
+        tape.reset();
+        match model.open_session(tape, &features) {
+            Ok(state) => {
+                let mut stream = cfg.stream.clone();
+                stream.track_releases = true;
+                self.sessions.insert(
+                    sid,
+                    SessionEntry {
+                        builder: CtdnBuilder::new(features, stream),
+                        state,
+                        last_seen: f64::NEG_INFINITY,
+                        next_warn: cfg.early_warning_every.max(1),
+                    },
+                );
+                true
+            }
+            Err(e) => {
+                self.refusals.push(format!("session {sid}: {e}"));
+                self.tombstones.insert(sid);
+                false
+            }
+        }
+    }
+
+    /// Advance the model state through everything the builder released.
+    fn advance<M: IncrementalScorer>(tape: &mut Tape, model: &M, entry: &mut SessionEntry) {
+        for r in entry.builder.drain_released() {
+            tape.reset();
+            model.advance_session(tape, &mut entry.state, TemporalEdge::new(r.src, r.dst, r.time));
+            cells().advanced.inc();
+        }
+    }
+
+    /// Close one session: flush the reorder tail, advance through it,
+    /// take the final score, and fold in the ingestion outcome.
+    fn close<M: IncrementalScorer>(
+        tape: &mut Tape,
+        model: &M,
+        sid: u64,
+        mut entry: SessionEntry,
+    ) -> ScoreRecord {
+        entry.builder.flush_buffer();
+        Self::advance(tape, model, &mut entry);
+        tape.reset();
+        let proba = model.score_session(tape, &entry.state);
+        let outcome = entry.builder.finish();
+        cells().closed.inc();
+        ScoreRecord {
+            session: sid,
+            kind: ScoreKind::Final,
+            proba,
+            edges: entry.state.num_edges(),
+            stats: Some(outcome.stats),
+            quarantine: Some(outcome.quarantine),
+        }
+    }
+}
+
+/// The resident serving loop: a sharded store of live sessions over a
+/// shared incremental model.
+///
+/// The model is borrowed, not owned: serving is read-only on the weights,
+/// so the same model instance can train offline and serve from a snapshot
+/// elsewhere. All request processing fans out over the `tpgnn-par` pool;
+/// every returned record sequence is bitwise-identical at any pool width.
+pub struct SessionServer<'m, M: IncrementalScorer + Sync> {
+    model: &'m M,
+    cfg: ServeConfig,
+    shards: Vec<Shard>,
+    /// Max finite event time seen across all sessions (watermark anchor).
+    global_max: f64,
+    stats: ServeStats,
+}
+
+impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
+    /// Build a server over `model`.
+    ///
+    /// Fails fast (instead of refusing every session later) when the model
+    /// has no incremental form for the configured default feature
+    /// dimension — e.g. the `rand` ablation.
+    pub fn new(model: &'m M, cfg: ServeConfig) -> Result<Self, String> {
+        let mut probe_tape = Tape::new();
+        let probe = NodeFeatures::zeros(1, cfg.default_feature_dim);
+        model
+            .open_session(&mut probe_tape, &probe)
+            .map_err(|e| format!("model cannot serve incrementally: {e}"))?;
+        let shards = (0..cfg.num_shards.max(1)).map(|_| Shard::new()).collect();
+        Ok(Self { model, cfg, shards, global_max: f64::NEG_INFINITY, stats: ServeStats::default() })
+    }
+
+    /// Declare a session's node features ahead of its first event.
+    /// Unregistered sessions open over
+    /// [`ServeConfig::default_nodes`] × [`ServeConfig::default_feature_dim`]
+    /// zero features.
+    pub fn register(&mut self, session: u64, features: NodeFeatures) {
+        let shard = (session % self.shards.len() as u64) as usize;
+        self.shards[shard].registered.insert(session, features);
+    }
+
+    /// Offer one batch of events; returns every score emitted (early
+    /// warnings in event order per shard, then watermark closes in
+    /// session-id order, shards concatenated in index order).
+    pub fn ingest(&mut self, batch: &[SessionEvent]) -> Vec<ScoreRecord> {
+        let t0 = Instant::now();
+        let mut span = trace::span("serve.request");
+        for se in batch {
+            let t = se.event.time;
+            if t.is_finite() {
+                self.global_max = self.global_max.max(t);
+            }
+        }
+        let watermark = self.global_max - self.cfg.session_gap;
+        let records = self.run_shards(batch, watermark);
+        self.stats.batches += 1;
+        self.stats.events += batch.len();
+        let c = cells();
+        c.requests.inc();
+        c.events.add(batch.len() as u64);
+        c.resident.set(self.resident() as f64);
+        c.request_us.record(t0.elapsed().as_secs_f64() * 1e6);
+        span.set("events", batch.len() as f64);
+        span.set("records", records.len() as f64);
+        span.set("resident", self.resident() as f64);
+        records
+    }
+
+    /// Force-close every resident session (end of stream): flush, final
+    /// score, evict. Records are in session-id order within each shard.
+    pub fn close_all(&mut self) -> Vec<ScoreRecord> {
+        let mut span = trace::span("serve.request");
+        let records = self.run_shards(&[], f64::INFINITY);
+        let c = cells();
+        c.resident.set(self.resident() as f64);
+        span.set("events", 0.0);
+        span.set("records", records.len() as f64);
+        span.set("resident", self.resident() as f64);
+        records
+    }
+
+    fn run_shards(&mut self, batch: &[SessionEvent], watermark: f64) -> Vec<ScoreRecord> {
+        let n = self.shards.len() as u64;
+        for se in batch {
+            self.shards[(se.session % n) as usize].pending.push((se.session, se.event));
+        }
+        let model = self.model;
+        let cfg = &self.cfg;
+        let per_shard = tpgnn_par::map_mut(&mut self.shards, Tape::new, |tape, _i, shard| {
+            shard.process(tape, model, cfg, watermark)
+        });
+        let records: Vec<ScoreRecord> = per_shard.into_iter().flatten().collect();
+        for r in &records {
+            match r.kind {
+                ScoreKind::Early => self.stats.early_scores += 1,
+                ScoreKind::Final => {
+                    self.stats.final_scores += 1;
+                    self.stats.closed += 1;
+                }
+            }
+        }
+        self.stats.dropped_closed =
+            self.shards.iter().map(|s| s.dropped).sum();
+        self.stats.refused = self.shards.iter().map(|s| s.refusals.len()).sum();
+        records
+    }
+
+    /// Number of sessions currently resident (open state in some shard).
+    pub fn resident(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions.len()).sum()
+    }
+
+    /// Cumulative deterministic counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Open refusals recorded so far (feature-dim mismatches), drained.
+    pub fn take_refusals(&mut self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &mut self.shards {
+            out.append(&mut s.refusals);
+        }
+        out
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+}
+
+struct Cells {
+    requests: &'static Counter,
+    events: &'static Counter,
+    advanced: &'static Counter,
+    early: &'static Counter,
+    closed: &'static Counter,
+    resident: &'static Gauge,
+    request_us: &'static Histogram,
+}
+
+fn cells() -> &'static Cells {
+    static CELLS: OnceLock<Cells> = OnceLock::new();
+    CELLS.get_or_init(|| Cells {
+        requests: metrics::counter("serve.requests"),
+        events: metrics::counter("serve.events"),
+        advanced: metrics::counter("serve.advanced"),
+        early: metrics::counter("serve.scores_early"),
+        closed: metrics::counter("serve.closed"),
+        resident: metrics::gauge("serve.sessions_resident"),
+        request_us: metrics::histogram(
+            "serve.request_us",
+            &metrics::exponential_buckets(10.0, 2.0, 16),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpgnn_core::{GraphClassifier, TpGnn, TpGnnConfig};
+
+    fn feats(n: usize) -> NodeFeatures {
+        let mut f = NodeFeatures::zeros(n, 3);
+        for v in 0..n {
+            f.row_mut(v).copy_from_slice(&[v as f32 * 0.1, 0.5, 1.0 - v as f32 * 0.05]);
+        }
+        f
+    }
+
+    fn ev(session: u64, src: usize, dst: usize, t: f64) -> SessionEvent {
+        SessionEvent::new(session, StreamEvent::new(src, dst, t))
+    }
+
+    #[test]
+    fn sessions_close_at_watermark_and_score_matches_batch() {
+        let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(4));
+        let cfg = ServeConfig { session_gap: 5.0, ..ServeConfig::default() };
+        let mut server = SessionServer::new(&model, cfg).unwrap();
+        server.register(1, feats(4));
+        server.register(2, feats(4));
+
+        // Session 1 is active around t=1..3; session 2 keeps the clock
+        // advancing until the watermark (t−5) passes session 1.
+        let r = server.ingest(&[
+            ev(1, 0, 1, 1.0),
+            ev(1, 1, 2, 2.0),
+            ev(2, 0, 1, 2.0),
+            ev(1, 2, 3, 3.0),
+        ]);
+        assert!(r.is_empty());
+        assert_eq!(server.resident(), 2);
+        let r = server.ingest(&[ev(2, 1, 2, 9.5)]); // watermark 4.5 > 3.0
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].session, r[0].kind), (1, ScoreKind::Final));
+        assert_eq!(server.resident(), 1);
+
+        // Bitwise: the final score equals batch predict_proba on the
+        // session's released-edge graph.
+        let mut model2 = TpGnn::new(TpGnnConfig::sum(3).with_seed(4));
+        let mut g = tpgnn_graph::Ctdn::new(feats(4));
+        for (s, d, t) in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)] {
+            g.try_add_edge(s, d, t).unwrap();
+        }
+        assert_eq!(model2.predict_proba(&mut g).to_bits(), r[0].proba.to_bits());
+
+        // Stragglers to the closed session are dropped, not mis-scored.
+        server.ingest(&[ev(1, 0, 3, 9.6)]);
+        assert_eq!(server.stats().dropped_closed, 1);
+
+        let rest = server.close_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].session, 2);
+        assert_eq!(server.resident(), 0);
+        assert_eq!(server.stats().final_scores, 2);
+    }
+
+    #[test]
+    fn early_warnings_fire_every_n_released_edges() {
+        let model = TpGnn::new(TpGnnConfig::gru(3).with_seed(7));
+        let cfg = ServeConfig {
+            // lateness 0 ⇒ an in-order feed releases every event on push.
+            stream: StreamConfig { lateness: 0.0, ..StreamConfig::default() },
+            early_warning_every: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = SessionServer::new(&model, cfg).unwrap();
+        server.register(9, feats(4));
+        let batch: Vec<SessionEvent> =
+            (0..6).map(|i| ev(9, i % 4, (i + 1) % 4, (i + 1) as f64)).collect();
+        let records = server.ingest(&batch);
+        let early: Vec<usize> = records
+            .iter()
+            .filter(|r| r.kind == ScoreKind::Early)
+            .map(|r| r.edges)
+            .collect();
+        assert_eq!(early, vec![2, 4, 6]);
+        let fin = server.close_all();
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].edges, 6);
+    }
+
+    #[test]
+    fn unregistered_sessions_open_with_default_features() {
+        let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(1));
+        let mut server = SessionServer::new(&model, ServeConfig::default()).unwrap();
+        let r = server.ingest(&[ev(42, 0, 1, 1.0)]);
+        assert!(r.is_empty());
+        assert_eq!(server.resident(), 1);
+        let fin = server.close_all();
+        assert_eq!(fin.len(), 1);
+        assert_eq!(fin[0].stats.unwrap().released, 1);
+    }
+
+    #[test]
+    fn mismatched_features_are_refused_not_panicked() {
+        let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(1));
+        let mut server = SessionServer::new(&model, ServeConfig::default()).unwrap();
+        server.register(5, NodeFeatures::zeros(4, 7)); // model wants dim 3
+        let r = server.ingest(&[ev(5, 0, 1, 1.0), ev(5, 1, 2, 2.0)]);
+        assert!(r.is_empty());
+        assert_eq!(server.resident(), 0);
+        assert_eq!(server.stats().refused, 1);
+        let refusals = server.take_refusals();
+        assert_eq!(refusals.len(), 1);
+        assert!(refusals[0].contains("feature dim 7"), "{refusals:?}");
+        assert!(server.close_all().is_empty());
+    }
+
+    #[test]
+    fn rand_ablation_model_is_rejected_at_construction() {
+        use tpgnn_core::AblationVariant;
+        let model = TpGnn::new(AblationVariant::Rand.apply(TpGnnConfig::sum(3)));
+        let err = match SessionServer::new(&model, ServeConfig::default()) {
+            Ok(_) => panic!("rand ablation must be refused"),
+            Err(e) => e,
+        };
+        assert!(err.contains("cannot serve incrementally"), "{err}");
+    }
+}

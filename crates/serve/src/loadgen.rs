@@ -1,0 +1,272 @@
+//! Seeded open-loop load generator: chaos injectors as a traffic model.
+//!
+//! [`generate`] synthesizes `sessions` forum-java sessions (one RNG per
+//! session, derived with [`tpgnn_par::task_seed`], so the corpus is
+//! independent of generation order), pushes each clean event stream through
+//! the [`FaultPlan`] injectors, staggers sessions along the global clock,
+//! and interleaves the per-session arrival sequences into batches with a
+//! seeded weighted merge that preserves per-session relative order — the
+//! one ordering property the serving contract requires.
+//!
+//! [`run`] drives a [`SessionServer`] through the batches, recording
+//! per-request wall-clock latency. Everything except the latencies is a
+//! pure function of the [`LoadPlan`]: the score records, serve counters,
+//! and fault ledger are bitwise-reproducible at any pool width, which the
+//! workspace determinism suite checks end to end.
+
+use std::time::Instant;
+
+use tpgnn_core::IncrementalScorer;
+use tpgnn_data::chaos::{events_of, inject, FaultLedger, FaultPlan};
+use tpgnn_data::forum_java::{generate_session, ForumJavaConfig};
+use tpgnn_graph::NodeFeatures;
+use tpgnn_par::task_seed;
+use tpgnn_rng::rngs::StdRng;
+use tpgnn_rng::{Rng, SeedableRng};
+
+use crate::{ScoreRecord, ServeConfig, ServeStats, SessionEvent, SessionServer};
+
+/// A complete, seeded description of one load-generation run.
+#[derive(Clone, Debug)]
+pub struct LoadPlan {
+    /// Number of concurrent sessions in the traffic mix.
+    pub sessions: usize,
+    /// Master seed; session `i` derives its own RNG via `task_seed`.
+    pub seed: u64,
+    /// Fault model applied to every session's event stream.
+    pub fault: FaultPlan,
+    /// Events per `ingest` request.
+    pub batch_size: usize,
+    /// Global-clock offset between consecutive session starts (time
+    /// units); `0.0` starts everything at once.
+    pub session_spacing: f64,
+    /// Watermark gap handed to the server ([`ServeConfig::session_gap`]).
+    pub session_gap: f64,
+    /// Early-warning cadence ([`ServeConfig::early_warning_every`]).
+    pub early_warning_every: usize,
+    /// Session shards ([`ServeConfig::num_shards`]).
+    pub num_shards: usize,
+}
+
+impl Default for LoadPlan {
+    fn default() -> Self {
+        Self {
+            sessions: 64,
+            seed: 42,
+            fault: FaultPlan::clean(),
+            batch_size: 64,
+            session_spacing: 0.0,
+            session_gap: f64::INFINITY,
+            num_shards: 8,
+            early_warning_every: 0,
+        }
+    }
+}
+
+impl LoadPlan {
+    /// The server configuration this plan implies: the fault plan's matched
+    /// stream config (declared skew, lateness, clock tolerance) plus this
+    /// plan's gap/warning/shard knobs.
+    pub fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            stream: self.fault.stream_config(),
+            session_gap: self.session_gap,
+            num_shards: self.num_shards,
+            early_warning_every: self.early_warning_every,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// The generated traffic: per-session features to register, the batched
+/// arrival sequence, and the exact ledger of injected faults.
+#[derive(Clone, Debug)]
+pub struct Traffic {
+    /// `(session id, node features)` for every session in the mix.
+    pub features: Vec<(u64, NodeFeatures)>,
+    /// Arrival batches, each at most `batch_size` events.
+    pub batches: Vec<Vec<SessionEvent>>,
+    /// Summed fault ledger across all sessions.
+    pub ledger: FaultLedger,
+    /// Total events across all batches.
+    pub total_events: usize,
+}
+
+/// Synthesize the traffic for `plan`. Pure function of the plan.
+pub fn generate(plan: &LoadPlan) -> Traffic {
+    let cfg = ForumJavaConfig::default();
+    let mut features = Vec::with_capacity(plan.sessions);
+    let mut queues: Vec<Vec<SessionEvent>> = Vec::with_capacity(plan.sessions);
+    let mut ledger = FaultLedger::default();
+    for i in 0..plan.sessions {
+        let sid = i as u64;
+        let mut rng = StdRng::seed_from_u64(task_seed(plan.seed, sid));
+        let g = generate_session(&cfg, &mut rng);
+        let offset = plan.session_spacing * i as f64;
+        let mut clean = events_of(&g, plan.fault.num_origins);
+        for ev in &mut clean {
+            ev.time += offset;
+        }
+        let outcome = inject(&clean, g.num_nodes(), &plan.fault, &mut rng);
+        ledger.absorb(&outcome.ledger);
+        features.push((sid, g.features().clone()));
+        queues.push(outcome.events.into_iter().map(|ev| SessionEvent::new(sid, ev)).collect());
+    }
+
+    // Weighted merge: at each step pick a session with probability
+    // proportional to its remaining events, then emit its next event.
+    // Per-session relative order is preserved by construction; the global
+    // interleaving is a pure function of the seed.
+    let total_events: usize = queues.iter().map(Vec::len).sum();
+    let mut rng = StdRng::seed_from_u64(task_seed(plan.seed, u64::MAX));
+    let mut next = vec![0usize; queues.len()];
+    let mut remaining: Vec<usize> = queues.iter().map(Vec::len).collect();
+    let mut left = total_events;
+    let mut stream = Vec::with_capacity(total_events);
+    while left > 0 {
+        let mut pick = rng.random_range(0..left);
+        let mut s = 0;
+        while pick >= remaining[s] {
+            pick -= remaining[s];
+            s += 1;
+        }
+        stream.push(queues[s][next[s]]);
+        next[s] += 1;
+        remaining[s] -= 1;
+        left -= 1;
+    }
+
+    let batch_size = plan.batch_size.max(1);
+    let batches = stream.chunks(batch_size).map(<[SessionEvent]>::to_vec).collect();
+    Traffic { features, batches, ledger, total_events }
+}
+
+/// Outcome of one load run: every score emitted, the per-request latencies
+/// (the only non-deterministic field), serve counters, and the fault
+/// ledger of the traffic that was offered.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Every score record, in emission order.
+    pub records: Vec<ScoreRecord>,
+    /// Wall-clock latency of each `ingest` request, microseconds.
+    pub latencies_us: Vec<f64>,
+    /// Cumulative serve counters at end of run.
+    pub stats: ServeStats,
+    /// Exact ledger of the faults the traffic carried.
+    pub ledger: FaultLedger,
+    /// Events offered across all requests.
+    pub total_events: usize,
+}
+
+/// Generate `plan`'s traffic and drive it through a fresh
+/// [`SessionServer`] over `model`, closing every surviving session at the
+/// end. Fails only if the model cannot serve incrementally.
+pub fn run<M: IncrementalScorer + Sync>(
+    model: &M,
+    plan: &LoadPlan,
+) -> Result<RunSummary, String> {
+    let traffic = generate(plan);
+    let mut server = SessionServer::new(model, plan.serve_config())?;
+    for (sid, feats) in &traffic.features {
+        server.register(*sid, feats.clone());
+    }
+    let mut records = Vec::new();
+    let mut latencies_us = Vec::with_capacity(traffic.batches.len());
+    for batch in &traffic.batches {
+        let t0 = Instant::now();
+        records.extend(server.ingest(batch));
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    records.extend(server.close_all());
+    Ok(RunSummary {
+        records,
+        latencies_us,
+        stats: *server.stats(),
+        ledger: traffic.ledger,
+        total_events: traffic.total_events,
+    })
+}
+
+/// The `p`-th percentile (0–100, nearest-rank) of `samples`; `0.0` when
+/// empty. Sorts a copy — fine at benchmark scales.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScoreKind;
+    use tpgnn_core::{TpGnn, TpGnnConfig};
+    use tpgnn_graph::stream::StreamEvent;
+
+    #[test]
+    fn interleave_preserves_per_session_order_and_loses_nothing() {
+        let plan = LoadPlan {
+            sessions: 6,
+            seed: 9,
+            fault: FaultPlan::mixed(0.2),
+            batch_size: 17,
+            ..LoadPlan::default()
+        };
+        let t = generate(&plan);
+        assert_eq!(t.total_events, t.ledger.emitted);
+        let flat: Vec<SessionEvent> = t.batches.iter().flatten().copied().collect();
+        assert_eq!(flat.len(), t.total_events);
+        for sid in 0..plan.sessions as u64 {
+            let mine: Vec<_> = flat.iter().filter(|se| se.session == sid).collect();
+            let mut rng = StdRng::seed_from_u64(task_seed(plan.seed, sid));
+            let g = generate_session(&ForumJavaConfig::default(), &mut rng);
+            let clean = events_of(&g, plan.fault.num_origins);
+            let expect = inject(&clean, g.num_nodes(), &plan.fault, &mut rng);
+            assert_eq!(mine.len(), expect.events.len(), "session {sid}");
+            // Bit-compare timestamps: corrupted events carry NaN, which
+            // `PartialEq` would (correctly, uselessly) call unequal.
+            for (got, want) in mine.iter().zip(&expect.events) {
+                let key = |e: &StreamEvent| (e.src, e.dst, e.time.to_bits(), e.origin);
+                assert_eq!(key(&got.event), key(want), "session {sid} order violated");
+            }
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic_modulo_latency() {
+        let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(2));
+        let plan = LoadPlan {
+            sessions: 8,
+            seed: 3,
+            fault: FaultPlan::mixed(0.15),
+            batch_size: 32,
+            ..LoadPlan::default()
+        };
+        let a = run(&model, &plan).unwrap();
+        let b = run(&model, &plan).unwrap();
+        assert_eq!(a.records.len(), b.records.len());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(
+                (x.session, x.kind, x.proba.to_bits(), x.edges),
+                (y.session, y.kind, y.proba.to_bits(), y.edges)
+            );
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.ledger, b.ledger);
+        assert_eq!(a.records.len(), plan.sessions, "one final score per session");
+        assert!(a.records.iter().all(|r| r.kind == ScoreKind::Final));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -30,7 +30,7 @@ fn make_ripple(rng: &mut StdRng) -> Ctdn {
     for v in 1..n {
         let parent = rng.random_range(0..v);
         t += rng.random_range(0.1..0.6);
-        g.add_edge(parent, v, t);
+        g.try_add_edge(parent, v, t).unwrap();
     }
     g
 }

@@ -20,11 +20,11 @@ fn make_graph(forward: bool) -> Ctdn {
     let chain = [(0, 1), (1, 2), (2, 3), (3, 4)];
     if forward {
         for (i, (s, d)) in chain.iter().enumerate() {
-            g.add_edge(*s, *d, (i + 1) as f64);
+            g.try_add_edge(*s, *d, (i + 1) as f64).unwrap();
         }
     } else {
         for (i, (s, d)) in chain.iter().rev().enumerate() {
-            g.add_edge(*s, *d, (i + 1) as f64);
+            g.try_add_edge(*s, *d, (i + 1) as f64).unwrap();
         }
     }
     g

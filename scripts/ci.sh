@@ -52,6 +52,23 @@ done < "$trace_file"
 echo "trace OK: $(wc -l < "$trace_file") JSONL records in $trace_file"
 
 echo
+echo "== traced serving smoke (TPGNN_TRACE=1 serve_smoke) =="
+# serve_smoke drives clean and fault-injected chaos traffic through the
+# resident SessionServer and validates the serve.request spans and serve.*
+# metrics series from the outside; CI additionally asserts the trace file
+# exists, is non-empty, and every line parses.
+TPGNN_TRACE=1 cargo run --release --offline -p tpgnn-bench --bin serve_smoke
+serve_trace=results/trace-serve-smoke.jsonl
+[ -s "$serve_trace" ] || { echo "CI FAIL: $serve_trace missing or empty" >&2; exit 1; }
+while IFS= read -r line; do
+  case "$line" in
+    "{"*"}") ;;
+    *) echo "CI FAIL: non-JSON line in $serve_trace: $line" >&2; exit 1 ;;
+  esac
+done < "$serve_trace"
+echo "trace OK: $(wc -l < "$serve_trace") JSONL records in $serve_trace"
+
+echo
 echo "== chaos smoke (seeded fault schedules, --smoke) =="
 # Every injector type across 10 seeded schedules: zero panics, bounded
 # reorder buffer, typed rejections reconciling exactly with injected
@@ -61,4 +78,4 @@ echo "== chaos smoke (seeded fault schedules, --smoke) =="
 cargo run --release --offline -p tpgnn-bench --bin chaos_smoke -- --smoke
 
 echo
-echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke, chaos smoke."
+echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke, serving smoke, chaos smoke."

@@ -29,11 +29,11 @@ fn order_only_dataset(num: usize, seed: u64) -> GraphDataset {
         let mut t = 0.0;
         for v in 0..n - 1 {
             t += rng.random_range(0.2..0.8);
-            g.add_edge(v, v + 1, t);
+            g.try_add_edge(v, v + 1, t).unwrap();
         }
         // A couple of long-range edges so influence sets are interesting.
         t += 0.3;
-        g.add_edge(0, n - 1, t);
+        g.try_add_edge(0, n - 1, t).unwrap();
         if i % 3 == 0 {
             let neg = negative::temporal_shuffle(&g, 0.6, &mut rng);
             ds.graphs.push(LabeledGraph { graph: neg, label: false });

@@ -11,15 +11,15 @@ fn fig7_graph() -> Ctdn {
         feats.row_mut(v).copy_from_slice(&[0.1 + 0.08 * v as f32, 0.5 - 0.03 * v as f32, 0.4]);
     }
     let mut g = Ctdn::new(feats);
-    g.add_edge(0, 1, 1.2);
-    g.add_edge(1, 2, 2.8);
-    g.add_edge(2, 3, 4.3);
-    g.add_edge(3, 4, 6.0);
-    g.add_edge(4, 5, 7.7);
-    g.add_edge(5, 6, 9.1);
-    g.add_edge(6, 5, 11.4);
-    g.add_edge(5, 7, 14.5);
-    g.add_edge(7, 8, 16.2);
+    g.try_add_edge(0, 1, 1.2).unwrap();
+    g.try_add_edge(1, 2, 2.8).unwrap();
+    g.try_add_edge(2, 3, 4.3).unwrap();
+    g.try_add_edge(3, 4, 6.0).unwrap();
+    g.try_add_edge(4, 5, 7.7).unwrap();
+    g.try_add_edge(5, 6, 9.1).unwrap();
+    g.try_add_edge(6, 5, 11.4).unwrap();
+    g.try_add_edge(5, 7, 14.5).unwrap();
+    g.try_add_edge(7, 8, 16.2).unwrap();
     g
 }
 

@@ -66,6 +66,69 @@ fn same_fault_seed_reproduces_training_losses_bitwise() {
     assert_eq!(loss_bits(&a), loss_bits(&b), "degraded training must be seed-deterministic");
 }
 
+/// Chaos under serve: mixed-fault traffic (duplicates, corruption, burst
+/// drops, window shuffles) driven through the online serving loop must
+/// produce zero panics and account for every event exactly — per session,
+/// `received == released + quarantined`, and in aggregate the builder
+/// quarantine logs reconcile one-to-one with the injected fault ledger.
+#[test]
+fn mixed_fault_traffic_through_serve_loop_reconciles_exactly() {
+    use tpgnn_data::chaos::QuarantineCounts;
+    use tpgnn_graph::stream::RejectKind;
+    use tpgnn_serve::loadgen::{run, LoadPlan};
+    use tpgnn_serve::ScoreKind;
+
+    let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(9));
+    let plan = LoadPlan {
+        sessions: 16,
+        seed: 77,
+        fault: FaultPlan::mixed(0.3),
+        batch_size: 40,
+        ..LoadPlan::default()
+    };
+    let summary = run(&model, &plan).expect("model serves incrementally");
+
+    assert!(summary.ledger.duplicated > 0, "mixed(0.3) injected no duplicates");
+    assert!(summary.ledger.corrupted > 0, "mixed(0.3) injected no corruption");
+    assert!(summary.ledger.dropped > 0, "mixed(0.3) injected no drop bursts");
+
+    let mut counts = QuarantineCounts::default();
+    let mut received = 0;
+    let mut released = 0;
+    for record in &summary.records {
+        assert_eq!(record.kind, ScoreKind::Final);
+        assert!((0.0..=1.0).contains(&record.proba), "score escaped [0,1]");
+        let stats = record.stats.as_ref().expect("final records carry stats");
+        assert_eq!(
+            stats.received,
+            stats.released + stats.quarantined,
+            "session {}: ingestion accounting leaked events",
+            record.session
+        );
+        assert_eq!(record.edges, stats.released, "state advanced != released");
+        received += stats.received;
+        released += stats.released;
+        counts.absorb(record.quarantine.as_ref().expect("final records carry the log"));
+    }
+    assert_eq!(summary.records.len(), plan.sessions, "a session was lost or double-scored");
+    // The traffic the injectors emitted is exactly the traffic the serve
+    // loop received; dropped events were never emitted, so they appear in
+    // neither stats nor quarantine.
+    assert_eq!(received, summary.ledger.emitted);
+    // Corruption mutates an event in place (the clean original is never
+    // emitted), so the released stream is the clean input minus drop
+    // bursts minus corrupted records — duplicates cancel against dedup.
+    assert_eq!(
+        released,
+        summary.ledger.input_events - summary.ledger.dropped - summary.ledger.corrupted,
+        "released events must reconcile with the injected fault ledger"
+    );
+    // Reason-for-reason reconciliation with the ledger.
+    assert_eq!(counts.count(RejectKind::Duplicate), summary.ledger.duplicated);
+    assert_eq!(counts.count(RejectKind::Malformed), summary.ledger.corrupted);
+    assert_eq!(counts.total(), summary.ledger.duplicated + summary.ledger.corrupted);
+}
+
 #[test]
 fn zero_fault_stream_matches_direct_loader_through_training() {
     let clean = DatasetKind::ForumJava.generate(12, 23);

@@ -173,6 +173,53 @@ fn eval_cell_metrics_identical_across_thread_counts() {
     }
 }
 
+/// The online serving path is bitwise-identical across pool widths: the
+/// same seeded chaos-traffic load plan, driven through a `SessionServer`
+/// at `TPGNN_THREADS=1` and at a 4-wide pool, must emit identical score
+/// records (session, kind, probability bits, edge counts) and identical
+/// deterministic counters — exactly what `bench_serve.json` records (its
+/// latency fields are the one explicitly wall-clock, non-pinned part).
+/// `scripts/ci.sh` additionally runs this whole test binary under both
+/// `TPGNN_THREADS` settings, so the override and the env path are each
+/// exercised.
+#[test]
+fn serve_scores_and_counters_identical_across_thread_counts() {
+    use tpgnn_data::chaos::FaultPlan;
+    use tpgnn_serve::loadgen::{run, LoadPlan};
+
+    let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(17));
+    // The delay component gives the plan's matched stream config a finite
+    // lateness horizon, so edges release (and early warnings fire) while
+    // sessions are still open rather than only at close.
+    let fault = FaultPlan { delay_rate: 0.1, delay_margin: 3.0, ..FaultPlan::mixed(0.15) };
+    let plan = LoadPlan {
+        sessions: 24,
+        seed: 2024,
+        fault,
+        batch_size: 48,
+        early_warning_every: 8,
+        ..LoadPlan::default()
+    };
+    let go = |threads: usize| {
+        tpgnn_par::with_thread_override(threads, || run(&model, &plan).expect("model serves"))
+    };
+    let seq = go(1);
+    let par = go(4);
+    assert_eq!(seq.records.len(), par.records.len(), "record counts differ");
+    for (i, (a, b)) in seq.records.iter().zip(&par.records).enumerate() {
+        assert_eq!(
+            (a.session, a.kind, a.proba.to_bits(), a.edges),
+            (b.session, b.kind, b.proba.to_bits(), b.edges),
+            "record {i} differs between 1 and 4 threads — \
+             a serving path depends on pool width"
+        );
+    }
+    assert_eq!(seq.stats, par.stats, "serve counters differ across thread counts");
+    assert_eq!(seq.ledger, par.ledger, "fault ledgers differ across thread counts");
+    assert_eq!(seq.stats.final_scores, plan.sessions, "one final score per session");
+    assert!(seq.stats.early_scores > 0, "plan produced no early warnings");
+}
+
 /// Different training seeds must actually change the trajectory —
 /// otherwise the test above passes vacuously (e.g. if seeding were
 /// ignored and everything ran from a fixed state).

@@ -20,7 +20,7 @@ fn random_ctdn(n: usize, edges: &[(usize, usize, u32)]) -> Ctdn {
     }
     let mut g = Ctdn::new(feats);
     for &(s, d, t) in edges {
-        g.add_edge(s % n, d % n, f64::from(t % 50 + 1));
+        g.try_add_edge(s % n, d % n, f64::from(t % 50 + 1)).unwrap();
     }
     g
 }
