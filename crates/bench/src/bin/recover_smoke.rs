@@ -1,0 +1,232 @@
+//! Crash-recovery smoke for CI: a child process is hard-aborted mid-stream
+//! (`std::process::abort`, no destructors, no flush — the closest in-tree
+//! stand-in for `kill -9`), its journal tail deliberately torn, and the
+//! parent recovers from the journal directory, finishes the traffic, and
+//! asserts the complete output history — every Final score bitwise, every
+//! counter, exact event-conservation ledger reconciliation — is identical
+//! to an uninterrupted run of the same seeded plan.
+//!
+//! Exit codes: 0 = recovery reproduced the uninterrupted history; 1 = any
+//! divergence or validation failure. `scripts/ci.sh` runs this next to
+//! `obs_smoke` / `serve_smoke` / `chaos_smoke`.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_data::chaos::FaultPlan;
+use tpgnn_serve::loadgen::{generate, LoadPlan, Traffic};
+use tpgnn_serve::{ScoreRecord, SessionServer};
+
+const CHILD_ENV: &str = "TPGNN_RECOVER_SMOKE_CHILD";
+const SPILL_ENV: &str = "TPGNN_RECOVER_SMOKE_SPILL";
+const JOURNAL_ENV: &str = "TPGNN_RECOVER_SMOKE_JOURNAL";
+const CUT_ENV: &str = "TPGNN_RECOVER_SMOKE_CUT";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("recover_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn model() -> TpGnn {
+    TpGnn::new(TpGnnConfig::gru(3).with_seed(19))
+}
+
+/// The shared seeded plan; parent and child must agree exactly, or the
+/// recovery self-check would (correctly) refuse the forked history.
+fn plan(spill: PathBuf, journal: PathBuf) -> LoadPlan {
+    LoadPlan {
+        sessions: 48,
+        seed: 1719,
+        fault: FaultPlan::mixed(0.15),
+        batch_size: 32,
+        session_spacing: 2.0,
+        session_gap: 30.0,
+        early_warning_every: 4,
+        num_shards: 8,
+        max_resident_sessions: 16,
+        max_buffered_edges: 0,
+        spill_dir: Some(spill),
+        journal_dir: Some(journal),
+        snapshot_every: 3,
+    }
+}
+
+/// Bit-exact comparison key (float equality would misjudge NaN payloads).
+fn key(r: &ScoreRecord) -> String {
+    let q = r.quarantine.as_ref().map(|q| q.render());
+    format!("{} {:?} {:08x} {} {:?} {:?}", r.session, r.kind, r.proba.to_bits(), r.edges, r.stats, q)
+}
+
+fn feed(
+    server: &mut SessionServer<'_, TpGnn>,
+    traffic: &Traffic,
+    range: std::ops::Range<usize>,
+) -> Vec<ScoreRecord> {
+    let mut out = Vec::new();
+    for b in &traffic.batches[range] {
+        out.extend(server.ingest(b).unwrap_or_else(|e| fail(&e.to_string())));
+    }
+    out
+}
+
+/// Child role: serve the first `cut` batches (each one fsync-committed
+/// before its results return), tear the journal tail as a crash mid-append
+/// would, and die without any cleanup.
+fn child() -> ! {
+    let spill = PathBuf::from(std::env::var(SPILL_ENV).unwrap());
+    let journal = PathBuf::from(std::env::var(JOURNAL_ENV).unwrap());
+    let cut: usize = std::env::var(CUT_ENV).unwrap().parse().unwrap();
+    let p = plan(spill, journal.clone());
+    let traffic = generate(&p);
+    let m = model();
+    let mut server =
+        SessionServer::new(&m, p.serve_config()).unwrap_or_else(|e| fail(&e.to_string()));
+    for (sid, f) in &traffic.features {
+        server.register(*sid, f.clone());
+    }
+    feed(&mut server, &traffic, 0..cut);
+    // Torn tail: the half-written frame of the batch that was in flight.
+    for name in ["shard-0.log", "commit.log"] {
+        if let Ok(mut f) = OpenOptions::new().append(true).open(journal.join(name)) {
+            let _ = f.write_all(b"ffffffffffffffff torn-mid-append");
+        }
+    }
+    std::process::abort(); // no destructors, no flush — the hard stop
+}
+
+fn main() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child();
+    }
+
+    let base = std::env::temp_dir().join(format!("tpgnn-recover-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let dirs = |tag: &str| {
+        let s = base.join(format!("{tag}-spill"));
+        let j = base.join(format!("{tag}-journal"));
+        std::fs::create_dir_all(&s).unwrap();
+        std::fs::create_dir_all(&j).unwrap();
+        (s, j)
+    };
+
+    // Uninterrupted reference run.
+    let (rs, rj) = dirs("ref");
+    let rp = plan(rs, rj);
+    let traffic = generate(&rp);
+    let n = traffic.batches.len();
+    let cut = n / 2;
+    if cut == 0 {
+        fail("traffic too small to cut");
+    }
+    let m = model();
+    let rcfg = rp.serve_config();
+    let mut reference =
+        SessionServer::new(&m, rcfg).unwrap_or_else(|e| fail(&e.to_string()));
+    for (sid, f) in &traffic.features {
+        reference.register(*sid, f.clone());
+    }
+    let mut ref_records = feed(&mut reference, &traffic, 0..n);
+    ref_records.extend(reference.close_all().unwrap_or_else(|e| fail(&e.to_string())));
+    let ref_stats = *reference.stats();
+    if ref_stats.evicted == 0 {
+        fail("reference run never evicted — the budget knobs are not biting");
+    }
+
+    // Child process: serve half the stream, then die hard.
+    let (cs, cj) = dirs("child");
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let status = Command::new(exe)
+        .env(CHILD_ENV, "1")
+        .env(SPILL_ENV, &cs)
+        .env(JOURNAL_ENV, &cj)
+        .env(CUT_ENV, cut.to_string())
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawning child: {e}")));
+    if status.success() {
+        fail("child was supposed to abort, but exited cleanly");
+    }
+
+    // Recover from the dead child's journal and finish the stream.
+    let kcfg = plan(cs, cj).serve_config();
+    let (mut server, report) = match SessionServer::recover(&m, kcfg) {
+        Ok(x) => x,
+        Err(e) => fail(&format!("recover: {e}")),
+    };
+    if report.last_committed != cut {
+        fail(&format!("expected horizon {cut}, recovered {}", report.last_committed));
+    }
+    if report.torn_frames < 2 {
+        fail(&format!("torn tail was not counted: {} torn frames", report.torn_frames));
+    }
+    let mut rec_records: Vec<ScoreRecord> =
+        report.delivered.into_iter().flat_map(|b| b.records).collect();
+    rec_records.extend(feed(&mut server, &traffic, cut..n));
+    rec_records.extend(server.close_all().unwrap_or_else(|e| fail(&e.to_string())));
+    let rec_stats = *server.stats();
+
+    // Bitwise-identical history, including every Final score.
+    if ref_records.len() != rec_records.len() {
+        fail(&format!(
+            "record counts diverge: {} uninterrupted vs {} recovered",
+            ref_records.len(),
+            rec_records.len()
+        ));
+    }
+    for (i, (a, b)) in ref_records.iter().zip(&rec_records).enumerate() {
+        if key(a) != key(b) {
+            fail(&format!("record {i} diverged:\n  uninterrupted {}\n  recovered    {}", key(a), key(b)));
+        }
+    }
+    if ref_stats != rec_stats {
+        fail(&format!("serve counters diverge:\n  {ref_stats:?}\n  {rec_stats:?}"));
+    }
+
+    // Exact ledger reconciliation: offered == absorbed + dropped + shed,
+    // and the quarantines cover the injected duplicate/corrupt faults.
+    let absorbed: usize = rec_records
+        .iter()
+        .filter_map(|r| r.stats.as_ref())
+        .map(|s| s.received)
+        .sum();
+    let accounted = absorbed
+        + rec_stats.shed_refused_events
+        + rec_stats.dropped_closed
+        + rec_stats.dropped_refused
+        + rec_stats.dropped_poisoned;
+    if rec_stats.events != accounted {
+        fail(&format!(
+            "event conservation broken: offered {} vs accounted {accounted}",
+            rec_stats.events
+        ));
+    }
+    // Every injected duplicate/corrupt event is either quarantined by the
+    // builder it reached or attributed as shed/dropped — never unaccounted.
+    let quarantined: usize = rec_records
+        .iter()
+        .filter_map(|r| r.stats.as_ref())
+        .map(|s| s.quarantined)
+        .sum();
+    let not_absorbed = accounted - absorbed;
+    if quarantined + not_absorbed < traffic.ledger.duplicated + traffic.ledger.corrupted {
+        fail(&format!(
+            "injected faults unaccounted: {quarantined} quarantined + {not_absorbed} shed/dropped \
+             < {} duplicated + {} corrupted",
+            traffic.ledger.duplicated, traffic.ledger.corrupted
+        ));
+    }
+
+    println!(
+        "recover_smoke: OK — killed at batch {cut}/{n}, replayed {} batch(es) past snapshot {:?}, \
+         {} torn frames absorbed, {} records bitwise-identical, {} evictions / {} restores reproduced",
+        report.batches_replayed,
+        report.snapshot_batch,
+        report.torn_frames,
+        rec_records.len(),
+        rec_stats.evicted,
+        rec_stats.restored,
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -40,7 +40,7 @@ fn main() {
         batch_size: 32,
         ..LoadPlan::default()
     };
-    let healthy = run(&model, &clean_plan).unwrap_or_else(|e| fail(&e));
+    let healthy = run(&model, &clean_plan).unwrap_or_else(|e| fail(&e.to_string()));
     if healthy.stats.final_scores != clean_plan.sessions {
         fail("healthy run lost sessions");
     }
@@ -66,7 +66,7 @@ fn main() {
         early_warning_every: 6,
         ..LoadPlan::default()
     };
-    let dirty = run(&model, &dirty_plan).unwrap_or_else(|e| fail(&e));
+    let dirty = run(&model, &dirty_plan).unwrap_or_else(|e| fail(&e.to_string()));
     if dirty.stats.final_scores != dirty_plan.sessions {
         fail("faulted run lost sessions");
     }

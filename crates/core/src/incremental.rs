@@ -52,6 +52,56 @@ impl SessionState {
     pub fn edges(&self) -> &[TemporalEdge] {
         &self.edges
     }
+
+    /// Serialize the full session — propagation accumulators plus the
+    /// released edge log — to deterministic text. Floats are IEEE-754 bit
+    /// patterns, so [`restore`](Self::restore) reproduces the state bitwise
+    /// and a spilled-and-restored session scores identically to one that
+    /// never left memory.
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        use tpgnn_tensor::ckpt::fmt_f64;
+        let mut out = String::from("session-state v1\n");
+        let _ = writeln!(out, "edges {}", self.edges.len());
+        for e in &self.edges {
+            let _ = writeln!(out, "e {} {} {}", e.src, e.dst, fmt_f64(e.time));
+        }
+        out.push_str(&self.prop.snapshot());
+        out
+    }
+
+    /// Rebuild a session from [`snapshot`](Self::snapshot) output, bitwise.
+    pub fn restore(text: &str) -> Result<Self, String> {
+        use tpgnn_tensor::ckpt::parse_f64;
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("session state: empty text")?;
+        if header != "session-state v1" {
+            return Err(format!("session state: bad header `{header}`"));
+        }
+        let count_line = lines.next().ok_or("session state: missing edges line")?;
+        let n: usize = count_line
+            .strip_prefix("edges ")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("session state: malformed edges line `{count_line}`"))?;
+        let mut edges = Vec::with_capacity(n);
+        for i in 0..n {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("session state: truncated at edge {i}"))?;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 4 || toks[0] != "e" {
+                return Err(format!("session state: malformed edge row `{line}`"));
+            }
+            edges.push(TemporalEdge {
+                src: toks[1].parse().map_err(|e| format!("session state: bad src: {e}"))?,
+                dst: toks[2].parse().map_err(|e| format!("session state: bad dst: {e}"))?,
+                time: parse_f64(toks[3]).map_err(|e| format!("session state: {e}"))?,
+            });
+        }
+        let rest: String = lines.map(|l| format!("{l}\n")).collect();
+        let prop = PropState::restore(&rest)?;
+        Ok(Self { prop, edges })
+    }
 }
 
 /// Models that can score a session incrementally, one edge at a time,
@@ -235,6 +285,71 @@ mod tests {
         let mut tape = Tape::new();
         let err = model.open_session(&mut tape, &NodeFeatures::zeros(3, 5)).unwrap_err();
         assert!(err.contains("feature dim 5"), "unhelpful error: {err}");
+    }
+
+    /// Spilling a session to text mid-stream and restoring it is bitwise
+    /// invisible: the restored session advances the same suffix to the
+    /// identical score as one that never left memory. This is the contract
+    /// the serving layer's eviction/recovery path is built on.
+    #[test]
+    fn snapshot_restore_mid_session_is_bitwise_invisible() {
+        let configs = [
+            ("sum", TpGnnConfig::sum(3).with_seed(11)),
+            ("gru", TpGnnConfig::gru(3).with_seed(11)),
+            ("temp (no f(t))", AblationVariant::Temp.apply(TpGnnConfig::sum(3))),
+            ("w/o tem", {
+                let mut c = TpGnnConfig::sum(3);
+                c.propagation = PropagationKind::None;
+                c
+            }),
+        ];
+        for (label, cfg) in configs {
+            let model = TpGnn::new(cfg);
+            let mut g = session_graph(5, 3);
+            let edges = g.edges_chronological().to_vec();
+            let cut = edges.len() / 2;
+
+            let mut tape = Tape::new();
+            let mut live = model.open_session(&mut tape, g.features()).expect(label);
+            for e in &edges[..cut] {
+                tape.reset();
+                model.advance_session(&mut tape, &mut live, *e);
+            }
+            let text = live.snapshot();
+            let mut restored = SessionState::restore(&text).expect(label);
+            assert_eq!(restored.snapshot(), text, "{label}: re-snapshot is bitwise-stable");
+            assert_eq!(restored.num_edges(), cut);
+
+            for e in &edges[cut..] {
+                tape.reset();
+                model.advance_session(&mut tape, &mut live, *e);
+                model.advance_session(&mut tape, &mut restored, *e);
+            }
+            tape.reset();
+            let a = model.score_session(&mut tape, &live);
+            tape.reset();
+            let b = model.score_session(&mut tape, &restored);
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}: spill changed the score");
+        }
+    }
+
+    /// Corrupt or truncated session snapshots are typed errors, not panics.
+    #[test]
+    fn session_restore_rejects_corruption() {
+        let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(1));
+        let mut g = session_graph(4, 1);
+        let mut tape = Tape::new();
+        let mut state = model.open_session(&mut tape, g.features()).unwrap();
+        for e in g.edges_chronological().to_vec() {
+            tape.reset();
+            model.advance_session(&mut tape, &mut state, e);
+        }
+        let text = state.snapshot();
+        assert!(SessionState::restore("").is_err());
+        assert!(SessionState::restore("wrong v9\n").is_err());
+        assert!(SessionState::restore(&text[..text.len() / 3]).is_err());
+        let tampered = text.replacen("prop-state v1", "prop-state v9", 1);
+        assert!(SessionState::restore(&tampered).is_err());
     }
 
     /// `as_incremental` exposes the capability through the shared trait.

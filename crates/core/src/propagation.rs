@@ -324,6 +324,96 @@ impl PropState {
     pub fn num_nodes(&self) -> usize {
         self.x.len()
     }
+
+    /// Serialize the accumulators to deterministic text: every `f32` as its
+    /// IEEE-754 bit pattern, so [`restore`](Self::restore) is bitwise — the
+    /// contract the serving layer's spill/recovery path needs to keep
+    /// evicted sessions indistinguishable from resident ones.
+    pub fn snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        use tpgnn_tensor::ckpt::fmt_f32;
+        let xd = self.x.first().map_or(0, |t| t.shape().1);
+        let md = self.m.as_ref().and_then(|m| m.first()).map(|t| t.shape().1);
+        let mut out = String::from("prop-state v1\n");
+        let _ = writeln!(
+            out,
+            "meta {} {} {} {} {}",
+            u8::from(self.frozen),
+            u8::from(self.sum),
+            self.x.len(),
+            xd,
+            md.map_or("-".to_string(), |d| d.to_string())
+        );
+        for row in &self.x {
+            out.push('x');
+            for v in row.data() {
+                out.push(' ');
+                out.push_str(&fmt_f32(*v));
+            }
+            out.push('\n');
+        }
+        if let Some(m) = &self.m {
+            for row in m {
+                out.push('m');
+                for v in row.data() {
+                    out.push(' ');
+                    out.push_str(&fmt_f32(*v));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Rebuild a state from [`snapshot`](Self::snapshot) output, bitwise.
+    pub fn restore(text: &str) -> Result<Self, String> {
+        use tpgnn_tensor::ckpt::parse_f32;
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("prop state: empty text")?;
+        if header != "prop-state v1" {
+            return Err(format!("prop state: bad header `{header}`"));
+        }
+        let meta = lines.next().ok_or("prop state: missing meta line")?;
+        let toks: Vec<&str> = meta.split_whitespace().collect();
+        if toks.len() != 6 || toks[0] != "meta" {
+            return Err(format!("prop state: malformed meta line `{meta}`"));
+        }
+        let flag = |tok: &str| -> Result<bool, String> {
+            match tok {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(format!("prop state: bad flag `{other}`")),
+            }
+        };
+        let num = |tok: &str| -> Result<usize, String> {
+            tok.parse().map_err(|e| format!("prop state: bad count `{tok}`: {e}"))
+        };
+        let (frozen, sum, n, xd) = (flag(toks[1])?, flag(toks[2])?, num(toks[3])?, num(toks[4])?);
+        let md = if toks[5] == "-" { None } else { Some(num(toks[5])?) };
+
+        let mut read_rows = |tag: &str, dim: usize| -> Result<Vec<Tensor>, String> {
+            (0..n)
+                .map(|i| {
+                    let line = lines
+                        .next()
+                        .ok_or_else(|| format!("prop state: truncated at `{tag}` row {i}"))?;
+                    let toks: Vec<&str> = line.split_whitespace().collect();
+                    if toks.first() != Some(&tag) || toks.len() != dim + 1 {
+                        return Err(format!("prop state: malformed `{tag}` row `{line}`"));
+                    }
+                    let vals = toks[1..]
+                        .iter()
+                        .map(|t| parse_f32(t))
+                        .collect::<Result<Vec<f32>, _>>()
+                        .map_err(|e| format!("prop state: {e}"))?;
+                    Ok(Tensor::from_vec(1, dim, vals))
+                })
+                .collect()
+        };
+        let x = read_rows("x", xd)?;
+        let m = md.map(|d| read_rows("m", d)).transpose()?;
+        Ok(Self { frozen, sum, x, m })
+    }
 }
 
 #[cfg(test)]

@@ -11,12 +11,9 @@ use tpgnn_rng::seq::SliceRandom;
 
 /// A typed error from CTDN construction.
 ///
-/// Produced by the fallible ingestion path ([`Ctdn::try_add_edge`]); the
-/// infallible [`Ctdn::add_edge`] wrapper panics with this error's [`Display`]
-/// message and is reserved for programmatic construction (simulators, tests)
-/// where a violation is a bug, not a data condition.
-///
-/// [`Display`]: fmt::Display
+/// Produced by the fallible ingestion path ([`Ctdn::try_add_edge`]):
+/// propagate it where a violation is a data condition, or
+/// `try_add_edge(...).unwrap()` where it is a bug (simulators, tests).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum GraphError {
     /// An edge endpoint does not name a node of the graph.
@@ -125,8 +122,8 @@ impl NodeFeatures {
 /// Continuous-Time Dynamic Network (Definition 1).
 ///
 /// Edges are stored in chronological order (stable under insertion order for
-/// equal timestamps). [`Ctdn::add_edge`] may append out of order; the edge
-/// list is re-sorted lazily before any chronological traversal.
+/// equal timestamps). [`Ctdn::try_add_edge`] may append out of order; the
+/// edge list is re-sorted lazily before any chronological traversal.
 #[derive(Clone, Debug)]
 pub struct Ctdn {
     features: NodeFeatures,
@@ -193,23 +190,6 @@ impl Ctdn {
         }
         self.edges.push(TemporalEdge::new(src, dst, time));
         Ok(())
-    }
-
-    /// Append a temporal edge.
-    ///
-    /// Thin panicking wrapper over [`Ctdn::try_add_edge`], kept only for
-    /// source compatibility. Use `try_add_edge(...).unwrap()` where a
-    /// violation is a bug, or propagate the [`GraphError`] where it is a
-    /// data condition (every in-repo call site has been migrated).
-    ///
-    /// # Panics
-    /// Panics if an endpoint is out of bounds, the timestamp is not positive,
-    /// or the timestamp is not finite.
-    #[deprecated(note = "use `try_add_edge` and handle (or unwrap) the `GraphError`")]
-    pub fn add_edge(&mut self, src: usize, dst: usize, time: f64) {
-        if let Err(e) = self.try_add_edge(src, dst, time) {
-            panic!("{e}");
-        }
     }
 
     /// Ensure the edge list is chronologically sorted (stable for ties).
@@ -328,22 +308,21 @@ mod tests {
         assert_eq!(dsts, vec![1, 2, 2]);
     }
 
-    // The two tests below exercise the deprecated panicking wrapper
-    // itself (its message is the contract), so they keep calling it.
     #[test]
-    #[should_panic(expected = "timestamps must be finite and > 0")]
     fn zero_timestamp_rejected() {
         let mut g = Ctdn::with_zero_features(2, 1);
-        #[allow(deprecated)]
-        g.add_edge(0, 1, 0.0);
+        assert_eq!(g.try_add_edge(0, 1, 0.0), Err(GraphError::BadTimestamp { time: 0.0 }));
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "out of bounds")]
     fn out_of_bounds_edge_rejected() {
         let mut g = Ctdn::with_zero_features(2, 1);
-        #[allow(deprecated)]
-        g.add_edge(0, 5, 1.0);
+        assert_eq!(
+            g.try_add_edge(0, 5, 1.0),
+            Err(GraphError::EndpointOutOfBounds { endpoint: "target", index: 5, num_nodes: 2 })
+        );
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

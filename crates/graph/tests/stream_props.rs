@@ -3,7 +3,7 @@
 //! Reproduce a failing case with `TPGNN_PROP_SEED=<seed> cargo test -q <name>`.
 
 use tpgnn_graph::{
-    Admission, Ctdn, CtdnBuilder, RejectKind, StreamConfig, StreamEvent,
+    Admission, Ctdn, CtdnBuilder, NodeFeatures, RejectKind, StreamConfig, StreamEvent,
 };
 use tpgnn_rng::seq::SliceRandom;
 use tpgnn_rng::{check, Rng, StdRng};
@@ -94,6 +94,53 @@ fn beyond_window_stragglers_are_typed_late() {
             assert_eq!(out.stats.released, events.len() - 1);
             assert_eq!(out.quarantine.count(RejectKind::LateEvent), 1);
             assert_eq!(out.quarantine.len(), 1, "{}", out.quarantine.render());
+        },
+    );
+}
+
+/// Spilling a builder to text and restoring it at an arbitrary point in an
+/// adversarial stream (shuffled arrivals, duplicates, malformed records,
+/// tight buffer) is bitwise invisible: the restored builder processes the
+/// remaining suffix to the identical graph, stats, and quarantine log.
+#[test]
+fn snapshot_restore_anywhere_is_bitwise_invisible() {
+    check::cases_with_rng(
+        "snapshot_restore_anywhere_is_bitwise_invisible",
+        64,
+        |rng| {
+            let mut events = gen_monotone(rng, 48);
+            // Inject dirt: a duplicate of an early event and a malformed one.
+            let dup = events[rng.random_range(0..events.len())];
+            events.push(dup);
+            events.push(StreamEvent::new(NODES + 3, 0, 1.0));
+            events.shuffle(rng);
+            let cut = rng.random_range(0..=events.len());
+            let cap = rng.random_range(1usize..16);
+            (events, cut, cap)
+        },
+        |(events, cut, cap), _rng| {
+            let cfg = StreamConfig {
+                reorder_capacity: *cap,
+                lateness: 4.0,
+                track_releases: true,
+                ..StreamConfig::default()
+            };
+            let mut live = CtdnBuilder::with_zero_features(NODES, 2, cfg.clone());
+            live.extend(events[..*cut].iter().copied());
+            let text = live.snapshot();
+            let mut restored =
+                CtdnBuilder::restore(NodeFeatures::zeros(NODES, 2), cfg, &text)
+                    .expect("snapshot restores");
+            assert_eq!(restored.snapshot(), text);
+            for b in [&mut live, &mut restored] {
+                b.extend(events[*cut..].iter().copied());
+                b.flush_buffer();
+            }
+            assert_eq!(live.drain_released(), restored.drain_released());
+            let (a, b) = (live.finish(), restored.finish());
+            assert_eq!(a.graph.edges(), b.graph.edges());
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.quarantine.render(), b.quarantine.render());
         },
     );
 }

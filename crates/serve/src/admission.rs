@@ -1,0 +1,241 @@
+//! Admission control: the deterministic load-shedding ladder.
+//!
+//! All shedding decisions are taken by the coordinator at batch
+//! boundaries, as a pure function of configuration and committed traffic —
+//! never inside the parallel shard fan-out and never from wall-clock
+//! state. That makes overload behaviour reproducible: the same batches
+//! shed the same sessions at any pool width, which is what lets crash
+//! recovery re-derive evictions instead of journaling them.
+//!
+//! The ladder degrades in order of harm:
+//! 1. **suspend Early scoring** — mid-session scores are skipped (and
+//!    counted) while pressure is above [`Budget::shed_early_at`];
+//! 2. **evict idle sessions** — LRU by `(last_active_batch, session)`,
+//!    spilled to disk and transparently restored on their next edge;
+//! 3. **refuse new admissions** — only when eviction cannot free enough,
+//!    excess *new* sessions are refused in batch arrival order (earliest
+//!    arrivals keep their slot); every refused event is counted and
+//!    attributed in the fault ledger, never silently dropped.
+
+/// Admission budgets. `0` means unbounded (that rung never triggers).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Budget {
+    /// Maximum sessions resident in memory.
+    pub max_resident: usize,
+    /// Maximum total buffered edges (released edge logs + reorder buffers).
+    pub max_buffered_edges: usize,
+    /// Pressure fraction at which Early scoring suspends (rung 1).
+    pub shed_early_at: f64,
+    /// Whether a spill directory is configured (rung 2 needs one).
+    pub can_spill: bool,
+}
+
+impl Budget {
+    /// Whether any budget is configured at all.
+    pub fn bounded(&self) -> bool {
+        self.max_resident > 0 || self.max_buffered_edges > 0
+    }
+}
+
+/// What the coordinator sees at a batch boundary.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct LoadView {
+    /// Sessions currently resident in memory.
+    pub resident: usize,
+    /// Buffered edges across resident sessions.
+    pub buffered_edges: usize,
+    /// Events in this batch.
+    pub batch_events: usize,
+    /// Spilled sessions this batch will restore.
+    pub restores: usize,
+    /// Sessions this batch would newly open: `(session, events-in-batch)`,
+    /// in first-arrival order.
+    pub new_sessions: Vec<(u64, usize)>,
+    /// Resident sessions with no events this batch: eviction candidates.
+    pub idle: Vec<IdleSession>,
+}
+
+/// One eviction candidate.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct IdleSession {
+    pub session: u64,
+    pub shard: usize,
+    /// Last batch in which this session received events (LRU key).
+    pub last_active_batch: usize,
+    /// Buffered edges this eviction would free.
+    pub cost_edges: usize,
+}
+
+/// The ladder's verdict for one batch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct ShedPlan {
+    /// Rung 1: skip Early scores this batch.
+    pub suspend_early: bool,
+    /// Rung 2: sessions to spill, as `(shard, session)`, in eviction order.
+    pub evict: Vec<(usize, u64)>,
+    /// Rung 3: new sessions to refuse, in arrival order.
+    pub refuse: Vec<u64>,
+    /// Peak pressure fraction observed (for metrics; 0 when unbounded).
+    pub pressure: f64,
+}
+
+fn over(budget: &Budget, resident: usize, buffered: usize) -> bool {
+    (budget.max_resident > 0 && resident > budget.max_resident)
+        || (budget.max_buffered_edges > 0 && buffered > budget.max_buffered_edges)
+}
+
+fn pressure(budget: &Budget, resident: usize, buffered: usize) -> f64 {
+    let mut p: f64 = 0.0;
+    if budget.max_resident > 0 {
+        p = p.max(resident as f64 / budget.max_resident as f64);
+    }
+    if budget.max_buffered_edges > 0 {
+        p = p.max(buffered as f64 / budget.max_buffered_edges as f64);
+    }
+    p
+}
+
+/// Compute the shedding plan for one batch.
+pub(crate) fn plan(budget: &Budget, view: &LoadView) -> ShedPlan {
+    if !budget.bounded() {
+        return ShedPlan::default();
+    }
+    // Prospective post-batch load if everything were admitted.
+    let mut resident = view.resident + view.restores + view.new_sessions.len();
+    let mut buffered = view.buffered_edges + view.batch_events;
+    let p = pressure(budget, resident, buffered);
+
+    let mut plan = ShedPlan {
+        suspend_early: budget.shed_early_at > 0.0 && p >= budget.shed_early_at,
+        pressure: p,
+        ..ShedPlan::default()
+    };
+
+    // Rung 2: evict idle sessions, least-recently-active first, session id
+    // as the deterministic tie-break.
+    if budget.can_spill && over(budget, resident, buffered) {
+        let mut idle = view.idle.clone();
+        idle.sort_by_key(|s| (s.last_active_batch, s.session));
+        for s in idle {
+            if !over(budget, resident, buffered) {
+                break;
+            }
+            plan.evict.push((s.shard, s.session));
+            resident -= 1;
+            buffered = buffered.saturating_sub(s.cost_edges);
+        }
+    }
+
+    // Rung 3: refuse the newest new sessions until under budget (or none
+    // left to refuse — restores and already-resident sessions are never
+    // shed, since that would drop mid-session state).
+    let mut keep = view.new_sessions.len();
+    while over(budget, resident, buffered) && keep > 0 {
+        keep -= 1;
+        let (sid, events) = view.new_sessions[keep];
+        plan.refuse.push(sid);
+        resident -= 1;
+        buffered = buffered.saturating_sub(events);
+    }
+    plan.refuse.reverse(); // report in arrival order
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget(max_resident: usize, max_buffered: usize) -> Budget {
+        Budget {
+            max_resident,
+            max_buffered_edges: max_buffered,
+            shed_early_at: 0.9,
+            can_spill: true,
+        }
+    }
+
+    fn idle(session: u64, last: usize, cost: usize) -> IdleSession {
+        IdleSession { session, shard: (session % 2) as usize, last_active_batch: last, cost_edges: cost }
+    }
+
+    #[test]
+    fn unbounded_budget_never_sheds() {
+        let view = LoadView {
+            resident: 1_000_000,
+            buffered_edges: 1_000_000,
+            batch_events: 1_000_000,
+            new_sessions: vec![(1, 10)],
+            ..LoadView::default()
+        };
+        let b = Budget { max_resident: 0, max_buffered_edges: 0, shed_early_at: 0.9, can_spill: true };
+        assert_eq!(plan(&b, &view), ShedPlan::default());
+    }
+
+    #[test]
+    fn early_suspends_before_any_eviction() {
+        // 9/10 resident: at the 0.9 rung but not over budget.
+        let view = LoadView { resident: 9, ..LoadView::default() };
+        let p = plan(&budget(10, 0), &view);
+        assert!(p.suspend_early);
+        assert!(p.evict.is_empty() && p.refuse.is_empty());
+    }
+
+    #[test]
+    fn eviction_is_lru_with_session_tiebreak() {
+        let view = LoadView {
+            resident: 4,
+            new_sessions: vec![(50, 1), (51, 1)],
+            idle: vec![idle(7, 3, 5), idle(2, 1, 5), idle(9, 1, 5), idle(4, 2, 5)],
+            ..LoadView::default()
+        };
+        // Budget 4, prospective 6: evict two, oldest first, id breaks the tie.
+        let p = plan(&budget(4, 0), &view);
+        assert_eq!(p.evict, vec![(0, 2), (1, 9)]);
+        assert!(p.refuse.is_empty());
+    }
+
+    #[test]
+    fn refusal_keeps_earliest_arrivals() {
+        let view = LoadView {
+            resident: 4,
+            new_sessions: vec![(10, 2), (11, 3), (12, 4)],
+            idle: vec![idle(1, 0, 0)], // only one evictable
+            ..LoadView::default()
+        };
+        // Budget 4, prospective 7: one eviction frees one slot; refuse the
+        // two newest arrivals, keep session 10.
+        let p = plan(&budget(4, 0), &view);
+        assert_eq!(p.evict.len(), 1);
+        assert_eq!(p.refuse, vec![11, 12]);
+    }
+
+    #[test]
+    fn without_spill_dir_the_ladder_skips_to_refusal() {
+        let view = LoadView {
+            resident: 4,
+            new_sessions: vec![(10, 1)],
+            idle: vec![idle(1, 0, 0), idle(2, 0, 0)],
+            ..LoadView::default()
+        };
+        let mut b = budget(4, 0);
+        b.can_spill = false;
+        let p = plan(&b, &view);
+        assert!(p.evict.is_empty());
+        assert_eq!(p.refuse, vec![10]);
+    }
+
+    #[test]
+    fn edge_budget_triggers_on_buffered_volume() {
+        let view = LoadView {
+            resident: 2,
+            buffered_edges: 90,
+            batch_events: 20,
+            idle: vec![idle(1, 0, 60)],
+            ..LoadView::default()
+        };
+        let p = plan(&budget(0, 100), &view);
+        assert!(p.suspend_early, "110/100 is over the 0.9 rung");
+        assert_eq!(p.evict, vec![(1, 1)], "evicting frees 60 edges");
+        assert!(p.refuse.is_empty());
+    }
+}

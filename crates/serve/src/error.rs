@@ -1,0 +1,177 @@
+//! Typed serving-layer failures and the per-session fault ledger.
+//!
+//! Two distinct severities live here. [`ServeError`] is a *call* failure:
+//! the server could not do what was asked (bad configuration, journal I/O,
+//! a broken invariant) and the caller must handle it. [`SessionFault`] is a
+//! *session* failure: one session was refused, shed, or quarantined while
+//! the rest of the batch proceeded — faults accumulate in a deterministic
+//! ledger the caller drains via `SessionServer::take_faults`, so overload
+//! and poisoning are observable without ever panicking or silently
+//! dropping an edge.
+
+use std::fmt;
+
+use tpgnn_tensor::CheckpointError;
+
+/// Typed failure modes of the serving layer's fallible entry points.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server is over its admission budget and cannot take more load.
+    Overloaded {
+        /// What budget was exceeded and by how much.
+        detail: String,
+    },
+    /// Offered features do not match what the model or a stored state
+    /// expects.
+    FeatureMismatch {
+        /// The mismatch, with both sides' dimensions.
+        detail: String,
+    },
+    /// The configuration is unusable (e.g. a model with no incremental
+    /// form, or recovery pointed at a directory that is not a journal).
+    BadConfig {
+        /// What is wrong with the configuration.
+        detail: String,
+    },
+    /// Filesystem failure in the journal, snapshot, or spill path.
+    Io(std::io::Error),
+    /// A serving invariant broke: corrupted journal frames mid-file, a
+    /// replay that diverged from the journaled scores, or an internal
+    /// lookup that should have been infallible.
+    Invariant {
+        /// The broken invariant, with evidence.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { detail } => write!(f, "server overloaded: {detail}"),
+            ServeError::FeatureMismatch { detail } => write!(f, "feature mismatch: {detail}"),
+            ServeError::BadConfig { detail } => write!(f, "bad serving config: {detail}"),
+            ServeError::Io(e) => write!(f, "serving I/O failure: {e}"),
+            ServeError::Invariant { detail } => write!(f, "serving invariant broken: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        match e {
+            CheckpointError::Io(io) => ServeError::Io(io),
+            other => ServeError::Invariant { detail: other.to_string() },
+        }
+    }
+}
+
+/// Classification of a per-session fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The session could not open (feature-dim mismatch, or a model
+    /// without an incremental form).
+    Refused,
+    /// The session (or its events) was shed under admission pressure.
+    Overloaded,
+    /// The shard watchdog quarantined the session for blowing its
+    /// per-batch deadline.
+    Poisoned,
+    /// Spill/restore or journal I/O failed for this session.
+    Io,
+    /// An internal invariant broke while handling this session; its state
+    /// was quarantined rather than trusted.
+    Invariant,
+}
+
+impl FaultKind {
+    /// Stable snake_case label (metrics names, wire format, rendering).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Refused => "refused",
+            FaultKind::Overloaded => "overloaded",
+            FaultKind::Poisoned => "poisoned",
+            FaultKind::Io => "io",
+            FaultKind::Invariant => "invariant",
+        }
+    }
+
+    /// Decode [`label`](Self::label) output.
+    pub fn from_label(s: &str) -> Result<Self, String> {
+        match s {
+            "refused" => Ok(FaultKind::Refused),
+            "overloaded" => Ok(FaultKind::Overloaded),
+            "poisoned" => Ok(FaultKind::Poisoned),
+            "io" => Ok(FaultKind::Io),
+            "invariant" => Ok(FaultKind::Invariant),
+            other => Err(format!("unknown fault kind `{other}`")),
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One entry of the fault ledger: which session, what happened, and the
+/// evidence. The ledger order is deterministic (per shard: admission
+/// faults in arrival order, then processing faults in event order; shards
+/// concatenated in index order), so two runs over the same committed
+/// traffic produce identical ledgers — the recovery suite's contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionFault {
+    /// The affected session.
+    pub session: u64,
+    /// Fault classification.
+    pub kind: FaultKind,
+    /// Human-readable evidence (deterministic content only — counts,
+    /// budgets, dims; never wall-clock values except in `Poisoned`
+    /// entries, which recovery replays from the journal verbatim).
+    pub detail: String,
+}
+
+impl fmt::Display for SessionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session {}: {}: {}", self.session, self.kind, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kind_labels_roundtrip() {
+        for k in [
+            FaultKind::Refused,
+            FaultKind::Overloaded,
+            FaultKind::Poisoned,
+            FaultKind::Io,
+            FaultKind::Invariant,
+        ] {
+            assert_eq!(FaultKind::from_label(k.label()).unwrap(), k);
+        }
+        assert!(FaultKind::from_label("nope").is_err());
+    }
+
+    #[test]
+    fn errors_render_their_evidence() {
+        let e = ServeError::Overloaded { detail: "7 resident > budget 4".into() };
+        assert!(e.to_string().contains("7 resident > budget 4"));
+        let f = SessionFault {
+            session: 9,
+            kind: FaultKind::Poisoned,
+            detail: "batch 3: 12000us > 5ms deadline".into(),
+        };
+        assert_eq!(f.to_string(), "session 9: poisoned: batch 3: 12000us > 5ms deadline");
+    }
+}

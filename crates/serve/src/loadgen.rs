@@ -14,6 +14,7 @@
 //! and fault ledger are bitwise-reproducible at any pool width, which the
 //! workspace determinism suite checks end to end.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use tpgnn_core::IncrementalScorer;
@@ -24,7 +25,9 @@ use tpgnn_par::task_seed;
 use tpgnn_rng::rngs::StdRng;
 use tpgnn_rng::{Rng, SeedableRng};
 
-use crate::{ScoreRecord, ServeConfig, ServeStats, SessionEvent, SessionServer};
+use crate::{
+    ScoreRecord, ServeConfig, ServeError, ServeStats, SessionEvent, SessionFault, SessionServer,
+};
 
 /// A complete, seeded description of one load-generation run.
 #[derive(Clone, Debug)]
@@ -46,6 +49,18 @@ pub struct LoadPlan {
     pub early_warning_every: usize,
     /// Session shards ([`ServeConfig::num_shards`]).
     pub num_shards: usize,
+    /// Resident-session budget ([`ServeConfig::max_resident_sessions`]);
+    /// `0` = unbounded.
+    pub max_resident_sessions: usize,
+    /// Buffered-edge budget ([`ServeConfig::max_buffered_edges`]);
+    /// `0` = unbounded.
+    pub max_buffered_edges: usize,
+    /// Spill directory for the eviction rung ([`ServeConfig::spill_dir`]).
+    pub spill_dir: Option<PathBuf>,
+    /// Journal directory ([`ServeConfig::journal_dir`]).
+    pub journal_dir: Option<PathBuf>,
+    /// Snapshot cadence ([`ServeConfig::snapshot_every`]).
+    pub snapshot_every: usize,
 }
 
 impl Default for LoadPlan {
@@ -59,6 +74,11 @@ impl Default for LoadPlan {
             session_gap: f64::INFINITY,
             num_shards: 8,
             early_warning_every: 0,
+            max_resident_sessions: 0,
+            max_buffered_edges: 0,
+            spill_dir: None,
+            journal_dir: None,
+            snapshot_every: 0,
         }
     }
 }
@@ -73,6 +93,11 @@ impl LoadPlan {
             session_gap: self.session_gap,
             num_shards: self.num_shards,
             early_warning_every: self.early_warning_every,
+            max_resident_sessions: self.max_resident_sessions,
+            max_buffered_edges: self.max_buffered_edges,
+            spill_dir: self.spill_dir.clone(),
+            journal_dir: self.journal_dir.clone(),
+            snapshot_every: self.snapshot_every,
             ..ServeConfig::default()
         }
     }
@@ -156,15 +181,18 @@ pub struct RunSummary {
     pub ledger: FaultLedger,
     /// Events offered across all requests.
     pub total_events: usize,
+    /// Drained server fault ledger (refusals, sheds, quarantines).
+    pub faults: Vec<SessionFault>,
 }
 
 /// Generate `plan`'s traffic and drive it through a fresh
 /// [`SessionServer`] over `model`, closing every surviving session at the
-/// end. Fails only if the model cannot serve incrementally.
+/// end. Fails on a model without an incremental form or on journal/spill
+/// I/O errors.
 pub fn run<M: IncrementalScorer + Sync>(
     model: &M,
     plan: &LoadPlan,
-) -> Result<RunSummary, String> {
+) -> Result<RunSummary, ServeError> {
     let traffic = generate(plan);
     let mut server = SessionServer::new(model, plan.serve_config())?;
     for (sid, feats) in &traffic.features {
@@ -174,16 +202,17 @@ pub fn run<M: IncrementalScorer + Sync>(
     let mut latencies_us = Vec::with_capacity(traffic.batches.len());
     for batch in &traffic.batches {
         let t0 = Instant::now();
-        records.extend(server.ingest(batch));
+        records.extend(server.ingest(batch)?);
         latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
     }
-    records.extend(server.close_all());
+    records.extend(server.close_all()?);
     Ok(RunSummary {
         records,
         latencies_us,
         stats: *server.stats(),
         ledger: traffic.ledger,
         total_events: traffic.total_events,
+        faults: server.take_faults(),
     })
 }
 
@@ -266,7 +295,13 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 50.0);
         assert_eq!(percentile(&xs, 99.0), 99.0);
         assert_eq!(percentile(&xs, 100.0), 100.0);
+        // p=0 clamps to the minimum (rank 0 would index before the array).
+        assert_eq!(percentile(&xs, 0.0), 1.0);
         assert_eq!(percentile(&[7.5], 50.0), 7.5);
+        assert_eq!(percentile(&[7.5], 0.0), 7.5);
+        assert_eq!(percentile(&[7.5], 100.0), 7.5);
         assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
     }
 }

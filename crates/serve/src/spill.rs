@@ -1,0 +1,163 @@
+//! Bounded session memory: spill evicted sessions to disk, restore them on
+//! their next edge.
+//!
+//! A spilled session is the full [`SessionEntry`] — streaming builder,
+//! incremental model state, close bookkeeping, and features — serialized
+//! with bit-exact float codecs and persisted through the shared
+//! checksummed atomic-write checkpoint machinery. Restoring produces a
+//! session bitwise-indistinguishable from one that never left memory.
+//!
+//! Spill files are versioned by the batch at which the eviction happened
+//! (`s<sid>-b<batch>.ckpt`): eviction decisions are a deterministic
+//! function of committed traffic, so crash-recovery replay re-derives the
+//! same evictions and rewrites the same files with identical content —
+//! idempotent by construction. Files are never deleted on restore (an
+//! older snapshot's replay may still need them); garbage collection of
+//! superseded spill files is deliberately out of scope here.
+
+use std::path::{Path, PathBuf};
+
+use tpgnn_core::SessionState;
+use tpgnn_graph::stream::{CtdnBuilder, StreamConfig};
+use tpgnn_graph::NodeFeatures;
+use tpgnn_tensor::ckpt::{self, fmt_f32, fmt_f64, parse_f32, parse_f64};
+
+use crate::error::ServeError;
+use crate::wire::parse_num;
+use crate::SessionEntry;
+
+/// Where session `sid`, evicted at `batch`, spills under `dir`.
+pub(crate) fn spill_path(dir: &Path, sid: u64, batch: usize) -> PathBuf {
+    dir.join(format!("s{sid}-b{batch}.ckpt"))
+}
+
+/// Serialize one resident session to spill text (no checksum trailer —
+/// [`write`] adds it through the atomic-write path).
+pub(crate) fn encode(sid: u64, entry: &SessionEntry) -> String {
+    use std::fmt::Write as _;
+    let feats = entry.builder.features();
+    let mut out = String::from("session-spill v1\n");
+    let _ = writeln!(out, "session {sid}");
+    let _ = writeln!(
+        out,
+        "meta {} {} {}",
+        fmt_f64(entry.last_seen),
+        entry.next_warn,
+        entry.last_active_batch
+    );
+    let mut frow = format!("features {} {}", feats.num_nodes(), feats.dim());
+    for v in feats.data() {
+        frow.push(' ');
+        frow.push_str(&fmt_f32(*v));
+    }
+    out.push_str(&frow);
+    out.push('\n');
+    let builder = entry.builder.snapshot();
+    let _ = writeln!(out, "builder {}", builder.lines().count());
+    out.push_str(&builder);
+    let state = entry.state.snapshot();
+    let _ = writeln!(out, "state {}", state.lines().count());
+    out.push_str(&state);
+    out
+}
+
+/// Rebuild a [`SessionEntry`] from [`encode`] output. The stream config is
+/// process state (not stream state) and is supplied by the caller, exactly
+/// as the server would configure a fresh session.
+pub(crate) fn decode(
+    text: &str,
+    stream_cfg: &StreamConfig,
+) -> Result<(u64, SessionEntry), ServeError> {
+    let bad = |detail: String| ServeError::Invariant { detail: format!("spill file: {detail}") };
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| bad("empty".into()))?;
+    if header != "session-spill v1" {
+        return Err(bad(format!("bad header `{header}`")));
+    }
+    let sid_line = lines.next().ok_or_else(|| bad("missing session line".into()))?;
+    let sid: u64 = sid_line
+        .strip_prefix("session ")
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad(format!("bad session line `{sid_line}`")))?;
+    let meta = lines.next().ok_or_else(|| bad("missing meta line".into()))?;
+    let mtoks: Vec<&str> = meta.split_whitespace().collect();
+    if mtoks.len() != 4 || mtoks[0] != "meta" {
+        return Err(bad(format!("bad meta line `{meta}`")));
+    }
+    let last_seen = parse_f64(mtoks[1]).map_err(&bad)?;
+    let next_warn: usize = parse_num(mtoks[2]).map_err(&bad)?;
+    let last_active_batch: usize = parse_num(mtoks[3]).map_err(&bad)?;
+
+    let frow = lines.next().ok_or_else(|| bad("missing features line".into()))?;
+    let ftoks: Vec<&str> = frow.split_whitespace().collect();
+    if ftoks.len() < 3 || ftoks[0] != "features" {
+        return Err(bad(format!("bad features line `{frow}`")));
+    }
+    let (n, d): (usize, usize) =
+        (parse_num(ftoks[1]).map_err(&bad)?, parse_num(ftoks[2]).map_err(&bad)?);
+    if ftoks.len() != 3 + n * d {
+        return Err(bad(format!("features line wants {} values", n * d)));
+    }
+    let data = ftoks[3..]
+        .iter()
+        .map(|t| parse_f32(t))
+        .collect::<Result<Vec<f32>, _>>()
+        .map_err(&bad)?;
+    let features = NodeFeatures::from_vec(n, d, data);
+
+    let mut read_block = |tag: &str| -> Result<String, ServeError> {
+        let head = lines.next().ok_or_else(|| bad(format!("missing `{tag}` block")))?;
+        let count: usize = head
+            .strip_prefix(tag)
+            .and_then(|t| t.trim().parse().ok())
+            .ok_or_else(|| bad(format!("bad `{tag}` header `{head}`")))?;
+        let mut block = String::new();
+        for i in 0..count {
+            let line =
+                lines.next().ok_or_else(|| bad(format!("`{tag}` truncated at line {i}")))?;
+            block.push_str(line);
+            block.push('\n');
+        }
+        Ok(block)
+    };
+    let builder_text = read_block("builder")?;
+    let state_text = read_block("state")?;
+
+    // The server forces release tracking on every session it opens; a
+    // restored builder must advance the model state the same way.
+    let mut stream_cfg = stream_cfg.clone();
+    stream_cfg.track_releases = true;
+    let builder = CtdnBuilder::restore(features, stream_cfg, &builder_text)
+        .map_err(|e| bad(format!("builder: {e}")))?;
+    let state = SessionState::restore(&state_text).map_err(|e| bad(format!("state: {e}")))?;
+    Ok((sid, SessionEntry { builder, state, last_seen, next_warn, last_active_batch }))
+}
+
+/// Persist session `sid` to its spill file crash-safely. Re-spilling the
+/// same (sid, batch) during recovery replay rewrites identical bytes.
+pub(crate) fn write(
+    dir: &Path,
+    sid: u64,
+    batch: usize,
+    entry: &SessionEntry,
+) -> Result<(), ServeError> {
+    std::fs::create_dir_all(dir)?;
+    Ok(ckpt::write_atomic(&spill_path(dir, sid, batch), &encode(sid, entry))?)
+}
+
+/// Load session `sid` back from the spill file written at `batch`.
+pub(crate) fn read(
+    dir: &Path,
+    sid: u64,
+    batch: usize,
+    stream_cfg: &StreamConfig,
+) -> Result<SessionEntry, ServeError> {
+    let text = ckpt::read_atomic(&spill_path(dir, sid, batch))?;
+    let (got, entry) = decode(&text, stream_cfg)?;
+    if got != sid {
+        return Err(ServeError::Invariant {
+            detail: format!("spill file for session {sid} contains session {got}"),
+        });
+    }
+    Ok(entry)
+}

@@ -1,0 +1,289 @@
+//! Kill-and-recover property suite: the overload-safe serving contract.
+//!
+//! A server fed seeded chaos traffic (`FaultPlan::mixed`) under tight
+//! budgets — so Early suspension, LRU eviction to spill files, and
+//! admission refusals are all active — is "killed" mid-stream (dropped
+//! without shutdown; every delivered batch is already fsync-committed),
+//! recovered from its journal, and driven through the rest of the traffic.
+//! The complete output stream — every score bitwise, every stat counter,
+//! every fault, every quarantine ledger entry — must be identical to an
+//! uninterrupted run, at pool widths 1 and 4, for multiple cut points.
+//!
+//! Alongside: over-budget traffic never panics and never silently drops an
+//! edge (exact event conservation across received/dropped/shed counters),
+//! and a torn journal tail (the crash's half-written frame) is absorbed.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_data::chaos::FaultPlan;
+use tpgnn_par::with_thread_override;
+use tpgnn_serve::loadgen::{generate, LoadPlan, Traffic};
+use tpgnn_serve::{
+    ScoreRecord, ServeConfig, SessionFault, SessionServer,
+};
+
+const FEAT_DIM: usize = 3;
+const SESSIONS: usize = 112;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tpgnn-recprops-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Traffic with every fault class in the mix, sessions staggered along the
+/// clock so the watermark closes them progressively (which keeps the LRU
+/// eviction rung busy instead of saturating refusals).
+fn plan(spill: PathBuf, journal: PathBuf) -> LoadPlan {
+    LoadPlan {
+        sessions: SESSIONS,
+        seed: 20260808,
+        fault: FaultPlan::mixed(0.15),
+        batch_size: 48,
+        session_spacing: 2.0,
+        session_gap: 40.0,
+        early_warning_every: 4,
+        num_shards: 8,
+        max_resident_sessions: 28,
+        max_buffered_edges: 0,
+        spill_dir: Some(spill),
+        journal_dir: Some(journal),
+        snapshot_every: 3,
+    }
+}
+
+/// Everything one run produced, batch-aligned for comparison.
+struct Output {
+    /// Per-batch records; index `b` is batch `b+1`, last entry `close_all`.
+    batches: Vec<Vec<ScoreRecord>>,
+    /// Per-batch fault ledger drains, aligned with `batches`.
+    faults: Vec<Vec<SessionFault>>,
+    stats: tpgnn_serve::ServeStats,
+}
+
+/// A comparison key that is exact on every bit that matters: NaN-carrying
+/// floats compare by bit pattern (derived float equality would wrongly
+/// fail), quarantine entries by their wire-stable rendering.
+fn key(r: &ScoreRecord) -> String {
+    let q = r.quarantine.as_ref().map(|q| {
+        q.entries()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{}:{}:{}:{:016x}:{}:{:?}",
+                    e.seq,
+                    e.event.src,
+                    e.event.dst,
+                    e.event.time.to_bits(),
+                    e.event.origin,
+                    e.reason
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    });
+    format!(
+        "{} {:?} {:08x} {} {:?} {:?}",
+        r.session,
+        r.kind,
+        r.proba.to_bits(),
+        r.edges,
+        r.stats,
+        q
+    )
+}
+
+fn run_uninterrupted(model: &TpGnn, cfg: &ServeConfig, traffic: &Traffic) -> Output {
+    let mut server = SessionServer::new(model, cfg.clone()).unwrap();
+    for (sid, f) in &traffic.features {
+        server.register(*sid, f.clone());
+    }
+    let mut batches = Vec::new();
+    let mut faults = Vec::new();
+    for b in &traffic.batches {
+        batches.push(server.ingest(b).unwrap());
+        faults.push(server.take_faults());
+    }
+    batches.push(server.close_all().unwrap());
+    faults.push(server.take_faults());
+    assert_eq!(server.resident(), 0);
+    assert_eq!(server.spilled(), 0, "close_all must drain spilled sessions");
+    Output { batches, faults, stats: *server.stats() }
+}
+
+/// Feed `cut` batches, drop the server cold (everything delivered is
+/// already committed), recover, and finish the stream on the recovered
+/// server. Optionally tear the journal tail first, as a real `kill -9`
+/// mid-append would.
+fn run_killed(
+    model: &TpGnn,
+    cfg: &ServeConfig,
+    traffic: &Traffic,
+    cut: usize,
+    tear_tail: bool,
+) -> Output {
+    {
+        let mut server = SessionServer::new(model, cfg.clone()).unwrap();
+        for (sid, f) in &traffic.features {
+            server.register(*sid, f.clone());
+        }
+        for b in &traffic.batches[..cut] {
+            server.ingest(b).unwrap();
+            server.take_faults();
+        }
+        // kill -9: no close, no flush — the server just ceases to exist.
+    }
+    let dir = cfg.journal_dir.clone().unwrap();
+    if tear_tail {
+        for name in ["shard-0.log", "commit.log"] {
+            let mut f = OpenOptions::new().append(true).open(dir.join(name)).unwrap();
+            f.write_all(b"ffffffffffffffff torn-half-frame-with-bad-checksu").unwrap();
+        }
+    }
+
+    let (mut server, report) = SessionServer::recover(model, cfg.clone()).unwrap();
+    assert_eq!(report.last_committed, cut, "every delivered batch was committed");
+    if tear_tail {
+        assert!(report.torn_frames >= 2, "torn tail must be counted, got {report:?}");
+    }
+    let mut batches = Vec::new();
+    let mut faults = Vec::new();
+    for out in report.delivered {
+        batches.push(out.records);
+        faults.push(out.faults);
+    }
+    assert!(server.take_faults().is_empty(), "recovery leaves a clean ledger");
+    for b in &traffic.batches[cut..] {
+        batches.push(server.ingest(b).unwrap());
+        faults.push(server.take_faults());
+    }
+    batches.push(server.close_all().unwrap());
+    faults.push(server.take_faults());
+    assert_eq!(server.resident(), 0);
+    assert_eq!(server.spilled(), 0);
+    Output { batches, faults, stats: *server.stats() }
+}
+
+fn assert_outputs_identical(label: &str, a: &Output, b: &Output) {
+    assert_eq!(a.batches.len(), b.batches.len(), "{label}: batch count");
+    for (i, (x, y)) in a.batches.iter().zip(&b.batches).enumerate() {
+        assert_eq!(x.len(), y.len(), "{label}: record count at batch {}", i + 1);
+        for (r, s) in x.iter().zip(y) {
+            assert_eq!(key(r), key(s), "{label}: record diverged at batch {}", i + 1);
+        }
+    }
+    assert_eq!(a.faults, b.faults, "{label}: fault ledgers diverge");
+    assert_eq!(a.stats, b.stats, "{label}: serve counters diverge");
+}
+
+/// The headline property: kill at several points, recover, finish — the
+/// whole history is bitwise identical to never having crashed, with
+/// eviction and shedding demonstrably active, at widths 1 and 4.
+#[test]
+fn kill_and_recover_is_bitwise_invisible_under_shedding() {
+    let model = TpGnn::new(TpGnnConfig::gru(FEAT_DIM).with_seed(77));
+    let probe = generate(&plan(PathBuf::new(), PathBuf::new()));
+    let n_batches = probe.batches.len();
+    assert!(n_batches >= 6, "traffic too small to cut meaningfully");
+    let cuts = [n_batches / 3, 2 * n_batches / 3];
+
+    let mut reference: Option<Vec<String>> = None;
+    for threads in [1usize, 4] {
+        let tag = format!("ref-w{threads}");
+        let (spill, journal) = (tmpdir(&format!("{tag}-s")), tmpdir(&format!("{tag}-j")));
+        let p = plan(spill.clone(), journal.clone());
+        let traffic = generate(&p);
+        let cfg = p.serve_config();
+        let base = with_thread_override(threads, || run_uninterrupted(&model, &cfg, &traffic));
+
+        // The budgets must actually bite, or this test proves nothing.
+        assert!(base.stats.evicted > 0, "eviction rung never engaged: {:?}", base.stats);
+        assert!(base.stats.restored > 0, "no spilled session was restored: {:?}", base.stats);
+        assert!(
+            base.stats.early_suspensions > 0 || base.stats.shed_refused_sessions > 0,
+            "no shedding pressure: {:?}",
+            base.stats
+        );
+
+        // Cross-width determinism of the uninterrupted run itself.
+        let flat: Vec<String> = base.batches.iter().flatten().map(key).collect();
+        match &reference {
+            None => reference = Some(flat),
+            Some(r) => assert_eq!(r, &flat, "uninterrupted run differs across widths"),
+        }
+
+        for (ci, &cut) in cuts.iter().enumerate() {
+            let tag = format!("kill-w{threads}-c{ci}");
+            let (kspill, kjournal) =
+                (tmpdir(&format!("{tag}-s")), tmpdir(&format!("{tag}-j")));
+            let kp = plan(kspill.clone(), kjournal.clone());
+            let kcfg = kp.serve_config();
+            let killed = with_thread_override(threads, || {
+                run_killed(&model, &kcfg, &traffic, cut, ci == 0)
+            });
+            assert_outputs_identical(&tag, &base, &killed);
+            std::fs::remove_dir_all(&kspill).ok();
+            std::fs::remove_dir_all(&kjournal).ok();
+        }
+        std::fs::remove_dir_all(&spill).ok();
+        std::fs::remove_dir_all(&journal).ok();
+    }
+}
+
+/// Over-budget traffic with no spill dir (the ladder's worst case: straight
+/// to refusals) never panics and conserves every event exactly: offered ==
+/// absorbed-into-sessions + dropped (attributed) + shed (attributed).
+#[test]
+fn overload_never_panics_and_never_silently_drops() {
+    let model = TpGnn::new(TpGnnConfig::sum(FEAT_DIM).with_seed(5));
+    let p = LoadPlan {
+        sessions: 100,
+        seed: 99,
+        fault: FaultPlan::mixed(0.1),
+        batch_size: 64,
+        session_spacing: 0.5,
+        session_gap: 25.0,
+        early_warning_every: 2,
+        num_shards: 4,
+        max_resident_sessions: 8, // brutally tight, no spill dir
+        ..LoadPlan::default()
+    };
+    let traffic = generate(&p);
+    let cfg = p.serve_config();
+    let mut server = SessionServer::new(&model, cfg).unwrap();
+    for (sid, f) in &traffic.features {
+        server.register(*sid, f.clone());
+    }
+    let mut finals: Vec<ScoreRecord> = Vec::new();
+    for b in &traffic.batches {
+        finals.extend(
+            server.ingest(b).unwrap().into_iter().filter(|r| r.stats.is_some()),
+        );
+    }
+    finals.extend(server.close_all().unwrap().into_iter().filter(|r| r.stats.is_some()));
+    let s = *server.stats();
+    assert!(s.shed_refused_sessions > 0, "budget never bit: {s:?}");
+    let absorbed: usize = finals.iter().map(|r| r.stats.as_ref().unwrap().received).sum();
+    assert_eq!(
+        s.events,
+        absorbed
+            + s.shed_refused_events
+            + s.dropped_closed
+            + s.dropped_refused
+            + s.dropped_poisoned,
+        "event conservation broken: {s:?}, absorbed {absorbed}"
+    );
+    // Every refusal is attributed in the ledger, one fault per shed session
+    // per batch it was refused in.
+    let faults = server.take_faults();
+    let shed_faults = faults
+        .iter()
+        .filter(|f| f.kind == tpgnn_serve::FaultKind::Overloaded)
+        .count();
+    assert_eq!(shed_faults, s.shed_refused_sessions, "refusals must be attributed");
+    assert_eq!(s.opened, s.closed, "sessions leaked: {s:?}");
+}

@@ -141,9 +141,9 @@ fn serve_run(
         }
         let mut records = Vec::new();
         for batch in &case.batches {
-            records.extend(server.ingest(batch));
+            records.extend(server.ingest(batch).unwrap());
         }
-        records.extend(server.close_all());
+        records.extend(server.close_all().unwrap());
         assert_eq!(server.resident(), 0, "sessions leaked past close_all");
         records
     })

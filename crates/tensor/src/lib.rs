@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod ckpt;
 pub mod gradcheck;
 pub mod init;
 pub mod linalg;

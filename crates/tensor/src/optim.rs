@@ -71,56 +71,8 @@ impl Adam {
     }
 }
 
-/// Typed failure modes of checkpoint persistence and restore.
-#[derive(Debug)]
-pub enum CheckpointError {
-    /// The serialized text is structurally invalid (bad header, shape
-    /// mismatch, unparsable numbers, …).
-    Format(String),
-    /// The `checksum` trailer does not match the body — the file was
-    /// truncated or corrupted on disk.
-    ChecksumMismatch {
-        /// Checksum recorded in the trailer.
-        expected: u64,
-        /// Checksum recomputed over the body.
-        actual: u64,
-    },
-    /// Filesystem failure while persisting or reading.
-    Io(std::io::Error),
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Format(msg) => write!(f, "malformed training state: {msg}"),
-            CheckpointError::ChecksumMismatch { expected, actual } => write!(
-                f,
-                "checkpoint checksum mismatch: recorded {expected:016x}, recomputed {actual:016x}"
-            ),
-            CheckpointError::Io(e) => write!(f, "checkpoint I/O failure: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {}
-
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
-    }
-}
-
-/// FNV-1a over the checkpoint body — same hash family the in-repo property
-/// harness uses; collision resistance is irrelevant here, torn-write
-/// detection is the job.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+pub use crate::ckpt::CheckpointError;
+use crate::ckpt::verify_checksum_trailer;
 
 /// Serialize the complete Adam training state — step count, learning rate,
 /// and the store's parameter values plus both moment buffers — to the
@@ -172,50 +124,17 @@ pub fn load_training_state(
     Ok(())
 }
 
-/// If `text` ends with a `checksum <hex>` trailer line, verify it against
-/// everything before it and return the body; otherwise return `text`
-/// unchanged (in-memory states carry no trailer).
-fn verify_checksum_trailer(text: &str) -> Result<&str, CheckpointError> {
-    let trimmed = text.strip_suffix('\n').unwrap_or(text);
-    let Some(at) = trimmed.rfind('\n') else { return Ok(text) };
-    let last = &trimmed[at + 1..];
-    let Some(hex) = last.strip_prefix("checksum ") else { return Ok(text) };
-    let expected = u64::from_str_radix(hex.trim(), 16)
-        .map_err(|e| CheckpointError::Format(format!("bad checksum trailer: {e}")))?;
-    let body = &text[..at + 1];
-    let actual = fnv1a(body.as_bytes());
-    if actual != expected {
-        return Err(CheckpointError::ChecksumMismatch { expected, actual });
-    }
-    Ok(body)
-}
-
-/// Persist the training state to `path` crash-safely: the checksummed state
-/// is written to a sibling temp file, fsynced, and atomically renamed into
-/// place, so a crash at any point leaves either the previous checkpoint or
-/// the complete new one — never a torn file.
+/// Persist the training state to `path` crash-safely via
+/// [`crate::ckpt::write_atomic`]: the checksummed state is written to a
+/// sibling temp file, fsynced, and atomically renamed into place, so a
+/// crash at any point leaves either the previous checkpoint or the
+/// complete new one — never a torn file.
 pub fn write_training_state(
     opt: &Adam,
     store: &ParamStore,
     path: &std::path::Path,
 ) -> Result<(), CheckpointError> {
-    use std::io::Write;
-
-    let mut state = save_training_state(opt, store);
-    if !state.ends_with('\n') {
-        state.push('\n');
-    }
-    let checksum = fnv1a(state.as_bytes());
-    state.push_str(&format!("checksum {checksum:016x}\n"));
-
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(state.as_bytes())?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+    crate::ckpt::write_atomic(path, &save_training_state(opt, store))
 }
 
 /// Restore a training state persisted by [`write_training_state`],

@@ -78,4 +78,12 @@ echo "== chaos smoke (seeded fault schedules, --smoke) =="
 cargo run --release --offline -p tpgnn-bench --bin chaos_smoke -- --smoke
 
 echo
-echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke, serving smoke, chaos smoke."
+echo "== crash-recovery smoke (child hard-abort + journal recovery) =="
+# recover_smoke aborts a child process mid-stream (no flush, torn journal
+# tail), recovers from the journal in the parent, finishes the traffic, and
+# asserts every score/counter/ledger entry is bitwise-identical to an
+# uninterrupted run. Exits non-zero on any divergence.
+cargo run --release --offline -p tpgnn-bench --bin recover_smoke
+
+echo
+echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke, serving smoke, chaos smoke, recovery smoke."
