@@ -1,0 +1,164 @@
+//! Regression gate over the committed benchmark baselines: compares a
+//! freshly-written `results/bench_*.json` suite against the committed copy
+//! (recovered offline via `git show HEAD:<path>` by `scripts/ci.sh`) and
+//! fails on median regressions past a noise-aware threshold on named hot
+//! rows.
+//!
+//! The allowance for a row is `threshold + spread`, where `spread` is the
+//! baseline row's own relative sample scatter `(p95 − min) / median`
+//! (capped at 1.0): a row whose three smoke samples already wobble 40%
+//! gets 40 extra points of slack, a tight row gets almost none — so the
+//! gate bites on real regressions without flaking on timer noise.
+//!
+//! Usage:
+//!   bench_compare --baseline <committed.json> --fresh <fresh.json>
+//!                 [--threshold 0.10] [--row <name>[=<threshold>]]...
+//!
+//! With no `--row`, every row present in both suites is checked at the
+//! default threshold. Suites whose `smoke` flags differ are skipped with a
+//! warning (exit 0): smoke and full runs time different workloads.
+//! Exit codes: 0 = within budget (or skipped); 1 = regression past the
+//! allowance or unusable input.
+
+use std::path::Path;
+
+use tpgnn_obs::json::{self, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_compare: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+struct Row {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    p95_ns: f64,
+}
+
+struct Suite {
+    smoke: bool,
+    rows: Vec<Row>,
+}
+
+fn load_suite(path: &str) -> Suite {
+    let text = std::fs::read_to_string(Path::new(path))
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+    let smoke = doc.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+    let Some(Json::Arr(benchmarks)) = doc.get("benchmarks") else {
+        fail(&format!("{path}: no benchmarks array"));
+    };
+    let rows = benchmarks
+        .iter()
+        .map(|b| {
+            let num = |k: &str| {
+                b.get(k)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| fail(&format!("{path}: row missing {k}")))
+            };
+            Row {
+                name: b
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| fail(&format!("{path}: row missing name")))
+                    .to_string(),
+                median_ns: num("median_ns"),
+                min_ns: num("min_ns"),
+                p95_ns: num("p95_ns"),
+            }
+        })
+        .collect();
+    Suite { smoke, rows }
+}
+
+fn main() {
+    let mut baseline_path = None;
+    let mut fresh_path = None;
+    let mut threshold = 0.10_f64;
+    let mut wanted: Vec<(String, Option<f64>)> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val =
+            || it.next().unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        match flag.as_str() {
+            "--baseline" => baseline_path = Some(val()),
+            "--fresh" => fresh_path = Some(val()),
+            "--threshold" => {
+                threshold = val().parse().unwrap_or_else(|e| fail(&format!("--threshold: {e}")))
+            }
+            "--row" => {
+                let spec = val();
+                match spec.split_once('=') {
+                    Some((name, t)) => wanted.push((
+                        name.to_string(),
+                        Some(t.parse().unwrap_or_else(|e| fail(&format!("--row {spec}: {e}")))),
+                    )),
+                    None => wanted.push((spec, None)),
+                }
+            }
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    let baseline = load_suite(&baseline_path.unwrap_or_else(|| fail("--baseline is required")));
+    let fresh_path = fresh_path.unwrap_or_else(|| fail("--fresh is required"));
+    let fresh = load_suite(&fresh_path);
+
+    if baseline.smoke != fresh.smoke {
+        println!(
+            "bench_compare: SKIP {fresh_path} — smoke flags differ (baseline {}, fresh {}): \
+             different workloads, medians are not comparable",
+            baseline.smoke, fresh.smoke
+        );
+        return;
+    }
+
+    if wanted.is_empty() {
+        wanted = baseline
+            .rows
+            .iter()
+            .filter(|b| fresh.rows.iter().any(|f| f.name == b.name))
+            .map(|b| (b.name.clone(), None))
+            .collect();
+    }
+    if wanted.is_empty() {
+        fail("no comparable rows between baseline and fresh suites");
+    }
+
+    let mut regressions = 0usize;
+    for (name, row_threshold) in &wanted {
+        let Some(base) = baseline.rows.iter().find(|r| &r.name == name) else {
+            println!("bench_compare: warn — baseline has no row `{name}`, skipping");
+            continue;
+        };
+        let Some(new) = fresh.rows.iter().find(|r| &r.name == name) else {
+            fail(&format!("fresh suite lost row `{name}`"));
+        };
+        if base.median_ns <= 0.0 {
+            println!("bench_compare: warn — row `{name}` baseline median is 0, skipping");
+            continue;
+        }
+        let spread = ((base.p95_ns - base.min_ns) / base.median_ns).clamp(0.0, 1.0);
+        let allowed = row_threshold.unwrap_or(threshold) + spread;
+        let ratio = new.median_ns / base.median_ns - 1.0;
+        let verdict = if ratio > allowed {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_compare: {verdict:<10} {name}: median {:.0}ns -> {:.0}ns ({:+.1}%, allowed +{:.1}% = threshold {:.0}% + spread {:.0}%)",
+            base.median_ns,
+            new.median_ns,
+            ratio * 100.0,
+            allowed * 100.0,
+            row_threshold.unwrap_or(threshold) * 100.0,
+            spread * 100.0
+        );
+    }
+    if regressions > 0 {
+        fail(&format!("{regressions} row(s) regressed past their allowance"));
+    }
+    println!("bench_compare: OK — {} row(s) within budget", wanted.len());
+}

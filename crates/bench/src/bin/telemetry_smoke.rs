@@ -1,0 +1,243 @@
+//! Live-telemetry smoke for CI: a traced serve run under seeded load with
+//! a fast snapshot ticker, validated from the outside while and after it
+//! runs, plus a child-abort leg proving the metrics artifacts survive a
+//! mid-serve crash (the ticker refreshes them every tick, so an end-of-run
+//! flush is never the only copy).
+//!
+//! Checks:
+//! 1. `live-<run>.jsonl` gains parseable snapshot ticks **while the server
+//!    is still serving** (read mid-run, before `close_all`), ≥ 2 ticks by
+//!    the end, and the Prometheus-style exposition file parses.
+//! 2. SLO burn-rate gauges appear in the snapshots (SLO config is on).
+//! 3. `obs_report`'s library reconstructs a known session's timeline from
+//!    the journal + trace purely on trace ids, and every score record's
+//!    trace id equals `trace_id(session, batch)` re-derived offline.
+//! 4. A hard-aborted child (`std::process::abort` mid-stream) still leaves
+//!    a readable metrics sidecar and live snapshots on disk.
+//!
+//! Exit codes: 0 = all checks pass; 1 = validation failure; 2 = tracing
+//! disabled (`TPGNN_TRACE` unset) — the run is meaningless.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tpgnn_bench::report;
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_data::chaos::FaultPlan;
+use tpgnn_obs::{reader, trace};
+use tpgnn_serve::loadgen::{generate, LoadPlan};
+use tpgnn_serve::{slo, SessionServer, TelemetryConfig};
+
+const CHILD_ENV: &str = "TPGNN_TELEMETRY_SMOKE_CHILD";
+const DIR_ENV: &str = "TPGNN_TELEMETRY_SMOKE_DIR";
+const RUN: &str = "telemetry-smoke";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("telemetry_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn model() -> TpGnn {
+    TpGnn::new(TpGnnConfig::sum(3).with_seed(23))
+}
+
+fn plan(base: &std::path::Path) -> LoadPlan {
+    LoadPlan {
+        sessions: 32,
+        seed: 2608,
+        fault: FaultPlan::mixed(0.1),
+        batch_size: 24,
+        session_spacing: 2.0,
+        session_gap: 25.0,
+        early_warning_every: 4,
+        num_shards: 4,
+        max_resident_sessions: 12,
+        max_buffered_edges: 0,
+        spill_dir: Some(base.join("spill")),
+        journal_dir: Some(base.join("journal")),
+        snapshot_every: 4,
+    }
+}
+
+fn serve_config(base: &std::path::Path, tick_ms: u64) -> tpgnn_serve::ServeConfig {
+    let mut cfg = plan(base).serve_config();
+    cfg.slo = Some(slo::SloConfig::default());
+    cfg.telemetry =
+        Some(TelemetryConfig { dir: base.to_path_buf(), run: RUN.into(), tick_ms });
+    cfg
+}
+
+/// Child role: start tracing + telemetry into the given directory, serve a
+/// few batches so metrics accumulate, give the ticker time to publish,
+/// then die with no destructors and no flush.
+fn child() -> ! {
+    let base = PathBuf::from(std::env::var(DIR_ENV).unwrap());
+    trace::init_to(RUN, base.join(format!("trace-{RUN}.jsonl")));
+    let p = plan(&base);
+    let traffic = generate(&p);
+    let m = model();
+    let mut server = SessionServer::new(&m, serve_config(&base, 5))
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    for (sid, f) in &traffic.features {
+        server.register(*sid, f.clone());
+    }
+    for b in traffic.batches.iter().take(traffic.batches.len() / 2) {
+        server.ingest(b).unwrap_or_else(|e| fail(&e.to_string()));
+    }
+    // Let the 5ms ticker publish at least once after the serving work.
+    std::thread::sleep(Duration::from_millis(120));
+    std::process::abort(); // no Drop, no finish(), no final tick
+}
+
+fn main() {
+    if std::env::var(CHILD_ENV).is_ok() {
+        child();
+    }
+    if std::env::var("TPGNN_TRACE").map(|v| v.is_empty()).unwrap_or(true) {
+        eprintln!("telemetry_smoke: TPGNN_TRACE is not set; nothing to validate (exit 2)");
+        std::process::exit(2);
+    }
+
+    let base =
+        std::env::temp_dir().join(format!("tpgnn-telemetry-smoke-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::create_dir_all(&base).unwrap();
+    let trace_path = base.join(format!("trace-{RUN}.jsonl"));
+    trace::init_to(RUN, &trace_path);
+
+    // Traced serve under load with a fast ticker and SLOs on.
+    let p = plan(&base);
+    let traffic = generate(&p);
+    let m = model();
+    let mut server = SessionServer::new(&m, serve_config(&base, 5))
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    for (sid, f) in &traffic.features {
+        server.register(*sid, f.clone());
+    }
+    let mut records = Vec::new();
+    for b in &traffic.batches {
+        records.extend(server.ingest(b).unwrap_or_else(|e| fail(&e.to_string())));
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Mid-run visibility: the live series and exposition must already be
+    // readable while the server still holds open sessions.
+    let live_path = base.join(format!("live-{RUN}.jsonl"));
+    std::thread::sleep(Duration::from_millis(60));
+    let mid = report::read_live(&live_path)
+        .unwrap_or_else(|e| fail(&format!("mid-run live read: {e}")));
+    if mid.ticks == 0 {
+        fail("no live snapshot ticks while the server was still running");
+    }
+    if server.resident() + server.spilled() == 0 {
+        fail("server already drained — the mid-run check proved nothing");
+    }
+
+    records.extend(server.close_all().unwrap_or_else(|e| fail(&e.to_string())));
+    let stats = *server.stats();
+    let slo_summary = slo::summary(&stats, &slo::SloConfig::default());
+    drop(server); // Ticker Drop: final tick + join
+
+    let live = report::read_live(&live_path)
+        .unwrap_or_else(|e| fail(&format!("final live read: {e}")));
+    if live.ticks < 2 {
+        fail(&format!("want >= 2 snapshot ticks, got {}", live.ticks));
+    }
+    if live.ticks < mid.ticks {
+        fail("live series shrank between mid-run and final reads");
+    }
+    let last = live.last.as_ref().unwrap_or_else(|| fail("no last snapshot"));
+    for series in ["serve.requests", "serve.events"] {
+        if last.get("counters").and_then(|c| c.get(series)).is_none() {
+            fail(&format!("last snapshot is missing the {series} counter"));
+        }
+    }
+    if last.get("gauges").and_then(|g| g.get("slo.latency.burn_long")).is_none() {
+        fail("SLO burn gauges never reached the snapshots");
+    }
+
+    // Exposition file: atomically-replaced Prometheus text format.
+    let expo = std::fs::read_to_string(base.join(format!("metrics-{RUN}.prom")))
+        .unwrap_or_else(|e| fail(&format!("exposition unreadable: {e}")));
+    if !expo.contains("# TYPE") || !expo.contains("serve_request_us_bucket{le=") {
+        fail(&format!("exposition missing TYPE lines or histogram buckets:\n{expo}"));
+    }
+
+    // Trace-id correlation, re-derived offline: every delivered record's id
+    // must equal trace_id(session, batch) for some journaled batch, and a
+    // known session's timeline must reconstruct purely from the ids.
+    trace::finish();
+    let lossy = reader::read_trace_lossy(&trace_path)
+        .unwrap_or_else(|e| fail(&format!("trace: {e}")));
+    let data = report::load_journal(&base.join("journal"))
+        .unwrap_or_else(|e| fail(&format!("journal: {e}")));
+    let batches = data.commits.len();
+    for r in &records {
+        let ok = (1..=batches).any(|b| tpgnn_serve::trace_id(r.session, b) == r.trace);
+        if !ok {
+            fail(&format!(
+                "record for session {} carries trace {} matching no committed batch",
+                r.session,
+                tpgnn_serve::trace_hex(r.trace)
+            ));
+        }
+    }
+    let probe = records.first().unwrap_or_else(|| fail("no records delivered")).session;
+    let timeline = report::session_timeline(&data, &lossy.records, probe)
+        .unwrap_or_else(|| fail(&format!("no timeline for session {probe}")));
+    for needle in ["event arrival=", "score "] {
+        if !timeline.contains(needle) {
+            fail(&format!("session {probe} timeline lacks `{needle}`:\n{timeline}"));
+        }
+    }
+    let score_events = lossy
+        .records
+        .iter()
+        .filter(|r| r.kind == "event" && r.name == "serve.score")
+        .count();
+    if score_events == 0 {
+        fail("trace carries no serve.score events");
+    }
+
+    // Crash leg: a hard abort mid-serve must still leave readable metrics
+    // artifacts behind (the ticker refreshed them; nothing waited for an
+    // end-of-run flush).
+    let child_dir = base.join("child");
+    std::fs::create_dir_all(&child_dir).unwrap();
+    let exe = std::env::current_exe().unwrap_or_else(|e| fail(&format!("current_exe: {e}")));
+    let status = std::process::Command::new(exe)
+        .env(CHILD_ENV, "1")
+        .env(DIR_ENV, &child_dir)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawning child: {e}")));
+    if status.success() {
+        fail("child was supposed to abort, but exited cleanly");
+    }
+    let child_live = report::read_live(&child_dir.join(format!("live-{RUN}.jsonl")))
+        .unwrap_or_else(|e| fail(&format!("aborted child left no live series: {e}")));
+    if child_live.ticks == 0 {
+        fail("aborted child's live series holds no parseable ticks");
+    }
+    let sidecar = std::fs::read_to_string(child_dir.join(format!("metrics-{RUN}.json")))
+        .unwrap_or_else(|e| fail(&format!("aborted child left no metrics sidecar: {e}")));
+    let doc = tpgnn_obs::json::parse(&sidecar)
+        .unwrap_or_else(|e| fail(&format!("child sidecar does not parse: {e}")));
+    if doc.get("counters").and_then(|c| c.get("serve.events")).is_none() {
+        fail("child sidecar is missing serve.* counters recorded before the abort");
+    }
+
+    println!(
+        "telemetry_smoke: OK — {} live tick(s) ({} mid-run), {} records id-verified over {} \
+         batch(es), session {} timeline joined on trace ids, {} serve.score event(s), child \
+         abort left {} tick(s) + sidecar; {}",
+        live.ticks,
+        mid.ticks,
+        records.len(),
+        batches,
+        probe,
+        score_events,
+        child_live.ticks,
+        slo_summary.lines().nth(1).unwrap_or("").trim(),
+    );
+    std::fs::remove_dir_all(&base).ok();
+}

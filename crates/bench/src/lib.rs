@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
 pub mod timing;
 
 use tpgnn_data::DatasetKind;

@@ -1,0 +1,385 @@
+//! Offline analysis over the observability artifacts of a serve run: the
+//! trace JSONL, the live telemetry snapshots, the metrics sidecar, and the
+//! per-shard journal — everything the `obs_report` binary prints.
+//!
+//! The joins here are deliberately shallow: a session's lifecycle is
+//! reconstructed **purely on trace ids** ([`tpgnn_serve::trace_id`] values
+//! rendered as 16-digit hex). Step one collects the id set the session's
+//! journal frames carry; step two selects journal frames and trace events
+//! by id membership alone — no session-field matching on the second pass —
+//! so the report doubles as an end-to-end check that the correlation ids
+//! actually thread through every surface.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use tpgnn_obs::json::{self, Json};
+use tpgnn_obs::reader::TraceRecord;
+use tpgnn_serve::journal::{Frame, JournalData};
+use tpgnn_serve::loadgen::percentile;
+
+/// Per-span-name latency aggregate over one trace.
+#[derive(Clone, Debug)]
+pub struct SpanRow {
+    /// Span name (e.g. `serve.request`).
+    pub name: String,
+    /// Spans observed.
+    pub count: usize,
+    /// Sum of span durations, microseconds.
+    pub total_us: f64,
+    /// Median span duration, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile span duration, microseconds.
+    pub p95_us: f64,
+    /// Longest span, microseconds.
+    pub max_us: f64,
+}
+
+/// Aggregate every span in `records` by name, sorted by total time
+/// (hottest first).
+pub fn span_breakdown(records: &[TraceRecord]) -> Vec<SpanRow> {
+    let mut by_name: Vec<(String, Vec<f64>)> = Vec::new();
+    for r in records.iter().filter(|r| r.kind == "span") {
+        let Some(dur) = r.dur_us else { continue };
+        match by_name.iter_mut().find(|(n, _)| *n == r.name) {
+            Some((_, v)) => v.push(dur as f64),
+            None => by_name.push((r.name.clone(), vec![dur as f64])),
+        }
+    }
+    let mut rows: Vec<SpanRow> = by_name
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_by(f64::total_cmp);
+            SpanRow {
+                name,
+                count: durs.len(),
+                total_us: durs.iter().sum(),
+                p50_us: percentile(&durs, 50.0),
+                p95_us: percentile(&durs, 95.0),
+                max_us: durs.last().copied().unwrap_or(0.0),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.total_us.total_cmp(&a.total_us));
+    rows
+}
+
+/// Render [`span_breakdown`] rows as an aligned text table.
+pub fn render_spans(rows: &[SpanRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:<24} {:>8} {:>12} {:>10} {:>10} {:>10}\n",
+        "span", "count", "total_ms", "p50_us", "p95_us", "max_us"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<24} {:>8} {:>12.3} {:>10.1} {:>10.1} {:>10.1}\n",
+            r.name,
+            r.count,
+            r.total_us / 1e3,
+            r.p50_us,
+            r.p95_us,
+            r.max_us
+        ));
+    }
+    out
+}
+
+/// One line of a reconstructed session timeline, sortable by batch then
+/// within-batch rank.
+struct TimelineLine {
+    batch: usize,
+    rank: u8,
+    sub: usize,
+    text: String,
+}
+
+fn describe_frame(f: &Frame) -> (u8, usize, String) {
+    match f {
+        Frame::Register { session, features, .. } => (
+            0,
+            0,
+            format!(
+                "register session={} features={}x{}",
+                session,
+                features.num_nodes(),
+                features.dim()
+            ),
+        ),
+        Frame::Event { arrival, event, .. } => (
+            1,
+            *arrival,
+            format!(
+                "event arrival={} {}->{} t={}",
+                arrival, event.event.src, event.event.dst, event.event.time
+            ),
+        ),
+        Frame::Score { record, .. } => (
+            2,
+            0,
+            format!(
+                "score {:?} proba={:.6} edges={}{}",
+                record.kind,
+                record.proba,
+                record.edges,
+                record
+                    .quarantine
+                    .as_ref()
+                    .map(|q| format!(" quarantined={}", q.len()))
+                    .unwrap_or_default()
+            ),
+        ),
+        Frame::Fault { fault, .. } => {
+            (3, 0, format!("fault {}: {}", fault.kind, fault.detail))
+        }
+        Frame::Watchdog { session, elapsed_us, .. } => {
+            (4, 0, format!("watchdog session={} elapsed_us={}", session, elapsed_us))
+        }
+    }
+}
+
+/// Reconstruct one session's lifecycle by joining journal frames and trace
+/// events **purely on trace ids**: pass one collects the id set from the
+/// session's own frames; pass two selects everything (frames and trace
+/// events alike) by membership in that set, proving the ids thread through
+/// both surfaces. Returns `None` when the journal carries no frame for the
+/// session.
+pub fn session_timeline(
+    data: &JournalData,
+    trace_records: &[TraceRecord],
+    session: u64,
+) -> Option<String> {
+    let ids: BTreeSet<u64> = data
+        .shards
+        .iter()
+        .flatten()
+        .filter(|f| f.session() == session)
+        .map(Frame::trace)
+        .collect();
+    if ids.is_empty() {
+        return None;
+    }
+    let hexes: BTreeSet<String> = ids.iter().map(|t| tpgnn_serve::trace_hex(*t)).collect();
+
+    let mut lines: Vec<TimelineLine> = Vec::new();
+    for f in data.shards.iter().flatten() {
+        if !ids.contains(&f.trace()) {
+            continue;
+        }
+        let (rank, sub, text) = describe_frame(f);
+        lines.push(TimelineLine {
+            batch: f.batch(),
+            rank,
+            sub,
+            text: format!("[{}] {}", tpgnn_serve::trace_hex(f.trace()), text),
+        });
+    }
+    for r in trace_records.iter().filter(|r| r.kind == "event") {
+        let Some(hex) = r.field("trace").and_then(Json::as_str) else { continue };
+        if !hexes.contains(hex) {
+            continue;
+        }
+        lines.push(TimelineLine {
+            // Trace events sort after the journal frames of their batch;
+            // the batch is recoverable from the id itself via the frames.
+            batch: lines
+                .iter()
+                .find(|l| l.text.starts_with(&format!("[{hex}]")))
+                .map_or(usize::MAX, |l| l.batch),
+            rank: 5,
+            sub: r.t_us as usize,
+            text: format!("[{hex}] trace-event {} t_us={}", r.name, r.t_us),
+        });
+    }
+    lines.sort_by_key(|a| (a.batch, a.rank, a.sub));
+
+    let mut out = format!("session {session} — {} correlated trace id(s)\n", ids.len());
+    let mut last_batch = usize::MAX;
+    for l in &lines {
+        if l.batch != last_batch {
+            last_batch = l.batch;
+            if l.batch == usize::MAX {
+                out.push_str("  (trace events without a journaled batch)\n");
+            } else {
+                out.push_str(&format!("  batch {}\n", l.batch));
+            }
+        }
+        out.push_str(&format!("    {}\n", l.text));
+    }
+    Some(out)
+}
+
+/// Summary of one live-telemetry JSONL time series.
+#[derive(Clone, Debug, Default)]
+pub struct LiveSummary {
+    /// Parseable snapshot ticks.
+    pub ticks: usize,
+    /// Unparseable (torn/partial) lines skipped.
+    pub skipped: usize,
+    /// Last tick's `seq`.
+    pub last_seq: u64,
+    /// Last tick's full snapshot document.
+    pub last: Option<Json>,
+}
+
+/// Parse a `live-<run>.jsonl` time series, skipping torn lines (the file
+/// is written concurrently with the reader).
+pub fn read_live(path: &Path) -> Result<LiveSummary, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut s = LiveSummary::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(doc) => {
+                s.ticks += 1;
+                s.last_seq =
+                    doc.get("seq").and_then(Json::as_i64).map_or(s.last_seq, |v| v as u64);
+                s.last = Some(doc);
+            }
+            Err(_) => s.skipped += 1,
+        }
+    }
+    Ok(s)
+}
+
+/// Render the SLO view of the newest live snapshot: burn-rate gauges and
+/// the cumulative breach counter, or a note when SLO tracking was off.
+pub fn render_slo(live: &LiveSummary) -> String {
+    let Some(last) = &live.last else {
+        return "  no live snapshots\n".to_string();
+    };
+    let gauge = |name: &str| {
+        last.get("gauges").and_then(|g| g.get(name)).and_then(Json::as_f64)
+    };
+    let breaches = last
+        .get("counters")
+        .and_then(|c| c.get("slo.breaches"))
+        .and_then(|c| c.get("total"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    let mut out = String::new();
+    let mut any = false;
+    for (label, short, long) in [
+        ("latency", "slo.latency.burn_short", "slo.latency.burn_long"),
+        ("availability", "slo.availability.burn_short", "slo.availability.burn_long"),
+    ] {
+        if let (Some(s), Some(l)) = (gauge(short), gauge(long)) {
+            any = true;
+            out.push_str(&format!(
+                "  {:<14} burn short={:.3} long={:.3}\n",
+                label, s, l
+            ));
+        }
+    }
+    if !any {
+        return "  SLO tracking was not enabled for this run\n".to_string();
+    }
+    out.push_str(&format!("  breaches (cumulative): {breaches}\n"));
+    out
+}
+
+/// Render the hottest ops from a metrics sidecar's `ops` section.
+pub fn render_top_ops_from_sidecar(path: &Path, limit: usize) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = json::parse(&text)?;
+    let Some(Json::Arr(ops)) = doc.get("ops") else {
+        return Ok("  sidecar carries no ops section\n".to_string());
+    };
+    let mut out = format!(
+        "  {:<14} {:>10} {:>10} {:>10} {:>14}\n",
+        "op", "calls", "fwd_us", "bwd_us", "out_elems"
+    );
+    for op in ops.iter().take(limit) {
+        let s = |k: &str| op.get(k).and_then(Json::as_i64).unwrap_or(0);
+        let name = op.get("op").and_then(Json::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "  {:<14} {:>10} {:>10} {:>10} {:>14}\n",
+            name,
+            s("calls"),
+            s("fwd_us"),
+            s("bwd_us"),
+            s("elems")
+        ));
+    }
+    Ok(out)
+}
+
+/// Count the `shard-*.log` files of a journal directory (how
+/// [`tpgnn_serve::journal::load`] learns the shard count offline).
+pub fn probe_num_shards(dir: &Path) -> usize {
+    let mut n = 0;
+    while tpgnn_serve::journal::shard_log_path(dir, n).exists() {
+        n += 1;
+    }
+    n
+}
+
+/// Load a journal directory, probing the shard count from the files.
+pub fn load_journal(dir: &Path) -> Result<JournalData, String> {
+    let n = probe_num_shards(dir);
+    if n == 0 {
+        return Err(format!("{} holds no shard-*.log files", dir.display()));
+    }
+    tpgnn_serve::journal::load(dir, n).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: &str, name: &str, dur_us: Option<u64>) -> TraceRecord {
+        TraceRecord {
+            kind: kind.into(),
+            name: name.into(),
+            level: "info".into(),
+            id: 0,
+            parent: None,
+            thread: 0,
+            t_us: 1,
+            dur_us,
+            fields: Json::Obj(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn span_breakdown_groups_and_sorts_by_total() {
+        let records = vec![
+            rec("span", "a", Some(10)),
+            rec("span", "b", Some(100)),
+            rec("span", "a", Some(30)),
+            rec("event", "a", None),
+        ];
+        let rows = span_breakdown(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "b");
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_us, 40.0);
+        let table = render_spans(&rows);
+        assert!(table.contains("p95_us"), "{table}");
+    }
+
+    #[test]
+    fn live_reader_skips_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("tpgnn-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("live-t.jsonl");
+        std::fs::write(
+            &p,
+            "{\"seq\":1,\"counters\":{},\"gauges\":{},\"histograms\":{}}\n{\"seq\":2,\"coun",
+        )
+        .unwrap();
+        let s = read_live(&p).unwrap();
+        assert_eq!((s.ticks, s.skipped, s.last_seq), (1, 1, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slo_render_reports_absence() {
+        let s = LiveSummary::default();
+        assert!(render_slo(&s).contains("no live snapshots"));
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`json`] — a minimal JSON value type, writer, and parser shared by the
 //!   sinks and the reader,
 //! * [`reader`] — a snapshot reader that parses traces back for tests and
-//!   the CI smoke check.
+//!   the CI smoke check (strict and lossy variants — a live trace file can
+//!   end mid-line),
+//! * [`snapshot`] — live telemetry: windowed metrics deltas appended as a
+//!   JSONL time series plus a Prometheus-style exposition file atomically
+//!   replaced each tick, driven by an explicit writer or a ticker thread.
 //!
 //! Overhead policy: every recording entry point is gated on one relaxed
 //! atomic load ([`trace::enabled`] / [`opprof::op_start`]). With tracing
@@ -31,6 +35,7 @@ pub mod json;
 pub mod metrics;
 pub mod opprof;
 pub mod reader;
+pub mod snapshot;
 pub mod trace;
 
 pub use json::Json;

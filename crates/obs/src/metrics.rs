@@ -274,6 +274,277 @@ pub fn snapshot_json() -> Json {
     obj(vec![("counters", counters), ("gauges", gauges), ("histograms", histograms)])
 }
 
+/// One counter's view over a snapshot window.
+#[derive(Clone, Debug)]
+pub struct CounterWindow {
+    /// Registered metric name.
+    pub name: String,
+    /// Increments observed since the previous cursor take.
+    pub delta: u64,
+    /// Cumulative value at the moment of the take.
+    pub total: u64,
+}
+
+/// One gauge's view over a snapshot window (last-write-wins, no delta).
+#[derive(Clone, Debug)]
+pub struct GaugeWindow {
+    /// Registered metric name.
+    pub name: String,
+    /// Value at the moment of the take.
+    pub value: f64,
+}
+
+/// One histogram's view over a snapshot window.
+#[derive(Clone, Debug)]
+pub struct HistogramWindow {
+    /// Registered metric name.
+    pub name: String,
+    /// Samples recorded since the previous take.
+    pub delta_count: u64,
+    /// Sum of samples recorded since the previous take (float subtraction:
+    /// exact for the integral microsecond values we record, approximate in
+    /// general).
+    pub delta_sum: f64,
+    /// Cumulative sample count at the moment of the take.
+    pub total_count: u64,
+    /// `(upper_bound, window_count)` per bucket; the overflow bucket has
+    /// `f64::INFINITY` as its bound. Bucket deltas are exact (u64
+    /// subtraction), so summing windows reproduces the cumulative counts.
+    pub bucket_deltas: Vec<(f64, u64)>,
+}
+
+impl HistogramWindow {
+    /// Quantile estimate over this window only (bucket upper bound at the
+    /// ceil-rank, like [`HistogramSnapshot`]). Samples in the overflow
+    /// bucket saturate to the last finite bound — windows do not track a
+    /// per-window max. Returns 0.0 for an empty window.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.delta_count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.delta_count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        let mut last_finite = 0.0f64;
+        for &(le, c) in &self.bucket_deltas {
+            if le.is_finite() {
+                last_finite = le;
+            }
+            seen += c;
+            if seen >= rank {
+                return if le.is_finite() { le } else { last_finite };
+            }
+        }
+        last_finite
+    }
+
+    /// Window samples strictly above `threshold`, counting every bucket
+    /// whose range lies past the threshold plus the (partially covered)
+    /// bucket containing it — a deliberate overcount of at most one bucket,
+    /// so SLO burn rates err toward alerting.
+    pub fn count_over(&self, threshold: f64) -> u64 {
+        let mut prev = f64::NEG_INFINITY;
+        let mut n = 0u64;
+        for &(le, c) in &self.bucket_deltas {
+            if le > threshold && prev < threshold {
+                n += c; // bucket straddles the threshold: counted in full
+            } else if prev >= threshold {
+                n += c;
+            }
+            prev = le;
+        }
+        n
+    }
+}
+
+/// Everything that changed between two cursor takes — the unit the live
+/// snapshot file is built from.
+#[derive(Clone, Debug, Default)]
+pub struct WindowSnapshot {
+    /// 1-based take sequence number (per cursor).
+    pub seq: u64,
+    /// All registered counters, sorted by name.
+    pub counters: Vec<CounterWindow>,
+    /// All registered gauges, sorted by name.
+    pub gauges: Vec<GaugeWindow>,
+    /// All registered histograms, sorted by name.
+    pub histograms: Vec<HistogramWindow>,
+}
+
+impl WindowSnapshot {
+    /// Window delta for the named counter (0 if unregistered).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.delta)
+    }
+
+    /// Cumulative total for the named counter (0 if unregistered).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.total)
+    }
+
+    /// Current value of the named gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Window view of the named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramWindow> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Serialize to one JSON object, ready to append as a JSONL line:
+    /// `{"seq":..,"counters":{name:{"delta":..,"total":..}},"gauges":{..},`
+    /// `"histograms":{name:{"delta_count":..,"delta_sum":..,"total_count":..,`
+    /// `"p50":..,"p95":..,"p99":..}}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|c| {
+                    (
+                        c.name.clone(),
+                        obj(vec![("delta", Json::from(c.delta)), ("total", Json::from(c.total))]),
+                    )
+                })
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            self.gauges.iter().map(|g| (g.name.clone(), Json::from(g.value))).collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|h| {
+                    (
+                        h.name.clone(),
+                        obj(vec![
+                            ("delta_count", Json::from(h.delta_count)),
+                            ("delta_sum", Json::from(h.delta_sum)),
+                            ("total_count", Json::from(h.total_count)),
+                            ("p50", Json::from(h.quantile(0.50))),
+                            ("p95", Json::from(h.quantile(0.95))),
+                            ("p99", Json::from(h.quantile(0.99))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        obj(vec![
+            ("seq", Json::from(self.seq)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// Remembers the cumulative registry state at the previous take so each
+/// [`DeltaCursor::take`] yields only the window since then. Metrics
+/// registered between takes appear with their full value as the first delta.
+#[derive(Debug, Default)]
+pub struct DeltaCursor {
+    seq: u64,
+    counters: BTreeMap<String, u64>,
+    /// name -> (count, sum, per-bucket counts) at the previous take.
+    histograms: BTreeMap<String, (u64, f64, Vec<u64>)>,
+}
+
+impl DeltaCursor {
+    /// A cursor whose first take covers everything since process start.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the registry and return the window since the previous take
+    /// (since cursor creation for the first take).
+    pub fn take(&mut self) -> WindowSnapshot {
+        let reg = lock();
+        self.seq += 1;
+        let mut out = WindowSnapshot { seq: self.seq, ..WindowSnapshot::default() };
+        for (name, c) in &reg.counters {
+            let total = c.get();
+            let prev = self.counters.insert(name.to_string(), total).unwrap_or(0);
+            out.counters.push(CounterWindow {
+                name: name.to_string(),
+                delta: total.saturating_sub(prev),
+                total,
+            });
+        }
+        for (name, g) in &reg.gauges {
+            out.gauges.push(GaugeWindow { name: name.to_string(), value: g.get() });
+        }
+        for (name, h) in &reg.histograms {
+            let s = h.snapshot();
+            let counts: Vec<u64> = s.buckets.iter().map(|&(_, c)| c).collect();
+            let (pc, ps, pb) = self
+                .histograms
+                .insert(name.to_string(), (s.count, s.sum, counts.clone()))
+                .unwrap_or((0, 0.0, vec![0; counts.len()]));
+            let bucket_deltas: Vec<(f64, u64)> = s
+                .buckets
+                .iter()
+                .zip(pb.iter().chain(std::iter::repeat(&0)))
+                .map(|(&(le, c), &p)| (le, c.saturating_sub(p)))
+                .collect();
+            out.histograms.push(HistogramWindow {
+                name: name.to_string(),
+                delta_count: s.count.saturating_sub(pc),
+                delta_sum: s.sum - ps,
+                total_count: s.count,
+                bucket_deltas,
+            });
+        }
+        out
+    }
+}
+
+/// Mangle a metric name into the Prometheus exposition charset
+/// (`[a-zA-Z0-9_:]`): every other byte becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
+        .collect()
+}
+
+fn prom_num(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_string() } else { "-Inf".to_string() }
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render every registered metric in the Prometheus text exposition format
+/// (cumulative values; histogram `_bucket` series are cumulative over `le`
+/// as the format requires). The snapshot ticker atomically replaces a
+/// `.prom` file with this each tick.
+pub fn render_exposition() -> String {
+    let reg = lock();
+    let mut out = String::new();
+    for (name, c) in &reg.counters {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {}\n", c.get()));
+    }
+    for (name, g) in &reg.gauges {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {}\n", prom_num(g.get())));
+    }
+    for (name, h) in &reg.histograms {
+        let p = prom_name(name);
+        let s = h.snapshot();
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cum = 0u64;
+        for &(le, c) in &s.buckets {
+            cum += c;
+            out.push_str(&format!("{p}_bucket{{le=\"{}\"}} {cum}\n", prom_num(le)));
+        }
+        out.push_str(&format!("{p}_sum {}\n", prom_num(s.sum)));
+        out.push_str(&format!("{p}_count {}\n", s.count));
+    }
+    out
+}
+
 /// One line per non-zero metric, for the end-of-run summary.
 pub fn render_summary() -> String {
     let reg = lock();
@@ -331,6 +602,105 @@ mod tests {
     fn exponential_buckets_shape() {
         let b = exponential_buckets(1.0, 2.0, 4);
         assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn counter_deltas_telescope_to_total() {
+        let c = counter("test.metrics.delta_counter");
+        let mut cur = DeltaCursor::new();
+        let base = cur.take().counter_total("test.metrics.delta_counter");
+        c.add(7);
+        let w1 = cur.take();
+        c.add(5);
+        let w2 = cur.take();
+        assert_eq!(w1.counter_delta("test.metrics.delta_counter"), 7);
+        assert_eq!(w2.counter_delta("test.metrics.delta_counter"), 5);
+        assert_eq!(w2.counter_total("test.metrics.delta_counter"), base + 12);
+        assert_eq!(w2.seq, 3);
+    }
+
+    #[test]
+    fn gauge_windows_are_last_value_not_delta() {
+        let g = gauge("test.metrics.delta_gauge");
+        let mut cur = DeltaCursor::new();
+        g.set(4.0);
+        cur.take();
+        g.set(1.5);
+        g.set(2.5);
+        let w = cur.take();
+        assert_eq!(w.gauge("test.metrics.delta_gauge"), Some(2.5));
+    }
+
+    #[test]
+    fn histogram_window_deltas_merge_to_cumulative() {
+        let h = histogram("test.metrics.delta_hist", &[1.0, 4.0, 16.0]);
+        let mut cur = DeltaCursor::new();
+        cur.take();
+        let mut windows = Vec::new();
+        for chunk in [[0.5, 2.0, 3.0].as_slice(), &[20.0, 0.1], &[8.0]] {
+            for &v in chunk {
+                h.record(v);
+            }
+            windows.push(cur.take().histogram("test.metrics.delta_hist").unwrap().clone());
+        }
+        // Sum of window deltas == cumulative snapshot, bucket by bucket.
+        let s = h.snapshot();
+        let merged_count: u64 = windows.iter().map(|w| w.delta_count).sum();
+        assert_eq!(merged_count, s.count);
+        for (i, &(le, c)) in s.buckets.iter().enumerate() {
+            let merged: u64 = windows.iter().map(|w| w.bucket_deltas[i].1).sum();
+            assert_eq!(merged, c, "bucket le={le} diverged");
+        }
+        let merged_sum: f64 = windows.iter().map(|w| w.delta_sum).sum();
+        assert!((merged_sum - s.sum).abs() < 1e-9);
+        // Per-window quantiles see only that window's samples.
+        assert_eq!(windows[0].delta_count, 3);
+        assert_eq!(windows[0].quantile(0.5), 4.0, "rank-2 of {{0.5,2,3}} is in (1,4]");
+        assert_eq!(windows[1].quantile(0.99), 16.0, "overflow saturates to last finite bound");
+    }
+
+    #[test]
+    fn histogram_window_count_over_threshold() {
+        let h = histogram("test.metrics.delta_over", &[1.0, 4.0, 16.0]);
+        let mut cur = DeltaCursor::new();
+        cur.take();
+        for v in [0.5, 2.0, 5.0, 30.0] {
+            h.record(v);
+        }
+        let w = cur.take();
+        let hw = w.histogram("test.metrics.delta_over").unwrap();
+        // Exact bucket boundary: (1,4] not counted at threshold 4.
+        assert_eq!(hw.count_over(4.0), 2);
+        // Straddling threshold 3 pulls in the whole (1,4] bucket (overcount).
+        assert_eq!(hw.count_over(3.0), 3);
+        assert_eq!(hw.count_over(100.0), 1, "overflow bucket straddles everything");
+    }
+
+    #[test]
+    fn window_snapshot_json_is_parseable() {
+        counter("test.metrics.window_json").add(2);
+        let mut cur = DeltaCursor::new();
+        let j = cur.take().to_json();
+        let parsed = crate::json::parse(&j.render()).expect("window json parses");
+        assert!(parsed.get("counters").is_some());
+        assert!(parsed.get("seq").and_then(Json::as_i64).unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn exposition_renders_all_kinds() {
+        counter("test.metrics.expo_counter").add(3);
+        gauge("test.metrics.expo_gauge").set(1.25);
+        histogram("test.metrics.expo_hist", &[1.0, 2.0]).record(1.5);
+        let text = render_exposition();
+        assert!(text.contains("# TYPE test_metrics_expo_counter counter"));
+        assert!(text.contains("# TYPE test_metrics_expo_gauge gauge"));
+        assert!(text.contains("test_metrics_expo_gauge 1.25"));
+        assert!(text.contains("# TYPE test_metrics_expo_hist histogram"));
+        assert!(text.contains("test_metrics_expo_hist_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("test_metrics_expo_hist_count"));
+        // Buckets are cumulative over le, as the format requires.
+        let b1 = text.lines().find(|l| l.contains("expo_hist_bucket{le=\"2\"}")).unwrap();
+        assert!(b1.ends_with(" 1"), "cumulative bucket line: {b1}");
     }
 
     #[test]

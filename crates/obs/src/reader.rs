@@ -89,9 +89,46 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceRecord>, String> {
     Ok(records)
 }
 
+/// A tolerant read of a possibly live (still-being-written) trace file.
+#[derive(Clone, Debug, Default)]
+pub struct LossyTrace {
+    /// Every line that parsed cleanly, in file order.
+    pub records: Vec<TraceRecord>,
+    /// Lines that failed to parse (torn tails, interleaved writers) — skipped
+    /// and counted instead of aborting the read.
+    pub skipped: usize,
+}
+
+/// Read a trace file that may end mid-line or contain foreign lines (a live
+/// writer's torn tail, an interleaved process). Unparseable lines are
+/// skipped and counted, never fatal; only a missing/unreadable file errors.
+/// Use [`read_trace`] when the file is known complete and must be strict.
+pub fn read_trace_lossy(path: impl AsRef<Path>) -> Result<LossyTrace, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut out = LossyTrace::default();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line) {
+            Ok(rec) => out.records.push(rec),
+            Err(_) => out.skipped += 1,
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("tpgnn-obs-reader-{}-{name}", std::process::id()));
+        std::fs::write(&p, contents).unwrap();
+        p
+    }
 
     #[test]
     fn parses_span_event_and_meta_lines() {
@@ -124,5 +161,42 @@ mod tests {
         assert!(parse_line("not json").is_err());
         assert!(parse_line(r#"{"name":"x"}"#).is_err());
         assert!(parse_line(r#"{"type":"span","name":"x","t_us":1}"#).is_err());
+    }
+
+    #[test]
+    fn lossy_read_skips_torn_tail() {
+        let good = r#"{"type":"meta","run":"demo","t_us":0,"unix_ms":5}"#;
+        let p = write_tmp("torn", &format!("{good}\n{good}\n{{\"type\":\"ev"));
+        let t = read_trace_lossy(&p).unwrap();
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.skipped, 1);
+        // The strict reader must still refuse the same file.
+        assert!(read_trace(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn lossy_read_of_empty_file() {
+        let p = write_tmp("empty", "");
+        let t = read_trace_lossy(&p).unwrap();
+        assert!(t.records.is_empty());
+        assert_eq!(t.skipped, 0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn lossy_read_skips_interleaved_writer_lines() {
+        let good = r#"{"type":"event","name":"x","level":"info","t_us":3,"fields":{}}"#;
+        let foreign = "2026-08-08T00:00:00 some-other-logger INFO hello";
+        let p = write_tmp("mixed", &format!("{good}\n{foreign}\n{good}\nnot json either\n"));
+        let t = read_trace_lossy(&p).unwrap();
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.skipped, 2);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn lossy_read_missing_file_errors() {
+        assert!(read_trace_lossy("/nonexistent/tpgnn-no-such-trace.jsonl").is_err());
     }
 }

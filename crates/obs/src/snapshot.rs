@@ -1,0 +1,262 @@
+//! Live telemetry: windowed metrics snapshots written while the process
+//! runs, not only at exit.
+//!
+//! A [`SnapshotWriter`] turns each [`metrics::DeltaCursor`] take into two
+//! artifacts under one directory:
+//!
+//! * `live-<run>.jsonl` — an append-only JSONL time series, one
+//!   [`WindowSnapshot`](metrics::WindowSnapshot) per tick (counter deltas +
+//!   totals, gauge last-values, histogram window quantiles), plus `t_us`
+//!   (microseconds since the writer was created) and `unix_ms`;
+//! * `metrics-<run>.prom` — a Prometheus-style text exposition of the
+//!   cumulative registry, atomically replaced each tick (write to a `.tmp`
+//!   sibling, then rename), so a concurrent reader never sees a torn file.
+//!
+//! Each tick also flushes the trace sink and rewrites the trace metrics
+//! sidecar ([`trace::write_metrics_sidecar`]) so a hard abort between ticks
+//! loses at most one window. A [`Ticker`] owns a background thread that
+//! ticks a writer at a fixed interval; dropping it performs one final tick,
+//! so clean shutdown (and panic unwinding through the owner's drop) never
+//! loses the last window. `std::process::abort` skips destructors by
+//! design — there the artifacts are simply as fresh as the last tick.
+//!
+//! Everything here is std-only and costs nothing unless a writer is
+//! constructed; the serving layer only does that when telemetry is
+//! explicitly configured.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::{self, WindowSnapshot};
+use crate::trace;
+
+/// Appends one windowed metrics snapshot per [`tick`](SnapshotWriter::tick)
+/// to a JSONL time series and atomically refreshes a text exposition file.
+/// Ticking is explicit so tests can drive it deterministically; production
+/// code wraps a writer in a [`Ticker`].
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    live_path: PathBuf,
+    expo_path: PathBuf,
+    cursor: metrics::DeltaCursor,
+    t0: Instant,
+}
+
+impl SnapshotWriter {
+    /// A writer for `run`, placing `live-<run>.jsonl` and
+    /// `metrics-<run>.prom` under `dir` (created if missing). A pre-existing
+    /// live file from an earlier run is truncated.
+    pub fn new(run: &str, dir: impl AsRef<Path>) -> SnapshotWriter {
+        let dir = dir.as_ref();
+        let _ = fs::create_dir_all(dir);
+        let live_path = dir.join(format!("live-{run}.jsonl"));
+        let _ = fs::File::create(&live_path); // truncate stale series
+        SnapshotWriter {
+            live_path,
+            expo_path: dir.join(format!("metrics-{run}.prom")),
+            cursor: metrics::DeltaCursor::new(),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Path of the JSONL time series.
+    pub fn live_path(&self) -> &Path {
+        &self.live_path
+    }
+
+    /// Path of the text exposition file.
+    pub fn expo_path(&self) -> &Path {
+        &self.expo_path
+    }
+
+    /// Take one window, append it to the live series, atomically replace the
+    /// exposition file, and refresh the trace sink + sidecar. Returns the
+    /// window so callers (the SLO evaluator, tests) can inspect it without a
+    /// second registry pass. I/O failures are swallowed — telemetry must
+    /// never take the server down.
+    pub fn tick(&mut self) -> WindowSnapshot {
+        let window = self.cursor.take();
+
+        let mut line = window.to_json();
+        if let Json::Obj(fields) = &mut line {
+            let t_us = self.t0.elapsed().as_micros() as u64;
+            let unix_ms = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            fields.insert(1, ("t_us".to_string(), Json::from(t_us)));
+            fields.insert(2, ("unix_ms".to_string(), Json::from(unix_ms)));
+        }
+        if let Ok(mut f) = fs::OpenOptions::new().append(true).create(true).open(&self.live_path)
+        {
+            let _ = writeln!(f, "{}", line.render());
+        }
+
+        // Atomic replace: a reader of the .prom file sees either the old or
+        // the new rendering, never a prefix.
+        let tmp = self.expo_path.with_extension("prom.tmp");
+        if fs::write(&tmp, metrics::render_exposition()).is_ok() {
+            let _ = fs::rename(&tmp, &self.expo_path);
+        }
+
+        trace::flush();
+        trace::write_metrics_sidecar();
+        window
+    }
+}
+
+struct TickerShared {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Owns a background thread that ticks a [`SnapshotWriter`] every
+/// `interval`, invoking a hook with each window (the serving layer's SLO
+/// evaluator plugs in here). Dropping the ticker signals the thread, joins
+/// it, and performs one final tick so the last window always lands.
+pub struct Ticker {
+    shared: Arc<TickerShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Ticker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticker").finish_non_exhaustive()
+    }
+}
+
+impl Ticker {
+    /// Spawn the ticker thread. `hook` runs on that thread after every tick
+    /// (including the final one at drop).
+    pub fn spawn(
+        mut writer: SnapshotWriter,
+        interval: Duration,
+        mut hook: impl FnMut(&WindowSnapshot) + Send + 'static,
+    ) -> Ticker {
+        let shared = Arc::new(TickerShared { stop: Mutex::new(false), cv: Condvar::new() });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("tpgnn-telemetry".to_string())
+            .spawn(move || {
+                let mut stopped =
+                    thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if *stopped {
+                        break;
+                    }
+                    let (guard, _timeout) = thread_shared
+                        .cv
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if *stopped {
+                        break;
+                    }
+                    drop(stopped); // tick without holding the stop lock
+                    let w = writer.tick();
+                    hook(&w);
+                    stopped = thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                }
+                drop(stopped);
+                // Final tick on the way out: flush whatever accumulated
+                // since the last interval boundary.
+                let w = writer.tick();
+                hook(&w);
+            })
+            .expect("spawn telemetry ticker thread");
+        Ticker { shared, handle: Some(handle) }
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.cv.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tpgnn-obs-snap-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn tick_appends_jsonl_and_replaces_exposition() {
+        let dir = tmp_dir("tick");
+        let c = metrics::counter("test.snapshot.ticks");
+        let mut w = SnapshotWriter::new("unit", &dir);
+        c.add(3);
+        w.tick();
+        c.add(2);
+        w.tick();
+
+        let text = fs::read_to_string(w.live_path()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let last = json::parse(lines[1]).unwrap();
+        let cnt = last.get("counters").and_then(|c| c.get("test.snapshot.ticks")).unwrap();
+        assert_eq!(cnt.get("delta").and_then(Json::as_i64), Some(2));
+        assert!(cnt.get("total").and_then(Json::as_i64).unwrap() >= 5);
+        assert!(last.get("t_us").and_then(Json::as_i64).is_some());
+
+        let expo = fs::read_to_string(w.expo_path()).unwrap();
+        assert!(expo.contains("test_snapshot_ticks"));
+        assert!(!w.expo_path().with_extension("prom.tmp").exists(), "tmp renamed away");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ticker_drop_performs_final_tick() {
+        let dir = tmp_dir("drop");
+        let w = SnapshotWriter::new("drop", &dir);
+        let live = w.live_path().to_path_buf();
+        static HOOKS: AtomicU64 = AtomicU64::new(0);
+        {
+            // Interval far beyond the test's lifetime: only the final tick
+            // at drop can fire, proving the drop path flushes.
+            let _t = Ticker::spawn(w, Duration::from_secs(3600), |_w| {
+                HOOKS.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let text = fs::read_to_string(&live).unwrap();
+        assert_eq!(text.lines().count(), 1, "exactly the final tick");
+        assert!(HOOKS.load(Ordering::Relaxed) >= 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ticker_interval_produces_multiple_ticks() {
+        let dir = tmp_dir("interval");
+        let w = SnapshotWriter::new("interval", &dir);
+        let live = w.live_path().to_path_buf();
+        let t = Ticker::spawn(w, Duration::from_millis(5), |_w| {});
+        // Live file must grow while the ticker is still running.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let n = fs::read_to_string(&live).map(|s| s.lines().count()).unwrap_or(0);
+            if n >= 2 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no live ticks after 10s");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(t);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -270,6 +270,52 @@ pub fn warn(name: &str, fields: &[(&str, Json)]) {
     emit_event(name, "warn", fields);
 }
 
+/// Flush the JSONL sink so lines written so far are readable by a
+/// concurrent tail/reader. No-op when tracing is off. The snapshot ticker
+/// calls this each tick; without it, buffered span lines only reach disk at
+/// [`finish`].
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    if let Some(state) = lock_sink().as_mut() {
+        let _ = state.writer.flush();
+    }
+}
+
+fn sidecar_path(state: &TraceState) -> PathBuf {
+    state
+        .path
+        .parent()
+        .unwrap_or_else(|| std::path::Path::new("."))
+        .join(format!("metrics-{}.json", state.run))
+}
+
+fn sidecar_json() -> Json {
+    let mut doc = metrics::snapshot_json();
+    let ops = opprof::snapshot();
+    if let Json::Obj(fields) = &mut doc {
+        fields.push(("ops".to_string(), Json::Arr(ops.iter().map(|o| o.to_json()).collect())));
+    }
+    doc
+}
+
+/// Rewrite the `metrics-<run>.json` sidecar next to the open trace file
+/// with the current metrics-registry snapshot plus the tape op profile
+/// (`"ops"`). Returns the sidecar path, or `None` when tracing is off.
+/// Called by the snapshot ticker so the sidecar survives a hard abort
+/// mid-run instead of existing only after a clean [`finish`].
+pub fn write_metrics_sidecar() -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let guard = lock_sink();
+    let state = guard.as_ref()?;
+    let metrics_path = sidecar_path(state);
+    let _ = fs::write(&metrics_path, sidecar_json().render() + "\n");
+    Some(metrics_path)
+}
+
 /// Flush and close the trace: write the metrics snapshot next to the trace
 /// file, print a human-readable summary to stderr, disable tracing, and
 /// return the trace path. `None` if tracing was never enabled.
@@ -283,12 +329,8 @@ pub fn finish() -> Option<PathBuf> {
     let mut state = guard.take()?;
     let _ = state.writer.flush();
 
-    let metrics_path = state
-        .path
-        .parent()
-        .unwrap_or_else(|| std::path::Path::new("."))
-        .join(format!("metrics-{}.json", state.run));
-    let _ = fs::write(&metrics_path, metrics::snapshot_json().render() + "\n");
+    let metrics_path = sidecar_path(&state);
+    let _ = fs::write(&metrics_path, sidecar_json().render() + "\n");
 
     let mut summary = String::new();
     summary.push_str(&format!(

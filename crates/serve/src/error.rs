@@ -131,6 +131,10 @@ impl fmt::Display for FaultKind {
 pub struct SessionFault {
     /// The affected session.
     pub session: u64,
+    /// Deterministic trace id of the (session, batch) that produced this
+    /// fault ([`crate::trace_id`]), joining it to the `serve.request` span,
+    /// journal frames, and spill files of the same causal history.
+    pub trace: u64,
     /// Fault classification.
     pub kind: FaultKind,
     /// Human-readable evidence (deterministic content only — counts,
@@ -169,6 +173,7 @@ mod tests {
         assert!(e.to_string().contains("7 resident > budget 4"));
         let f = SessionFault {
             session: 9,
+            trace: 0xdead_beef,
             kind: FaultKind::Poisoned,
             detail: "batch 3: 12000us > 5ms deadline".into(),
         };

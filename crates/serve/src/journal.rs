@@ -14,6 +14,15 @@
 //! final write after `kill -9`) fails its checksum and is dropped and
 //! counted, while a *valid* frame after an invalid one means real mid-file
 //! corruption and is a hard [`ServeError::Invariant`].
+//!
+//! Every frame carries the deterministic trace id of its (session, batch)
+//! — explicitly on `R`/`E`/`W` frames, embedded in the score/fault payload
+//! on `S`/`F` — and [`load`] verifies each id against
+//! [`crate::trace_id`], so a frame that drifted to the wrong batch or
+//! session is caught as corruption, and the `obs_report` tool can join
+//! journal history to trace spans on the id alone. The read side
+//! ([`load`], [`Frame`], [`Commit`]) is public for such tools; the staged
+//! write path stays inside the crate.
 
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -28,7 +37,7 @@ use crate::{ScoreRecord, SessionEvent};
 
 /// What kind of batch a commit frame closes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum BatchKind {
+pub enum BatchKind {
     /// A normal `ingest` batch.
     Ingest,
     /// A `close_all` sweep (no events; watermark forced to +inf).
@@ -54,23 +63,60 @@ impl BatchKind {
 
 /// One parsed shard-log frame.
 #[derive(Clone, Debug)]
-pub(crate) enum Frame {
+pub enum Frame {
     /// Features registered ahead of `batch`.
-    Register { batch: usize, session: u64, features: NodeFeatures },
+    Register {
+        /// 1-based batch the registration rides with.
+        batch: usize,
+        /// Registering session.
+        session: u64,
+        /// Trace id of the (session, batch), verified on load.
+        trace: u64,
+        /// The declared node features.
+        features: NodeFeatures,
+    },
     /// One event of `batch`, with its global arrival index within the batch.
-    Event { batch: usize, arrival: usize, event: SessionEvent },
+    Event {
+        /// 1-based batch the event was offered in.
+        batch: usize,
+        /// Arrival index within the batch (replay restores offer order).
+        arrival: usize,
+        /// Trace id of the (session, batch), verified on load.
+        trace: u64,
+        /// The offered event.
+        event: SessionEvent,
+    },
     /// One score this shard emitted for `batch`, in emission order.
-    Score { batch: usize, record: ScoreRecord },
+    Score {
+        /// 1-based batch the score was delivered in.
+        batch: usize,
+        /// The delivered record (carries its own trace id).
+        record: ScoreRecord,
+    },
     /// One fault this shard recorded for `batch`, in ledger order.
-    Fault { batch: usize, fault: SessionFault },
+    Fault {
+        /// 1-based batch the fault was recorded in.
+        batch: usize,
+        /// The ledger entry (carries its own trace id).
+        fault: SessionFault,
+    },
     /// A watchdog poisoning verdict (the one wall-clock decision; replay
     /// applies it verbatim instead of re-measuring).
-    Watchdog { batch: usize, session: u64, elapsed_us: u64 },
+    Watchdog {
+        /// 1-based batch the verdict was taken in.
+        batch: usize,
+        /// The quarantined session.
+        session: u64,
+        /// Trace id of the (session, batch), verified on load.
+        trace: u64,
+        /// The measured per-batch wall time that blew the deadline.
+        elapsed_us: u64,
+    },
 }
 
 impl Frame {
     /// The batch this frame belongs to.
-    pub(crate) fn batch(&self) -> usize {
+    pub fn batch(&self) -> usize {
         match self {
             Frame::Register { batch, .. }
             | Frame::Event { batch, .. }
@@ -79,18 +125,42 @@ impl Frame {
             | Frame::Watchdog { batch, .. } => *batch,
         }
     }
+
+    /// The deterministic trace id this frame carries.
+    pub fn trace(&self) -> u64 {
+        match self {
+            Frame::Register { trace, .. }
+            | Frame::Event { trace, .. }
+            | Frame::Watchdog { trace, .. } => *trace,
+            Frame::Score { record, .. } => record.trace,
+            Frame::Fault { fault, .. } => fault.trace,
+        }
+    }
+
+    /// The session this frame concerns.
+    pub fn session(&self) -> u64 {
+        match self {
+            Frame::Register { session, .. } | Frame::Watchdog { session, .. } => *session,
+            Frame::Event { event, .. } => event.session,
+            Frame::Score { record, .. } => record.session,
+            Frame::Fault { fault, .. } => fault.session,
+        }
+    }
 }
 
 /// One parsed commit frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct Commit {
+pub struct Commit {
+    /// 1-based batch index this commit seals.
     pub batch: usize,
+    /// Ingest vs close-all.
     pub kind: BatchKind,
+    /// Events offered in the batch (replay cross-checks the count).
     pub events: usize,
 }
 
 /// Everything read back from a journal directory.
-pub(crate) struct JournalData {
+pub struct JournalData {
     /// Per-shard frames, in append order, committed batches only.
     pub shards: Vec<Vec<Frame>>,
     /// Commit frames in order; the last one is the recovery horizon.
@@ -108,15 +178,18 @@ pub(crate) struct Journal {
     pending: Vec<Vec<String>>,
 }
 
-pub(crate) fn shard_log_path(dir: &Path, shard: usize) -> PathBuf {
+/// Path of one shard's append-only log under `dir`.
+pub fn shard_log_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard}.log"))
 }
 
-pub(crate) fn commit_log_path(dir: &Path) -> PathBuf {
+/// Path of the commit log under `dir`.
+pub fn commit_log_path(dir: &Path) -> PathBuf {
     dir.join("commit.log")
 }
 
-pub(crate) fn snapshot_path(dir: &Path, batch: usize) -> PathBuf {
+/// Path of the full-server snapshot taken at `batch` under `dir`.
+pub fn snapshot_path(dir: &Path, batch: usize) -> PathBuf {
     dir.join(format!("snap-{batch}.ckpt"))
 }
 
@@ -156,8 +229,9 @@ impl Journal {
         session: u64,
         features: &NodeFeatures,
     ) {
+        let trace = crate::trace_hex(crate::trace_id(session, batch));
         self.pending[shard]
-            .push(format!("R {batch} {}", wire::fmt_features(session, features)));
+            .push(format!("R {batch} {trace} {}", wire::fmt_features(session, features)));
     }
 
     pub(crate) fn stage_event(
@@ -167,7 +241,9 @@ impl Journal {
         arrival: usize,
         se: &SessionEvent,
     ) {
-        self.pending[shard].push(format!("E {batch} {arrival} {}", wire::fmt_event(se)));
+        let trace = crate::trace_hex(crate::trace_id(se.session, batch));
+        self.pending[shard]
+            .push(format!("E {batch} {arrival} {trace} {}", wire::fmt_event(se)));
     }
 
     pub(crate) fn stage_score(&mut self, shard: usize, batch: usize, record: &ScoreRecord) {
@@ -185,7 +261,8 @@ impl Journal {
         session: u64,
         elapsed_us: u64,
     ) {
-        self.pending[shard].push(format!("W {batch} {session} {elapsed_us}"));
+        let trace = crate::trace_hex(crate::trace_id(session, batch));
+        self.pending[shard].push(format!("W {batch} {trace} {session} {elapsed_us}"));
     }
 
     /// Flush every staged frame to its shard log (fsync each touched file),
@@ -256,40 +333,56 @@ fn parse_frame(payload: &str) -> Result<Frame, String> {
     let batch = |i: usize| -> Result<usize, String> {
         wire::parse_num(toks.get(i).ok_or("truncated frame")?)
     };
-    match toks.first().copied() {
+    let trace_tok = |i: usize| -> Result<u64, String> {
+        wire::parse_trace(toks.get(i).ok_or("truncated frame")?)
+    };
+    let frame = match toks.first().copied() {
         Some("R") => {
-            let (session, features) = wire::parse_features(&toks[2..])?;
-            Ok(Frame::Register { batch: batch(1)?, session, features })
+            let (session, features) = wire::parse_features(&toks[3..])?;
+            Frame::Register { batch: batch(1)?, trace: trace_tok(2)?, session, features }
         }
-        Some("E") => Ok(Frame::Event {
+        Some("E") => Frame::Event {
             batch: batch(1)?,
             arrival: batch(2)?,
-            event: wire::parse_event(&toks[3..])?,
-        }),
-        Some("S") => {
-            Ok(Frame::Score { batch: batch(1)?, record: wire::parse_record(&toks[2..])? })
-        }
-        Some("F") => {
-            Ok(Frame::Fault { batch: batch(1)?, fault: wire::parse_fault(&toks[2..])? })
-        }
+            trace: trace_tok(3)?,
+            event: wire::parse_event(&toks[4..])?,
+        },
+        Some("S") => Frame::Score { batch: batch(1)?, record: wire::parse_record(&toks[2..])? },
+        Some("F") => Frame::Fault { batch: batch(1)?, fault: wire::parse_fault(&toks[2..])? },
         Some("W") => {
-            if toks.len() != 4 {
-                return Err("watchdog frame wants 4 tokens".to_string());
+            if toks.len() != 5 {
+                return Err("watchdog frame wants 5 tokens".to_string());
             }
-            Ok(Frame::Watchdog {
+            Frame::Watchdog {
                 batch: batch(1)?,
-                session: wire::parse_num(toks[2])?,
-                elapsed_us: wire::parse_num(toks[3])?,
-            })
+                trace: trace_tok(2)?,
+                session: wire::parse_num(toks[3])?,
+                elapsed_us: wire::parse_num(toks[4])?,
+            }
         }
-        other => Err(format!("unknown frame tag {other:?}")),
+        other => return Err(format!("unknown frame tag {other:?}")),
+    };
+    // Trace ids are pure functions of (session, batch): a mismatch means
+    // the frame drifted (wrong batch, wrong session, or a codec bug) —
+    // treated as corruption rather than silently joined to the wrong
+    // history.
+    let expect = crate::trace_id(frame.session(), frame.batch());
+    if frame.trace() != expect {
+        return Err(format!(
+            "trace id {} does not match trace_id(session {}, batch {}) = {}",
+            crate::trace_hex(frame.trace()),
+            frame.session(),
+            frame.batch(),
+            crate::trace_hex(expect)
+        ));
     }
+    Ok(frame)
 }
 
 /// Load a journal directory: verified commit horizon plus per-shard frames
 /// of committed batches. Frames beyond the last commit are the in-flight
 /// batch of the crash — dropped and counted alongside torn tail lines.
-pub(crate) fn load(dir: &Path, num_shards: usize) -> Result<JournalData, ServeError> {
+pub fn load(dir: &Path, num_shards: usize) -> Result<JournalData, ServeError> {
     let (commit_payloads, mut torn) = read_payloads(&commit_log_path(dir))?;
     let mut commits = Vec::with_capacity(commit_payloads.len());
     for p in &commit_payloads {

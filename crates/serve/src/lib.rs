@@ -43,6 +43,21 @@
 //!
 //! The [`loadgen`] module turns the seeded chaos injectors into an
 //! open-loop traffic model for benchmarks and smoke tests.
+//!
+//! ## Live telemetry, trace correlation, and SLOs
+//!
+//! Every unit of work carries a deterministic [`trace_id`] — a pure
+//! function of (session, batch) — threaded through `serve.request` span
+//! events, journal frames, fault-ledger entries, and spill-file headers,
+//! so the `obs_report` tool can reconstruct a session's full lifecycle by
+//! joining on the id alone, and crash-recovery replay reproduces the ids
+//! bitwise. With [`ServeConfig::telemetry`] set, a server-owned ticker
+//! thread publishes windowed metrics snapshots (JSONL time series plus a
+//! Prometheus-style exposition file) while the server runs, and
+//! [`ServeConfig::slo`] objectives are evaluated per window with
+//! multi-window burn rates ([`slo`] module). All of it is gated on the
+//! trace/metrics enable flags: a server without telemetry configured
+//! spawns no thread and pays one relaxed atomic load per gate.
 
 #![warn(missing_docs)]
 
@@ -60,15 +75,33 @@ use tpgnn_tensor::Tape;
 
 mod admission;
 mod error;
-mod journal;
 mod recover;
 mod spill;
-mod wire;
 
+pub mod journal;
 pub mod loadgen;
+pub mod slo;
+pub mod wire;
 
 pub use error::{FaultKind, ServeError, SessionFault};
 pub use recover::{BatchOutput, RecoverReport};
+
+/// Deterministic trace id for the work done on `session` during `batch`.
+///
+/// A pure function of committed traffic — no wall clock, no randomness —
+/// so crash-recovery replay mints bitwise-identical ids, and every surface
+/// that logs one (`serve.request` span events, journal R/E/S/F/W frames,
+/// fault-ledger entries, spill-file headers) can be joined after the fact
+/// on the id alone. Rendered everywhere as fixed-width hex via
+/// [`trace_hex`].
+pub fn trace_id(session: u64, batch: usize) -> u64 {
+    tpgnn_tensor::ckpt::fnv1a(format!("tpgnn-trace v1 {session} {batch}").as_bytes())
+}
+
+/// Canonical rendering of a [`trace_id`]: 16 lowercase hex digits.
+pub fn trace_hex(trace: u64) -> String {
+    format!("{trace:016x}")
+}
 
 /// One raw record offered to the server: which session it belongs to, plus
 /// the stream event itself (the unit the chaos injectors mutate).
@@ -110,6 +143,10 @@ pub struct ScoreRecord {
     pub proba: f32,
     /// Released edges advanced into the state when the score was taken.
     pub edges: usize,
+    /// Deterministic trace id of the (session, batch) that emitted this
+    /// score ([`trace_id`]) — the join key back to the `serve.request`
+    /// span, journal frames, and spill files of the same causal history.
+    pub trace: u64,
     /// Ingestion accounting (`Final` only).
     pub stats: Option<StreamStats>,
     /// Quarantine log (`Final` only).
@@ -165,6 +202,28 @@ pub struct ServeConfig {
     /// the watchdog is the one wall-clock-dependent decision, so
     /// deterministic test suites leave it off).
     pub watchdog_ms: u64,
+    /// Service-level objectives evaluated per telemetry window (burn-rate
+    /// gauges, `slo.breach` events). `None` disables SLO tracking. Without
+    /// [`telemetry`](Self::telemetry) no windows tick, so objectives are
+    /// only evaluated when live telemetry is on.
+    pub slo: Option<slo::SloConfig>,
+    /// Live telemetry: a server-owned ticker thread appending windowed
+    /// metrics snapshots as a JSONL time series plus a Prometheus-style
+    /// exposition file, both readable while the server runs. `None` (the
+    /// default) spawns nothing and costs nothing.
+    pub telemetry: Option<TelemetryConfig>,
+}
+
+/// Where and how often the server's telemetry ticker publishes windowed
+/// metrics snapshots (see [`tpgnn_obs::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Directory for `live-<run>.jsonl` and `metrics-<run>.prom`.
+    pub dir: PathBuf,
+    /// Run name embedded in both file names.
+    pub run: String,
+    /// Tick interval in milliseconds (clamped to ≥ 1).
+    pub tick_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -183,6 +242,8 @@ impl Default for ServeConfig {
             journal_dir: None,
             snapshot_every: 0,
             watchdog_ms: 0,
+            slo: None,
+            telemetry: None,
         }
     }
 }
@@ -311,8 +372,8 @@ impl Shard {
         }
     }
 
-    fn fault(&mut self, session: u64, kind: FaultKind, detail: String) {
-        self.faults.push(SessionFault { session, kind, detail });
+    fn fault(&mut self, session: u64, batch_idx: usize, kind: FaultKind, detail: String) {
+        self.faults.push(SessionFault { session, trace: trace_id(session, batch_idx), kind, detail });
     }
 
     /// Restore, process this batch's pending events, apply watchdog
@@ -342,6 +403,7 @@ impl Shard {
             let Some(spill_batch) = self.spilled.remove(&sid) else {
                 self.fault(
                     sid,
+                    batch_idx,
                     FaultKind::Invariant,
                     format!("batch {batch_idx}: restore requested but session not spilled"),
                 );
@@ -354,6 +416,7 @@ impl Shard {
                 // closed instead of panicking a worker.
                 self.fault(
                     sid,
+                    batch_idx,
                     FaultKind::Invariant,
                     format!("batch {batch_idx}: session spilled but no spill_dir configured"),
                 );
@@ -365,10 +428,24 @@ impl Shard {
                     self.sessions.insert(sid, entry);
                     self.delta.restored += 1;
                     cells().shed_restored.inc();
+                    if trace::enabled() {
+                        trace::event(
+                            "serve.restore",
+                            &[
+                                (
+                                    "trace",
+                                    tpgnn_obs::Json::Str(trace_hex(trace_id(sid, batch_idx))),
+                                ),
+                                ("session", tpgnn_obs::Json::from(sid)),
+                                ("spill_batch", tpgnn_obs::Json::from(spill_batch as u64)),
+                            ],
+                        );
+                    }
                 }
                 Err(e) => {
                     self.fault(
                         sid,
+                        batch_idx,
                         FaultKind::Io,
                         format!("batch {batch_idx}: restore from spill batch {spill_batch} failed: {e}"),
                     );
@@ -406,6 +483,7 @@ impl Shard {
             let Some(entry) = self.sessions.get_mut(&sid) else {
                 self.fault(
                     sid,
+                    batch_idx,
                     FaultKind::Invariant,
                     format!("batch {batch_idx}: session opened but not resident"),
                 );
@@ -431,6 +509,7 @@ impl Shard {
                             kind: ScoreKind::Early,
                             proba,
                             edges: entry.state.num_edges(),
+                            trace: trace_id(sid, batch_idx),
                             stats: None,
                             quarantine: None,
                         });
@@ -461,6 +540,7 @@ impl Shard {
             if self.sessions.remove(&sid).is_none() {
                 self.fault(
                     sid,
+                    batch_idx,
                     FaultKind::Invariant,
                     format!("batch {batch_idx}: watchdog verdict for non-resident session"),
                 );
@@ -472,6 +552,7 @@ impl Shard {
             cells().poisoned.inc();
             self.fault(
                 sid,
+                batch_idx,
                 FaultKind::Poisoned,
                 format!(
                     "batch {batch_idx}: watchdog: {elapsed_us}us over {}ms deadline",
@@ -492,13 +573,14 @@ impl Shard {
             let Some(entry) = self.sessions.remove(&sid) else {
                 self.fault(
                     sid,
+                    batch_idx,
                     FaultKind::Invariant,
                     format!("batch {batch_idx}: close-due session vanished mid-pass"),
                 );
                 continue;
             };
             self.tombstones.insert(sid, Tomb::Closed);
-            out.push(Self::close(tape, model, sid, entry));
+            out.push(Self::close(tape, model, sid, batch_idx, entry));
         }
         out
     }
@@ -537,7 +619,7 @@ impl Shard {
                 true
             }
             Err(e) => {
-                self.fault(sid, FaultKind::Refused, e);
+                self.fault(sid, batch_idx, FaultKind::Refused, e);
                 self.tombstones.insert(sid, Tomb::Refused);
                 self.delta.refused += 1;
                 false
@@ -560,6 +642,7 @@ impl Shard {
         tape: &mut Tape,
         model: &M,
         sid: u64,
+        batch_idx: usize,
         mut entry: SessionEntry,
     ) -> ScoreRecord {
         entry.builder.flush_buffer();
@@ -573,6 +656,7 @@ impl Shard {
             kind: ScoreKind::Final,
             proba,
             edges: entry.state.num_edges(),
+            trace: trace_id(sid, batch_idx),
             stats: Some(outcome.stats),
             quarantine: Some(outcome.quarantine),
         }
@@ -596,6 +680,9 @@ pub struct SessionServer<'m, M: IncrementalScorer + Sync> {
     /// The fault ledger, drained via [`take_faults`](Self::take_faults).
     faults: Vec<SessionFault>,
     journal: Option<journal::Journal>,
+    /// Server-owned telemetry ticker; held only for its Drop (final tick +
+    /// join when the server is dropped).
+    _telemetry: Option<tpgnn_obs::snapshot::Ticker>,
 }
 
 impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
@@ -622,6 +709,19 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             Some(dir) => Some(journal::Journal::open(dir, num_shards)?),
             None => None,
         };
+        let telemetry = cfg.telemetry.as_ref().map(|t| {
+            let writer = tpgnn_obs::snapshot::SnapshotWriter::new(&t.run, &t.dir);
+            let mut slo = cfg.slo.clone().map(slo::SloTracker::new);
+            tpgnn_obs::snapshot::Ticker::spawn(
+                writer,
+                std::time::Duration::from_millis(t.tick_ms.max(1)),
+                move |w| {
+                    if let Some(s) = slo.as_mut() {
+                        s.observe(w);
+                    }
+                },
+            )
+        });
         let shards = (0..num_shards).map(|_| Shard::new()).collect();
         Ok(Self {
             model,
@@ -631,6 +731,7 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             stats: ServeStats::default(),
             faults: Vec::new(),
             journal,
+            _telemetry: telemetry,
         })
     }
 
@@ -677,6 +778,7 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
         let t0 = Instant::now();
         let mut span = trace::span("serve.request");
         let batch_idx = self.stats.batches + 1;
+        span.set("batch", batch_idx as f64);
         let n = self.shards.len() as u64;
         let closing = matches!(kind, journal::BatchKind::CloseAll);
 
@@ -744,6 +846,51 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
         let mut batch_faults = Vec::new();
         for shard in &mut self.shards {
             batch_faults.append(&mut shard.faults);
+        }
+
+        // Trace correlation: one event per score and per fault, each
+        // carrying its deterministic trace id, so `obs_report` can join the
+        // trace stream against journal frames and spill files offline.
+        if trace::enabled() {
+            use tpgnn_obs::Json;
+            for r in &records {
+                let kind = match r.kind {
+                    ScoreKind::Early => "early",
+                    ScoreKind::Final => "final",
+                };
+                trace::event(
+                    "serve.score",
+                    &[
+                        ("trace", Json::Str(trace_hex(r.trace))),
+                        ("session", Json::from(r.session)),
+                        ("kind", Json::Str(kind.to_string())),
+                        ("edges", Json::from(r.edges as u64)),
+                    ],
+                );
+                if let Some(q) = &r.quarantine {
+                    if !q.is_empty() {
+                        trace::event(
+                            "serve.quarantine",
+                            &[
+                                ("trace", Json::Str(trace_hex(r.trace))),
+                                ("session", Json::from(r.session)),
+                                ("entries", Json::from(q.len() as u64)),
+                            ],
+                        );
+                    }
+                }
+            }
+            for f in &batch_faults {
+                trace::warn(
+                    "serve.fault",
+                    &[
+                        ("trace", Json::Str(trace_hex(f.trace))),
+                        ("session", Json::from(f.session)),
+                        ("kind", Json::Str(f.kind.label().to_string())),
+                        ("detail", Json::Str(f.detail.clone())),
+                    ],
+                );
+            }
         }
 
         // Durability point: journal everything this batch produced, then
@@ -883,6 +1030,15 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             shard.spilled.insert(sid, batch_idx);
             self.stats.evicted += 1;
             cells().shed_evicted.inc();
+            if trace::enabled() {
+                trace::event(
+                    "serve.evict",
+                    &[
+                        ("trace", tpgnn_obs::Json::Str(trace_hex(trace_id(sid, batch_idx)))),
+                        ("session", tpgnn_obs::Json::from(sid)),
+                    ],
+                );
+            }
         }
         let n = self.shards.len() as u64;
         for &sid in &plan.refuse {
@@ -896,6 +1052,7 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             cells().shed_refused_events.add(shed as u64);
             shard.fault(
                 sid,
+                batch_idx,
                 FaultKind::Overloaded,
                 format!("batch {batch_idx}: admission refused, {shed} event(s) shed"),
             );

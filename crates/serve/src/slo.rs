@@ -1,0 +1,314 @@
+//! Service-level objectives over the telemetry windows: multi-window
+//! burn-rate evaluation and a deterministic end-of-run summary.
+//!
+//! Two objectives are declared in [`SloConfig`]: a latency objective (at
+//! most 1% of `serve.request_us` samples over the target — i.e. the p99
+//! must sit at or under it) and an availability objective (the fraction of
+//! offered events not refused by admission control). Each telemetry window
+//! the [`SloTracker`] computes the **burn rate** of both — the fraction of
+//! error budget consumed divided by the fraction a just-compliant service
+//! would consume — over a short and a long trailing window of ticks. A
+//! breach fires only when *both* windows burn at or above the threshold:
+//! the short window makes the alert responsive, the long window keeps a
+//! single slow tick from paging. Burn rates land in `slo.*` gauges on the
+//! next snapshot and breaches in the `slo.breaches` counter plus a
+//! warn-level `slo.breach` trace event.
+//!
+//! Wall-clock latency is not replayable, so the tracker is live-only. The
+//! replay-stable artifact is [`summary`]: a pure function of the
+//! deterministic [`ServeStats`] counters, bitwise identical between a
+//! crashed run's recovery and an uninterrupted run over the same committed
+//! traffic.
+
+use std::collections::VecDeque;
+
+use tpgnn_obs::metrics::WindowSnapshot;
+use tpgnn_obs::{trace, Json};
+use tpgnn_tensor::ckpt::fmt_f64;
+
+use crate::ServeStats;
+
+/// Declared objectives, evaluated once per telemetry window.
+#[derive(Clone, Debug)]
+pub struct SloConfig {
+    /// Latency objective: at most 1% of `serve.request_us` samples may
+    /// exceed this many microseconds (the p99 target).
+    pub p99_request_us: f64,
+    /// Availability objective: minimum fraction of offered events admitted
+    /// (1 − refused/offered), e.g. `0.999`.
+    pub availability: f64,
+    /// Ticks in the short (fast-burn) trailing window.
+    pub short_windows: usize,
+    /// Ticks in the long (sustained-burn) trailing window; also the ring
+    /// capacity.
+    pub long_windows: usize,
+    /// Breach when both windows' burn rates reach this multiple of the
+    /// error budget (1.0 = burning budget exactly as fast as allowed).
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        Self {
+            p99_request_us: 50_000.0,
+            availability: 0.999,
+            short_windows: 3,
+            long_windows: 12,
+            burn_threshold: 1.0,
+        }
+    }
+}
+
+/// One objective's breach verdict for the window that just closed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloBreach {
+    /// Which objective breached: `"latency"` or `"availability"`.
+    pub objective: &'static str,
+    /// Burn rate over the short trailing window.
+    pub short_burn: f64,
+    /// Burn rate over the long trailing window.
+    pub long_burn: f64,
+}
+
+/// Per-tick error-budget accounting extracted from one window snapshot.
+#[derive(Clone, Copy, Debug, Default)]
+struct TickBudget {
+    /// `serve.request_us` samples over the latency target this tick.
+    lat_over: u64,
+    /// All `serve.request_us` samples this tick.
+    lat_total: u64,
+    /// Events refused by admission control this tick.
+    refused: u64,
+    /// Events offered this tick.
+    offered: u64,
+}
+
+/// Multi-window burn-rate evaluator fed one [`WindowSnapshot`] per
+/// telemetry tick (the server's ticker hook owns one).
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    ring: VecDeque<TickBudget>,
+}
+
+/// Burn rate of an observed error fraction against a budget fraction.
+/// Zero samples means zero burn (no evidence is not a breach).
+fn burn(errors: u64, total: u64, budget: f64) -> f64 {
+    if total == 0 || budget <= 0.0 {
+        return 0.0;
+    }
+    (errors as f64 / total as f64) / budget
+}
+
+impl SloTracker {
+    /// Build a tracker over `cfg` (window counts clamped to ≥ 1).
+    pub fn new(mut cfg: SloConfig) -> Self {
+        cfg.short_windows = cfg.short_windows.max(1);
+        cfg.long_windows = cfg.long_windows.max(cfg.short_windows);
+        let cap = cfg.long_windows;
+        Self { cfg, ring: VecDeque::with_capacity(cap) }
+    }
+
+    /// Sum the newest `n` ticks of the ring.
+    fn tail(&self, n: usize) -> TickBudget {
+        let mut acc = TickBudget::default();
+        for t in self.ring.iter().rev().take(n) {
+            acc.lat_over += t.lat_over;
+            acc.lat_total += t.lat_total;
+            acc.refused += t.refused;
+            acc.offered += t.offered;
+        }
+        acc
+    }
+
+    /// Fold one closed window into the ring, publish `slo.*` burn-rate
+    /// gauges, and return (and count, and trace) any breaches.
+    pub fn observe(&mut self, w: &WindowSnapshot) -> Vec<SloBreach> {
+        let lat = w.histogram("serve.request_us");
+        let tick = TickBudget {
+            lat_over: lat.map_or(0, |h| h.count_over(self.cfg.p99_request_us)),
+            lat_total: lat.map_or(0, |h| h.delta_count),
+            refused: w.counter_delta("serve.shed.refused_events"),
+            offered: w.counter_delta("serve.events"),
+        };
+        if self.ring.len() == self.cfg.long_windows {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(tick);
+
+        let short = self.tail(self.cfg.short_windows);
+        let long = self.tail(self.cfg.long_windows);
+        let lat_budget = 0.01; // p99 objective: 1% of samples may exceed
+        let avail_budget = 1.0 - self.cfg.availability;
+        let evaluated = [
+            (
+                "latency",
+                burn(short.lat_over, short.lat_total, lat_budget),
+                burn(long.lat_over, long.lat_total, lat_budget),
+            ),
+            (
+                "availability",
+                burn(short.refused, short.offered, avail_budget),
+                burn(long.refused, long.offered, avail_budget),
+            ),
+        ];
+
+        let mut breaches = Vec::new();
+        for (objective, short_burn, long_burn) in evaluated {
+            tpgnn_obs::metrics::gauge(match objective {
+                "latency" => "slo.latency.burn_short",
+                _ => "slo.availability.burn_short",
+            })
+            .set(short_burn);
+            tpgnn_obs::metrics::gauge(match objective {
+                "latency" => "slo.latency.burn_long",
+                _ => "slo.availability.burn_long",
+            })
+            .set(long_burn);
+            if short_burn >= self.cfg.burn_threshold && long_burn >= self.cfg.burn_threshold {
+                tpgnn_obs::metrics::counter("slo.breaches").inc();
+                trace::warn(
+                    "slo.breach",
+                    &[
+                        ("objective", Json::Str(objective.to_string())),
+                        ("short_burn", Json::Num(short_burn)),
+                        ("long_burn", Json::Num(long_burn)),
+                        ("seq", Json::from(w.seq)),
+                    ],
+                );
+                breaches.push(SloBreach { objective, short_burn, long_burn });
+            }
+        }
+        breaches
+    }
+}
+
+/// Deterministic end-of-run SLO summary: a pure function of the
+/// wall-clock-free [`ServeStats`] counters, so a recovered run and an
+/// uninterrupted run over the same committed traffic render **bitwise
+/// identical** summaries (floats travel as IEEE-754 bit patterns).
+pub fn summary(stats: &ServeStats, cfg: &SloConfig) -> String {
+    let offered = stats.events as u64;
+    let refused = stats.shed_refused_events as u64;
+    let observed = if offered == 0 { 1.0 } else { 1.0 - refused as f64 / offered as f64 };
+    let met = observed >= cfg.availability;
+    format!(
+        "slo-summary v1\navailability target {} offered {} refused {} observed {} met {}\n",
+        fmt_f64(cfg.availability),
+        offered,
+        refused,
+        fmt_f64(observed),
+        met
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpgnn_obs::metrics::{CounterWindow, HistogramWindow, WindowSnapshot};
+
+    fn snap(seq: u64, over: u64, total: u64, refused: u64, offered: u64) -> WindowSnapshot {
+        // Two buckets around a 100µs target: ≤100 and +Inf.
+        let under = total - over;
+        WindowSnapshot {
+            seq,
+            counters: vec![
+                CounterWindow { name: "serve.events".into(), delta: offered, total: offered },
+                CounterWindow {
+                    name: "serve.shed.refused_events".into(),
+                    delta: refused,
+                    total: refused,
+                },
+            ],
+            gauges: Vec::new(),
+            histograms: vec![HistogramWindow {
+                name: "serve.request_us".into(),
+                delta_count: total,
+                delta_sum: 50.0 * total as f64,
+                total_count: total,
+                bucket_deltas: vec![(100.0, under), (f64::INFINITY, over)],
+            }],
+        }
+    }
+
+    #[test]
+    fn healthy_windows_never_breach() {
+        let mut t = SloTracker::new(SloConfig {
+            p99_request_us: 100.0,
+            ..SloConfig::default()
+        });
+        for seq in 0..20 {
+            assert!(t.observe(&snap(seq, 0, 100, 0, 1000)).is_empty());
+        }
+    }
+
+    #[test]
+    fn sustained_latency_burn_breaches_both_windows() {
+        let cfg = SloConfig {
+            p99_request_us: 100.0,
+            short_windows: 2,
+            long_windows: 4,
+            burn_threshold: 1.0,
+            ..SloConfig::default()
+        };
+        let mut t = SloTracker::new(cfg);
+        // 5% of samples over target = 5× the 1% budget, every tick.
+        let mut hits = 0;
+        for seq in 0..6 {
+            let b = t.observe(&snap(seq, 5, 100, 0, 1000));
+            hits += b.iter().filter(|b| b.objective == "latency").count();
+        }
+        assert!(hits >= 4, "sustained overage must breach, got {hits}");
+    }
+
+    #[test]
+    fn single_bad_tick_does_not_breach_long_window() {
+        let cfg = SloConfig {
+            p99_request_us: 100.0,
+            short_windows: 1,
+            long_windows: 8,
+            burn_threshold: 2.0,
+            ..SloConfig::default()
+        };
+        let mut t = SloTracker::new(cfg);
+        for seq in 0..7 {
+            assert!(t.observe(&snap(seq, 0, 100, 0, 1000)).is_empty());
+        }
+        // One tick at 10× budget: short window burns hot, long window
+        // (7 clean ticks + 1 bad) stays under 2×.
+        let b = t.observe(&snap(7, 10, 100, 0, 1000));
+        assert!(b.is_empty(), "one bad tick must not page: {b:?}");
+    }
+
+    #[test]
+    fn availability_burn_tracks_refused_fraction() {
+        let cfg = SloConfig {
+            availability: 0.99, // 1% budget
+            short_windows: 1,
+            long_windows: 1,
+            burn_threshold: 1.0,
+            ..SloConfig::default()
+        };
+        let mut t = SloTracker::new(cfg);
+        let b = t.observe(&snap(0, 0, 10, 50, 1000)); // 5% refused = 5× budget
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].objective, "availability");
+        assert!((b[0].short_burn - 5.0).abs() < 1e-9, "{b:?}");
+    }
+
+    #[test]
+    fn summary_is_deterministic_and_bit_exact() {
+        let stats = ServeStats { events: 1000, shed_refused_events: 3, ..ServeStats::default() };
+        let cfg = SloConfig::default();
+        let a = summary(&stats, &cfg);
+        let b = summary(&stats, &cfg);
+        assert_eq!(a, b);
+        assert!(a.starts_with("slo-summary v1\n"), "{a}");
+        // 3/1000 refused = 99.7% availability, under the 99.9% target.
+        assert!(a.contains("offered 1000 refused 3"), "{a}");
+        assert!(a.contains("met false"), "{a}");
+        let healthy = ServeStats { events: 1000, shed_refused_events: 0, ..stats };
+        assert!(summary(&healthy, &cfg).contains("met true"));
+        assert!(summary(&ServeStats::default(), &cfg).contains("met true"), "no traffic is not a breach");
+    }
+}

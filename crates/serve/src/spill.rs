@@ -32,12 +32,17 @@ pub(crate) fn spill_path(dir: &Path, sid: u64, batch: usize) -> PathBuf {
 }
 
 /// Serialize one resident session to spill text (no checksum trailer —
-/// [`write`] adds it through the atomic-write path).
-pub(crate) fn encode(sid: u64, entry: &SessionEntry) -> String {
+/// [`write`] adds it through the atomic-write path). `trace` is the
+/// deterministic id of the (session, batch) that persisted this state —
+/// [`crate::trace_id`] of the eviction batch for spill files, of the
+/// snapshot batch for entries embedded in server snapshots — so every
+/// on-disk session blob is joinable to its causal trace history.
+pub(crate) fn encode(sid: u64, trace: u64, entry: &SessionEntry) -> String {
     use std::fmt::Write as _;
     let feats = entry.builder.features();
-    let mut out = String::from("session-spill v1\n");
+    let mut out = String::from("session-spill v2\n");
     let _ = writeln!(out, "session {sid}");
+    let _ = writeln!(out, "trace {}", crate::trace_hex(trace));
     let _ = writeln!(
         out,
         "meta {} {} {}",
@@ -67,11 +72,11 @@ pub(crate) fn encode(sid: u64, entry: &SessionEntry) -> String {
 pub(crate) fn decode(
     text: &str,
     stream_cfg: &StreamConfig,
-) -> Result<(u64, SessionEntry), ServeError> {
+) -> Result<(u64, u64, SessionEntry), ServeError> {
     let bad = |detail: String| ServeError::Invariant { detail: format!("spill file: {detail}") };
     let mut lines = text.lines();
     let header = lines.next().ok_or_else(|| bad("empty".into()))?;
-    if header != "session-spill v1" {
+    if header != "session-spill v2" {
         return Err(bad(format!("bad header `{header}`")));
     }
     let sid_line = lines.next().ok_or_else(|| bad("missing session line".into()))?;
@@ -79,6 +84,11 @@ pub(crate) fn decode(
         .strip_prefix("session ")
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| bad(format!("bad session line `{sid_line}`")))?;
+    let trace_line = lines.next().ok_or_else(|| bad("missing trace line".into()))?;
+    let trace: u64 = trace_line
+        .strip_prefix("trace ")
+        .and_then(|t| u64::from_str_radix(t, 16).ok())
+        .ok_or_else(|| bad(format!("bad trace line `{trace_line}`")))?;
     let meta = lines.next().ok_or_else(|| bad("missing meta line".into()))?;
     let mtoks: Vec<&str> = meta.split_whitespace().collect();
     if mtoks.len() != 4 || mtoks[0] != "meta" {
@@ -130,7 +140,7 @@ pub(crate) fn decode(
     let builder = CtdnBuilder::restore(features, stream_cfg, &builder_text)
         .map_err(|e| bad(format!("builder: {e}")))?;
     let state = SessionState::restore(&state_text).map_err(|e| bad(format!("state: {e}")))?;
-    Ok((sid, SessionEntry { builder, state, last_seen, next_warn, last_active_batch }))
+    Ok((sid, trace, SessionEntry { builder, state, last_seen, next_warn, last_active_batch }))
 }
 
 /// Persist session `sid` to its spill file crash-safely. Re-spilling the
@@ -142,10 +152,13 @@ pub(crate) fn write(
     entry: &SessionEntry,
 ) -> Result<(), ServeError> {
     std::fs::create_dir_all(dir)?;
-    Ok(ckpt::write_atomic(&spill_path(dir, sid, batch), &encode(sid, entry))?)
+    let blob = encode(sid, crate::trace_id(sid, batch), entry);
+    Ok(ckpt::write_atomic(&spill_path(dir, sid, batch), &blob)?)
 }
 
-/// Load session `sid` back from the spill file written at `batch`.
+/// Load session `sid` back from the spill file written at `batch`,
+/// verifying both the session id and the embedded trace id against the
+/// (sid, batch) the file name claims.
 pub(crate) fn read(
     dir: &Path,
     sid: u64,
@@ -153,10 +166,20 @@ pub(crate) fn read(
     stream_cfg: &StreamConfig,
 ) -> Result<SessionEntry, ServeError> {
     let text = ckpt::read_atomic(&spill_path(dir, sid, batch))?;
-    let (got, entry) = decode(&text, stream_cfg)?;
+    let (got, trace, entry) = decode(&text, stream_cfg)?;
     if got != sid {
         return Err(ServeError::Invariant {
             detail: format!("spill file for session {sid} contains session {got}"),
+        });
+    }
+    let want = crate::trace_id(sid, batch);
+    if trace != want {
+        return Err(ServeError::Invariant {
+            detail: format!(
+                "spill file for session {sid} batch {batch} carries trace {} (want {})",
+                crate::trace_hex(trace),
+                crate::trace_hex(want)
+            ),
         });
     }
     Ok(entry)

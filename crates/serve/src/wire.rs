@@ -4,7 +4,13 @@
 //! `tpgnn_tensor::ckpt` codecs), so scores, event times, and the NaN
 //! payloads of quarantined records all round-trip bitwise — the property
 //! the crash-recovery self-check depends on: a replayed [`ScoreRecord`]
-//! must re-encode to exactly the journaled frame.
+//! must re-encode to exactly the journaled frame. Trace ids travel as
+//! fixed-width hex ([`crate::trace_hex`]), the same rendering the trace
+//! JSONL and spill headers use, so the `obs_report` analysis tool can join
+//! all three surfaces on the id alone.
+//!
+//! The codecs are public (read-only analysis tools parse journal frames
+//! through them); the staging/commit write side stays inside the crate.
 
 use tpgnn_graph::stream::{
     QuarantineLog, QuarantinedEvent, RejectReason, StreamEvent, StreamStats,
@@ -22,8 +28,12 @@ where
     tok.parse().map_err(|e| format!("bad number `{tok}`: {e}"))
 }
 
-/// `<session> <src> <dst> <time-bits> <origin>`.
-pub(crate) fn fmt_event(se: &SessionEvent) -> String {
+pub(crate) fn parse_trace(tok: &str) -> Result<u64, String> {
+    u64::from_str_radix(tok, 16).map_err(|e| format!("bad trace id `{tok}`: {e}"))
+}
+
+/// Encode one offered event: `<session> <src> <dst> <time-bits> <origin>`.
+pub fn fmt_event(se: &SessionEvent) -> String {
     format!(
         "{} {} {} {} {}",
         se.session,
@@ -34,7 +44,8 @@ pub(crate) fn fmt_event(se: &SessionEvent) -> String {
     )
 }
 
-pub(crate) fn parse_event(toks: &[&str]) -> Result<SessionEvent, String> {
+/// Decode [`fmt_event`] output (pre-split into whitespace tokens).
+pub fn parse_event(toks: &[&str]) -> Result<SessionEvent, String> {
     if toks.len() != 5 {
         return Err(format!("event frame wants 5 tokens, got {}", toks.len()));
     }
@@ -49,34 +60,46 @@ pub(crate) fn parse_event(toks: &[&str]) -> Result<SessionEvent, String> {
     })
 }
 
-/// `<session> <kind> <detail...>` — detail is the rest of the line.
-pub(crate) fn fmt_fault(f: &SessionFault) -> String {
-    format!("{} {} {}", f.session, f.kind.label(), f.detail)
+/// Encode one fault-ledger entry:
+/// `<session> <kind> <trace-hex16> <detail...>` — detail is the rest of
+/// the line.
+pub fn fmt_fault(f: &SessionFault) -> String {
+    format!("{} {} {} {}", f.session, f.kind.label(), crate::trace_hex(f.trace), f.detail)
 }
 
-pub(crate) fn parse_fault(toks: &[&str]) -> Result<SessionFault, String> {
-    if toks.len() < 2 {
-        return Err("fault frame wants at least 2 tokens".to_string());
+/// Decode [`fmt_fault`] output.
+pub fn parse_fault(toks: &[&str]) -> Result<SessionFault, String> {
+    if toks.len() < 3 {
+        return Err("fault frame wants at least 3 tokens".to_string());
     }
     Ok(SessionFault {
         session: parse_num(toks[0])?,
         kind: FaultKind::from_label(toks[1])?,
-        detail: toks[2..].join(" "),
+        trace: parse_trace(toks[2])?,
+        detail: toks[3..].join(" "),
     })
 }
 
-/// `<session> <E|F> <proba-bits> <edges>` plus, for `Final` records,
-/// ` s <received> <released> <quarantined> <forced> <maxdepth>` and
-/// ` q <n>` followed by `n` quarantine entries
+/// Encode one score record:
+/// `<session> <E|F> <proba-bits> <edges> <trace-hex16>` plus, for `Final`
+/// records, ` s <received> <released> <quarantined> <forced> <maxdepth>`
+/// and ` q <n>` followed by `n` quarantine entries
 /// (`<seq> <src> <dst> <time-bits> <origin> <reason-wire>` each, where the
 /// reason tag determines its arity).
-pub(crate) fn fmt_record(r: &ScoreRecord) -> String {
+pub fn fmt_record(r: &ScoreRecord) -> String {
     use std::fmt::Write as _;
     let kind = match r.kind {
         ScoreKind::Early => "E",
         ScoreKind::Final => "F",
     };
-    let mut out = format!("{} {} {} {}", r.session, kind, fmt_f32(r.proba), r.edges);
+    let mut out = format!(
+        "{} {} {} {} {}",
+        r.session,
+        kind,
+        fmt_f32(r.proba),
+        r.edges,
+        crate::trace_hex(r.trace)
+    );
     if let Some(s) = &r.stats {
         let _ = write!(
             out,
@@ -102,9 +125,10 @@ pub(crate) fn fmt_record(r: &ScoreRecord) -> String {
     out
 }
 
-pub(crate) fn parse_record(toks: &[&str]) -> Result<ScoreRecord, String> {
-    if toks.len() < 4 {
-        return Err("score frame wants at least 4 tokens".to_string());
+/// Decode [`fmt_record`] output.
+pub fn parse_record(toks: &[&str]) -> Result<ScoreRecord, String> {
+    if toks.len() < 5 {
+        return Err("score frame wants at least 5 tokens".to_string());
     }
     let kind = match toks[1] {
         "E" => ScoreKind::Early,
@@ -116,10 +140,11 @@ pub(crate) fn parse_record(toks: &[&str]) -> Result<ScoreRecord, String> {
         kind,
         proba: parse_f32(toks[2])?,
         edges: parse_num(toks[3])?,
+        trace: parse_trace(toks[4])?,
         stats: None,
         quarantine: None,
     };
-    let mut i = 4;
+    let mut i = 5;
     if toks.get(i) == Some(&"s") {
         if toks.len() < i + 6 {
             return Err("truncated stats block in score frame".to_string());
@@ -170,8 +195,9 @@ pub(crate) fn parse_record(toks: &[&str]) -> Result<ScoreRecord, String> {
     Ok(rec)
 }
 
+/// Encode registered features:
 /// `<session> <num_nodes> <dim> <f32-bits>...` — one line per feature set.
-pub(crate) fn fmt_features(session: u64, f: &NodeFeatures) -> String {
+pub fn fmt_features(session: u64, f: &NodeFeatures) -> String {
     let mut out = format!("{} {} {}", session, f.num_nodes(), f.dim());
     for v in f.data() {
         out.push(' ');
@@ -180,7 +206,8 @@ pub(crate) fn fmt_features(session: u64, f: &NodeFeatures) -> String {
     out
 }
 
-pub(crate) fn parse_features(toks: &[&str]) -> Result<(u64, NodeFeatures), String> {
+/// Decode [`fmt_features`] output.
+pub fn parse_features(toks: &[&str]) -> Result<(u64, NodeFeatures), String> {
     if toks.len() < 3 {
         return Err("features frame wants at least 3 tokens".to_string());
     }
@@ -242,6 +269,7 @@ mod tests {
             kind: ScoreKind::Final,
             proba: 0.734_f32,
             edges: 9,
+            trace: crate::trace_id(42, 3),
             stats: Some(StreamStats {
                 received: 12,
                 released: 9,
@@ -267,6 +295,7 @@ mod tests {
             kind: ScoreKind::Early,
             proba: 0.25,
             edges: 2,
+            trace: crate::trace_id(1, 1),
             stats: None,
             quarantine: None,
         };
@@ -281,6 +310,7 @@ mod tests {
     fn fault_and_features_roundtrip() {
         let f = SessionFault {
             session: 11,
+            trace: crate::trace_id(11, 7),
             kind: FaultKind::Overloaded,
             detail: "3 events shed at batch 7".into(),
         };

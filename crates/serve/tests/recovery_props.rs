@@ -87,11 +87,12 @@ fn key(r: &ScoreRecord) -> String {
             .join("|")
     });
     format!(
-        "{} {:?} {:08x} {} {:?} {:?}",
+        "{} {:?} {:08x} {} {:016x} {:?} {:?}",
         r.session,
         r.kind,
         r.proba.to_bits(),
         r.edges,
+        r.trace,
         r.stats,
         q
     )
@@ -112,6 +113,28 @@ fn run_uninterrupted(model: &TpGnn, cfg: &ServeConfig, traffic: &Traffic) -> Out
     faults.push(server.take_faults());
     assert_eq!(server.resident(), 0);
     assert_eq!(server.spilled(), 0, "close_all must drain spilled sessions");
+    // Every delivered record and fault carries exactly the deterministic
+    // trace id of its (session, batch) — the correlation contract.
+    for (i, batch) in batches.iter().enumerate() {
+        for r in batch {
+            assert_eq!(
+                r.trace,
+                tpgnn_serve::trace_id(r.session, i + 1),
+                "record trace id diverged at batch {}",
+                i + 1
+            );
+        }
+    }
+    for (i, ledger) in faults.iter().enumerate() {
+        for f in ledger {
+            assert_eq!(
+                f.trace,
+                tpgnn_serve::trace_id(f.session, i + 1),
+                "fault trace id diverged at batch {}",
+                i + 1
+            );
+        }
+    }
     Output { batches, faults, stats: *server.stats() }
 }
 
@@ -178,6 +201,14 @@ fn assert_outputs_identical(label: &str, a: &Output, b: &Output) {
     }
     assert_eq!(a.faults, b.faults, "{label}: fault ledgers diverge");
     assert_eq!(a.stats, b.stats, "{label}: serve counters diverge");
+    // The deterministic SLO summary is a pure function of those counters,
+    // so a recovered run must render it bitwise-identically.
+    let slo_cfg = tpgnn_serve::slo::SloConfig::default();
+    assert_eq!(
+        tpgnn_serve::slo::summary(&a.stats, &slo_cfg),
+        tpgnn_serve::slo::summary(&b.stats, &slo_cfg),
+        "{label}: SLO summaries diverge"
+    );
 }
 
 /// The headline property: kill at several points, recover, finish — the

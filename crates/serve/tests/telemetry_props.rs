@@ -1,0 +1,152 @@
+//! Telemetry property suite: windowed metrics snapshots and SLO summaries
+//! are deterministic functions of the committed traffic, independent of
+//! pool width — the observability layer reports *what was served*, never
+//! *how the scheduler happened to slice it*.
+//!
+//! Wall-clock-dependent fields (histogram sums, burn rates over real
+//! latencies) are deliberately excluded: the contract covers counts,
+//! totals, last-value gauges, and the `slo::summary` rendering.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use tpgnn_core::{TpGnn, TpGnnConfig};
+use tpgnn_data::chaos::FaultPlan;
+use tpgnn_obs::metrics::{self, WindowSnapshot};
+use tpgnn_par::with_thread_override;
+use tpgnn_serve::loadgen::{generate, LoadPlan};
+use tpgnn_serve::{slo, ServeStats, SessionServer};
+
+/// The metrics registry is process-global; serialize windowing tests so a
+/// concurrently running test's serve traffic cannot leak into a window.
+static REGISTRY_GUARD: Mutex<()> = Mutex::new(());
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("tpgnn-telprops-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Chaos traffic under budgets tight enough that eviction and refusals are
+/// active — the counters whose determinism matters most are the shedding
+/// ones, and they only move when the ladder engages.
+fn plan(spill: PathBuf, journal: PathBuf) -> LoadPlan {
+    LoadPlan {
+        sessions: 48,
+        seed: 808,
+        fault: FaultPlan::mixed(0.12),
+        batch_size: 32,
+        session_spacing: 2.0,
+        session_gap: 30.0,
+        early_warning_every: 4,
+        num_shards: 4,
+        max_resident_sessions: 14,
+        max_buffered_edges: 0,
+        spill_dir: Some(spill),
+        journal_dir: Some(journal),
+        snapshot_every: 3,
+    }
+}
+
+/// Serve the full seeded workload at `width` threads with a delta window
+/// opened around exactly this run; return the window and the final stats.
+fn run_once(width: usize, tag: &str) -> (WindowSnapshot, ServeStats) {
+    let (spill, journal) = (tmpdir(&format!("{tag}-s")), tmpdir(&format!("{tag}-j")));
+    let p = plan(spill.clone(), journal.clone());
+    let traffic = generate(&p);
+    let model = TpGnn::new(TpGnnConfig::sum(3).with_seed(11));
+    let mut cursor = metrics::DeltaCursor::new();
+    cursor.take(); // baseline: the next take() covers exactly this run
+    let stats = with_thread_override(width, || {
+        let mut server = SessionServer::new(&model, p.serve_config()).unwrap();
+        for (sid, f) in &traffic.features {
+            server.register(*sid, f.clone());
+        }
+        for b in &traffic.batches {
+            server.ingest(b).unwrap();
+            server.take_faults();
+        }
+        server.close_all().unwrap();
+        server.take_faults();
+        *server.stats()
+    });
+    std::fs::remove_dir_all(&spill).ok();
+    std::fs::remove_dir_all(&journal).ok();
+    (cursor.take(), stats)
+}
+
+const SERVE_COUNTERS: &[&str] = &[
+    "serve.requests",
+    "serve.events",
+    "serve.advanced",
+    "serve.scores_early",
+    "serve.closed",
+    "serve.watchdog.poisoned",
+    "serve.shed.early_suspended",
+    "serve.shed.evicted",
+    "serve.shed.restored",
+    "serve.shed.refused_sessions",
+    "serve.shed.refused_events",
+];
+
+#[test]
+fn snapshot_windows_and_slo_summary_are_width_invariant() {
+    let _g = REGISTRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    let (w1, s1) = run_once(1, "w1");
+    let (w4, s4) = run_once(4, "w4");
+
+    for name in SERVE_COUNTERS {
+        assert_eq!(
+            w1.counter_delta(name),
+            w4.counter_delta(name),
+            "counter {name} window delta differs between widths 1 and 4"
+        );
+    }
+    assert!(w1.counter_delta("serve.events") > 0, "workload produced no events");
+    assert!(w1.counter_delta("serve.shed.evicted") > 0, "eviction rung never engaged");
+
+    // The latency histogram's *count* is one sample per request — traffic-
+    // determined. Its sum is wall-clock and is deliberately not compared.
+    let h1 = w1.histogram("serve.request_us").expect("width-1 window lacks serve.request_us");
+    let h4 = w4.histogram("serve.request_us").expect("width-4 window lacks serve.request_us");
+    assert_eq!(h1.delta_count, h4.delta_count, "request count differs between widths");
+    assert!(h1.delta_count > 0);
+
+    // Last-value gauges after a fully drained run.
+    assert_eq!(
+        w1.gauge("serve.sessions_resident"),
+        w4.gauge("serve.sessions_resident"),
+        "resident gauge differs between widths"
+    );
+
+    assert_eq!(s1, s4, "serve stats differ between widths");
+    let cfg = slo::SloConfig::default();
+    assert_eq!(
+        slo::summary(&s1, &cfg),
+        slo::summary(&s4, &cfg),
+        "SLO summary rendering differs between widths"
+    );
+}
+
+#[test]
+fn trace_ids_are_pure_and_pinned_to_the_wire_derivation() {
+    // Pure and collision-resistant across both coordinates.
+    assert_eq!(tpgnn_serve::trace_id(0, 1), tpgnn_serve::trace_id(0, 1));
+    assert_ne!(tpgnn_serve::trace_id(0, 1), tpgnn_serve::trace_id(0, 2));
+    assert_ne!(tpgnn_serve::trace_id(0, 1), tpgnn_serve::trace_id(1, 1));
+
+    // Hex form is the fixed-width token embedded in journal frames, spill
+    // headers, and trace events.
+    let hex = tpgnn_serve::trace_hex(tpgnn_serve::trace_id(7, 3));
+    assert_eq!(hex.len(), 16);
+    assert!(hex.chars().all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+
+    // Bit-for-bit pin of the derivation: trace ids live inside committed
+    // journals and spill files, so changing this silently would break
+    // replay of every run already on disk.
+    assert_eq!(
+        tpgnn_serve::trace_id(42, 7),
+        tpgnn_tensor::ckpt::fnv1a(b"tpgnn-trace v1 42 7")
+    );
+}

@@ -37,6 +37,33 @@ echo "== cargo bench -- --smoke (offline) =="
 cargo bench --workspace --offline -- --smoke
 
 echo
+echo "== benchmark regression gate (bench_compare vs committed baselines) =="
+# The smoke bench step above rewrote results/bench_*.json; recover the
+# committed copies offline via `git show` and fail on median regressions
+# past a noise-aware allowance on the named hot rows. The training_smoke
+# row is pinned at 5%: that is the telemetry-disabled overhead budget —
+# tracing off must stay within noise of the pre-telemetry baseline.
+# bench_capacity's committed baseline is a full (non-smoke) run, so its
+# comparison self-skips on the smoke-flag mismatch.
+compare_baseline_dir=$(mktemp -d)
+trap 'rm -rf "$compare_baseline_dir"' EXIT
+for suite in bench_models bench_serve bench_capacity; do
+  if ! git show "HEAD:results/${suite}.json" > "$compare_baseline_dir/${suite}.json" 2>/dev/null; then
+    echo "CI WARN: no committed baseline for results/${suite}.json; skipping its gate" >&2
+    continue
+  fi
+  case "$suite" in
+    bench_models) rows=(--row "training_smoke/TP-GNN-SUM/forum_java=0.05") ;;
+    bench_serve)  rows=(--row "serve/loadgen" --row "serve/run_mixed_traffic") ;;
+    *)            rows=() ;;
+  esac
+  cargo run --release --offline -p tpgnn-bench --bin bench_compare -- \
+    --baseline "$compare_baseline_dir/${suite}.json" \
+    --fresh "results/${suite}.json" \
+    "${rows[@]}"
+done
+
+echo
 echo "== traced smoke run (TPGNN_TRACE=1 obs_smoke) =="
 # obs_smoke validates span/event structure from the inside; CI additionally
 # asserts the trace file exists, is non-empty, and every line parses.
@@ -69,6 +96,23 @@ done < "$serve_trace"
 echo "trace OK: $(wc -l < "$serve_trace") JSONL records in $serve_trace"
 
 echo
+echo "== obs_report over the smoke artifacts =="
+# The analysis tool must parse whatever the traced smokes just wrote: span
+# breakdowns from the trace JSONL plus the metrics sidecar top-op table.
+# Sections whose artifact a given run does not produce degrade to a note.
+cargo run --release --offline -p tpgnn-bench --bin obs_report -- --run smoke
+cargo run --release --offline -p tpgnn-bench --bin obs_report -- --run serve-smoke
+
+echo
+echo "== live-telemetry smoke (TPGNN_TRACE=1 telemetry_smoke) =="
+# telemetry_smoke serves traced chaos traffic with a fast snapshot ticker
+# and SLO tracking on, asserts the live JSONL series and Prometheus-style
+# exposition are readable WHILE the server runs, re-derives every record's
+# trace id offline, reconstructs a session timeline joined purely on trace
+# ids, and proves a hard-aborted child still leaves readable artifacts.
+TPGNN_TRACE=1 cargo run --release --offline -p tpgnn-bench --bin telemetry_smoke
+
+echo
 echo "== chaos smoke (seeded fault schedules, --smoke) =="
 # Every injector type across 10 seeded schedules: zero panics, bounded
 # reorder buffer, typed rejections reconciling exactly with injected
@@ -86,4 +130,4 @@ echo "== crash-recovery smoke (child hard-abort + journal recovery) =="
 cargo run --release --offline -p tpgnn-bench --bin recover_smoke
 
 echo
-echo "CI OK: hermetic build, full test suite, smoke benchmarks, traced smoke, serving smoke, chaos smoke, recovery smoke."
+echo "CI OK: hermetic build, full test suite, smoke benchmarks, bench regression gate, traced smoke, serving smoke, obs_report, telemetry smoke, chaos smoke, recovery smoke."
