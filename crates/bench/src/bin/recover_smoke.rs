@@ -14,11 +14,13 @@ use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::Command;
+use std::sync::Arc;
 
 use tpgnn_core::{TpGnn, TpGnnConfig};
 use tpgnn_data::chaos::FaultPlan;
+use tpgnn_obs::vfs::{FaultPlan as IoFaultPlan, FaultVfs, IoFaultKind, RetryVfs, StdVfs, Vfs};
 use tpgnn_serve::loadgen::{generate, LoadPlan, Traffic};
-use tpgnn_serve::{ScoreRecord, SessionServer};
+use tpgnn_serve::{ScoreRecord, ServeError, SessionServer};
 
 const CHILD_ENV: &str = "TPGNN_RECOVER_SMOKE_CHILD";
 const SPILL_ENV: &str = "TPGNN_RECOVER_SMOKE_SPILL";
@@ -228,5 +230,90 @@ fn main() {
         rec_stats.evicted,
         rec_stats.restored,
     );
+
+    // Faulted-journal leg: instead of a process kill, the "crash" is an
+    // injected ENOSPC mid-journal-frame — the batch whose commit failed was
+    // never acked, so recovery must treat it exactly like the torn tail
+    // above and the finished history must match the reference bitwise.
+    let mut proved = false;
+    for seed in [0x5151u64, 0x9b02, 0xc0de, 0x1eaf, 0x7e57, 0xfade] {
+        let (fs_dir, fj_dir) = dirs(&format!("fault-{seed:x}"));
+        let fp = plan(fs_dir, fj_dir);
+        let io_plan = IoFaultPlan::new(seed)
+            .with(IoFaultKind::NoSpace, 0.05)
+            .only_files(&["shard-", "commit.log"])
+            .cap(1);
+        let injector = FaultVfs::new(Arc::new(StdVfs), io_plan);
+        let stack: Arc<dyn Vfs> = Arc::new(RetryVfs::new(Arc::new(injector.clone())));
+        let mut fcfg = fp.serve_config();
+        fcfg.vfs = Some(stack);
+
+        let mut acked: Vec<ScoreRecord> = Vec::new();
+        let fail_batch;
+        {
+            let mut server =
+                SessionServer::new(&m, fcfg).unwrap_or_else(|e| fail(&e.to_string()));
+            for (sid, f) in &traffic.features {
+                server.register(*sid, f.clone());
+            }
+            let mut failed_at = None;
+            for (i, b) in traffic.batches.iter().enumerate() {
+                match server.ingest(b) {
+                    Ok(records) => acked.extend(records),
+                    Err(ServeError::Io(_)) => {
+                        failed_at = Some(i + 1);
+                        break;
+                    }
+                    Err(e) => fail(&format!("faulted leg: wanted typed Io, got {e}")),
+                }
+            }
+            fail_batch = failed_at;
+            // Crash: drop the server with the failed batch unacked.
+        }
+        let Some(fail_batch) = fail_batch else { continue };
+        if fail_batch < 2 {
+            continue; // fired before any commit — try the next seed
+        }
+        let (mut server, freport) = match SessionServer::recover(&m, fp.serve_config()) {
+            Ok(x) => x,
+            Err(e) => fail(&format!("faulted leg: recover: {e}")),
+        };
+        if freport.last_committed != fail_batch - 1 {
+            fail(&format!(
+                "faulted leg: failed batch {fail_batch} leaked into horizon {}",
+                freport.last_committed
+            ));
+        }
+        let mut frecords: Vec<ScoreRecord> =
+            freport.delivered.into_iter().flat_map(|b| b.records).collect();
+        for (a, b) in acked.iter().zip(&frecords) {
+            if key(a) != key(b) {
+                fail("faulted leg: recovered history diverges from the acked prefix");
+            }
+        }
+        frecords.extend(feed(&mut server, &traffic, freport.last_committed..n));
+        frecords.extend(server.close_all().unwrap_or_else(|e| fail(&e.to_string())));
+        if frecords.len() != ref_records.len() {
+            fail(&format!(
+                "faulted leg: record counts diverge: {} vs {}",
+                frecords.len(),
+                ref_records.len()
+            ));
+        }
+        for (a, b) in ref_records.iter().zip(&frecords) {
+            if key(a) != key(b) {
+                fail("faulted leg: finished history diverges from the uninterrupted run");
+            }
+        }
+        println!(
+            "recover_smoke: OK — injected journal ENOSPC at batch {fail_batch}/{n} \
+             (seed {seed:#x}), recovery matched the acked prefix and finished bitwise"
+        );
+        proved = true;
+        break;
+    }
+    if !proved {
+        fail("faulted-journal leg: no seed landed a mid-stream journal fault");
+    }
     std::fs::remove_dir_all(&base).ok();
 }

@@ -225,7 +225,7 @@ pub struct LiveSummary {
 /// Parse a `live-<run>.jsonl` time series, skipping torn lines (the file
 /// is written concurrently with the reader).
 pub fn read_live(path: &Path) -> Result<LiveSummary, String> {
-    let text = std::fs::read_to_string(path)
+    let text = tpgnn_obs::vfs::read_to_string(&*tpgnn_obs::vfs::global(), path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut s = LiveSummary::default();
     for line in text.lines() {
@@ -283,7 +283,7 @@ pub fn render_slo(live: &LiveSummary) -> String {
 
 /// Render the hottest ops from a metrics sidecar's `ops` section.
 pub fn render_top_ops_from_sidecar(path: &Path, limit: usize) -> Result<String, String> {
-    let text = std::fs::read_to_string(path)
+    let text = tpgnn_obs::vfs::read_to_string(&*tpgnn_obs::vfs::global(), path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let doc = json::parse(&text)?;
     let Some(Json::Arr(ops)) = doc.get("ops") else {

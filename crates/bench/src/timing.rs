@@ -180,7 +180,8 @@ impl Suite {
         // Workspace root is two levels above this crate's manifest.
         let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
         let path = dir.join(format!("bench_{}.json", self.name));
-        match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        let vfs = tpgnn_obs::vfs::global();
+        match vfs.create_dir_all(&dir).and_then(|()| vfs.write(&path, json.as_bytes())) {
             Ok(()) => {
                 let shown = path.canonicalize().unwrap_or_else(|_| path.clone());
                 println!("\nwrote {}", shown.display());

@@ -10,7 +10,6 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -270,14 +269,18 @@ fn parse_impl(
     Ok((ds, report))
 }
 
-/// Write a dataset to `path`.
+/// Write a dataset to `path` (through the process-global
+/// [`tpgnn_obs::vfs`] stack, so transient failures retry and faults are
+/// typed and counted).
 pub fn save(ds: &GraphDataset, path: impl AsRef<Path>) -> io::Result<()> {
-    fs::write(path, to_string(ds))
+    let vfs = tpgnn_obs::vfs::global();
+    vfs.write(path.as_ref(), to_string(ds).as_bytes()).map_err(io::Error::from)
 }
 
 /// Read a dataset from `path`.
 pub fn load(path: impl AsRef<Path>) -> io::Result<GraphDataset> {
-    let text = fs::read_to_string(path)?;
+    let vfs = tpgnn_obs::vfs::global();
+    let text = tpgnn_obs::vfs::read_to_string(&*vfs, path.as_ref())?;
     from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
@@ -286,7 +289,8 @@ pub fn load_streamed(
     path: impl AsRef<Path>,
     cfg: &StreamConfig,
 ) -> io::Result<(GraphDataset, IngestReport)> {
-    let text = fs::read_to_string(path)?;
+    let vfs = tpgnn_obs::vfs::global();
+    let text = tpgnn_obs::vfs::read_to_string(&*vfs, path.as_ref())?;
     from_str_streamed(&text, cfg).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 

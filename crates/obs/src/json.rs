@@ -359,7 +359,10 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (may be multi-byte).
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = rest
+                    .chars()
+                    .next()
+                    .ok_or_else(|| format!("unexpected end of string at byte {pos}"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -21,7 +21,12 @@
 //!   end mid-line),
 //! * [`snapshot`] — live telemetry: windowed metrics deltas appended as a
 //!   JSONL time series plus a Prometheus-style exposition file atomically
-//!   replaced each tick, driven by an explicit writer or a ticker thread.
+//!   replaced each tick, driven by an explicit writer or a ticker thread,
+//! * [`vfs`] — the fault-injectable storage layer every durability path
+//!   (checkpoints, journals, spills, telemetry files) goes through: a
+//!   [`vfs::Vfs`] trait with typed errors, `StdVfs`, a seeded `FaultVfs`
+//!   injector with an exact fault ledger, and a retry/backoff wrapper that
+//!   feeds the `io.*` counters.
 //!
 //! Overhead policy: every recording entry point is gated on one relaxed
 //! atomic load ([`trace::enabled`] / [`opprof::op_start`]). With tracing
@@ -37,6 +42,7 @@ pub mod opprof;
 pub mod reader;
 pub mod snapshot;
 pub mod trace;
+pub mod vfs;
 
 pub use json::Json;
 pub use trace::{enabled, event, finish, init, init_to, span, warn, Span};

@@ -6,6 +6,7 @@
 use std::path::Path;
 
 use crate::json::{self, Json};
+use crate::vfs;
 
 /// One parsed trace line (meta, span, or event).
 #[derive(Clone, Debug)]
@@ -75,7 +76,7 @@ pub fn parse_line(line: &str) -> Result<TraceRecord, String> {
 /// its 1-based line number.
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceRecord>, String> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path)
+    let text = vfs::read_to_string(&*vfs::global(), path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
@@ -105,7 +106,7 @@ pub struct LossyTrace {
 /// Use [`read_trace`] when the file is known complete and must be strict.
 pub fn read_trace_lossy(path: impl AsRef<Path>) -> Result<LossyTrace, String> {
     let path = path.as_ref();
-    let text = std::fs::read_to_string(path)
+    let text = vfs::read_to_string(&*vfs::global(), path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut out = LossyTrace::default();
     for line in text.lines() {

@@ -24,8 +24,6 @@
 //! constructed; the serving layer only does that when telemetry is
 //! explicitly configured.
 
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -34,6 +32,7 @@ use std::time::{Duration, Instant};
 use crate::json::Json;
 use crate::metrics::{self, WindowSnapshot};
 use crate::trace;
+use crate::vfs::{self, Vfs};
 
 /// Appends one windowed metrics snapshot per [`tick`](SnapshotWriter::tick)
 /// to a JSONL time series and atomically refreshes a text exposition file.
@@ -45,22 +44,31 @@ pub struct SnapshotWriter {
     expo_path: PathBuf,
     cursor: metrics::DeltaCursor,
     t0: Instant,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl SnapshotWriter {
     /// A writer for `run`, placing `live-<run>.jsonl` and
     /// `metrics-<run>.prom` under `dir` (created if missing). A pre-existing
-    /// live file from an earlier run is truncated.
+    /// live file from an earlier run is truncated. Uses the process-global
+    /// [`vfs`] stack; see [`with_vfs`](Self::with_vfs) for an explicit one.
     pub fn new(run: &str, dir: impl AsRef<Path>) -> SnapshotWriter {
+        Self::with_vfs(run, dir, vfs::global())
+    }
+
+    /// A writer backed by an explicit [`Vfs`] (fault-injection tests, the
+    /// chaos harness).
+    pub fn with_vfs(run: &str, dir: impl AsRef<Path>, vfs: Arc<dyn Vfs>) -> SnapshotWriter {
         let dir = dir.as_ref();
-        let _ = fs::create_dir_all(dir);
+        let _ = vfs.create_dir_all(dir);
         let live_path = dir.join(format!("live-{run}.jsonl"));
-        let _ = fs::File::create(&live_path); // truncate stale series
+        let _ = vfs.write(&live_path, b""); // truncate stale series
         SnapshotWriter {
             live_path,
             expo_path: dir.join(format!("metrics-{run}.prom")),
             cursor: metrics::DeltaCursor::new(),
             t0: Instant::now(),
+            vfs,
         }
     }
 
@@ -92,16 +100,23 @@ impl SnapshotWriter {
             fields.insert(1, ("t_us".to_string(), Json::from(t_us)));
             fields.insert(2, ("unix_ms".to_string(), Json::from(unix_ms)));
         }
-        if let Ok(mut f) = fs::OpenOptions::new().append(true).create(true).open(&self.live_path)
-        {
-            let _ = writeln!(f, "{}", line.render());
+        if let Ok(mut f) = self.vfs.open_append(&self.live_path) {
+            let _ = f.append(format!("{}\n", line.render()).as_bytes());
         }
 
         // Atomic replace: a reader of the .prom file sees either the old or
-        // the new rendering, never a prefix.
+        // the new rendering, never a prefix. A failed write or rename leaves
+        // the previous exposition in place (stale but whole) and is retried
+        // on the next tick; `snapshot.expo_stale` counts how often that
+        // happened (the vfs retry layer counts the fault kind itself).
         let tmp = self.expo_path.with_extension("prom.tmp");
-        if fs::write(&tmp, metrics::render_exposition()).is_ok() {
-            let _ = fs::rename(&tmp, &self.expo_path);
+        let expo = metrics::render_exposition();
+        let replaced = self
+            .vfs
+            .write(&tmp, expo.as_bytes())
+            .and_then(|()| self.vfs.rename(&tmp, &self.expo_path));
+        if replaced.is_err() {
+            metrics::counter("snapshot.expo_stale").inc();
         }
 
         trace::flush();
@@ -132,7 +147,9 @@ impl std::fmt::Debug for Ticker {
 
 impl Ticker {
     /// Spawn the ticker thread. `hook` runs on that thread after every tick
-    /// (including the final one at drop).
+    /// (including the final one at drop). If the OS refuses a new thread the
+    /// ticker degrades to a no-op — telemetry must never take the owner
+    /// down.
     pub fn spawn(
         mut writer: SnapshotWriter,
         interval: Duration,
@@ -167,9 +184,16 @@ impl Ticker {
                 // since the last interval boundary.
                 let w = writer.tick();
                 hook(&w);
-            })
-            .expect("spawn telemetry ticker thread");
-        Ticker { shared, handle: Some(handle) }
+            });
+        let handle = match handle {
+            Ok(h) => Some(h),
+            Err(e) => {
+                metrics::counter("snapshot.ticker_spawn_failed").inc();
+                eprintln!("tpgnn-obs: telemetry ticker thread failed to spawn: {e}");
+                None
+            }
+        };
+        Ticker { shared, handle }
     }
 }
 
@@ -187,6 +211,8 @@ impl Drop for Ticker {
 mod tests {
     use super::*;
     use crate::json;
+    use crate::vfs::{FaultPlan, FaultVfs, IoFaultKind, StdVfs};
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp_dir(tag: &str) -> PathBuf {
@@ -218,6 +244,39 @@ mod tests {
         let expo = fs::read_to_string(w.expo_path()).unwrap();
         assert!(expo.contains("test_snapshot_ticks"));
         assert!(!w.expo_path().with_extension("prom.tmp").exists(), "tmp renamed away");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expo_rename_failure_keeps_previous_file_and_recovers_next_tick() {
+        let dir = tmp_dir("stale");
+        // Fault every rename of the .prom exposition, capped at 1 fault, so
+        // tick 2 writes a good file, tick 3 replaces it again.
+        let plan = FaultPlan::new(17)
+            .with(IoFaultKind::RenameFailed, 1.0)
+            .only_files(&["metrics-stale"])
+            .cap(1);
+        let fault = FaultVfs::new(Arc::new(StdVfs), plan);
+        let mut w = SnapshotWriter::with_vfs("stale", &dir, Arc::new(fault.clone()));
+        let stale_before = metrics::counter("snapshot.expo_stale").get();
+
+        w.tick(); // rename injected: no .prom lands, writer keeps going
+        assert!(!w.expo_path().exists(), "failed replace must not leave a torn file");
+        assert_eq!(metrics::counter("snapshot.expo_stale").get(), stale_before + 1);
+        assert_eq!(fault.ledger().count(IoFaultKind::RenameFailed), 1);
+
+        let c = metrics::counter("test.snapshot.stale");
+        c.inc();
+        w.tick(); // cap reached: replace succeeds this tick
+        let first = fs::read_to_string(w.expo_path()).unwrap();
+        assert!(first.contains("test_snapshot_stale"));
+
+        c.inc();
+        w.tick();
+        let second = fs::read_to_string(w.expo_path()).unwrap();
+        assert_ne!(first, second, "exposition keeps refreshing after a faulted tick");
+        // The live series never skipped a beat.
+        assert_eq!(fs::read_to_string(w.live_path()).unwrap().lines().count(), 3);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -34,7 +34,7 @@ use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::{obj, Json};
-use crate::{metrics, opprof};
+use crate::{metrics, opprof, vfs};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
@@ -111,8 +111,13 @@ fn init_at(run_name: &str, path: PathBuf) -> bool {
         return true;
     }
     if let Some(dir) = path.parent() {
-        let _ = fs::create_dir_all(dir);
+        let _ = vfs::global().create_dir_all(dir);
     }
+    // The streaming span/event sink deliberately stays on a std BufWriter
+    // rather than the vfs: it is a high-frequency lossy-by-design stream
+    // whose reader tolerates torn tails, and per-line vfs dispatch would
+    // put an Arc clone + counter bump on every span drop. Only the
+    // durable artifacts (sidecar, exposition) go through the vfs.
     let file = match fs::File::create(&path) {
         Ok(f) => f,
         Err(err) => {
@@ -312,7 +317,8 @@ pub fn write_metrics_sidecar() -> Option<PathBuf> {
     let guard = lock_sink();
     let state = guard.as_ref()?;
     let metrics_path = sidecar_path(state);
-    let _ = fs::write(&metrics_path, sidecar_json().render() + "\n");
+    let sidecar = sidecar_json().render() + "\n";
+    let _ = vfs::global().write(&metrics_path, sidecar.as_bytes());
     Some(metrics_path)
 }
 
@@ -330,7 +336,8 @@ pub fn finish() -> Option<PathBuf> {
     let _ = state.writer.flush();
 
     let metrics_path = sidecar_path(&state);
-    let _ = fs::write(&metrics_path, sidecar_json().render() + "\n");
+    let sidecar = sidecar_json().render() + "\n";
+    let _ = vfs::global().write(&metrics_path, sidecar.as_bytes());
 
     let mut summary = String::new();
     summary.push_str(&format!(

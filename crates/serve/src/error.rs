@@ -11,6 +11,7 @@
 
 use std::fmt;
 
+use tpgnn_obs::vfs::VfsError;
 use tpgnn_tensor::CheckpointError;
 
 /// Typed failure modes of the serving layer's fallible entry points.
@@ -61,6 +62,12 @@ impl std::error::Error for ServeError {}
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<VfsError> for ServeError {
+    fn from(e: VfsError) -> Self {
+        ServeError::Io(e.into())
     }
 }
 

@@ -24,11 +24,10 @@
 //! ([`load`], [`Frame`], [`Commit`]) is public for such tools; the staged
 //! write path stays inside the crate.
 
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use tpgnn_graph::NodeFeatures;
+use tpgnn_obs::vfs::{self, Vfs, VfsFile};
 use tpgnn_tensor::ckpt::fnv1a;
 
 use crate::error::{ServeError, SessionFault};
@@ -169,11 +168,13 @@ pub struct JournalData {
     pub torn_frames: usize,
 }
 
-/// The write side: per-shard append handles plus the commit log.
+/// The write side: per-shard append handles plus the commit log. All I/O
+/// goes through the server's [`Vfs`] handle, so injected faults and
+/// retries cover the entire durability protocol.
 pub(crate) struct Journal {
     dir: PathBuf,
-    shard_files: Vec<File>,
-    commit_file: File,
+    shard_files: Vec<Box<dyn VfsFile>>,
+    commit_file: Box<dyn VfsFile>,
     /// Frames staged for the in-flight batch, per shard.
     pending: Vec<Vec<String>>,
 }
@@ -199,16 +200,15 @@ fn frame_line(payload: &str) -> String {
 
 impl Journal {
     /// Open (creating if needed) the journal under `dir` for `num_shards`
-    /// shards. Existing logs are appended to, which is what recovery wants.
-    pub(crate) fn open(dir: &Path, num_shards: usize) -> Result<Self, ServeError> {
-        std::fs::create_dir_all(dir)?;
+    /// shards through `vfs`. Existing logs are appended to, which is what
+    /// recovery wants.
+    pub(crate) fn open(vfs: &dyn Vfs, dir: &Path, num_shards: usize) -> Result<Self, ServeError> {
+        vfs.create_dir_all(dir)?;
         let mut shard_files = Vec::with_capacity(num_shards);
         for i in 0..num_shards {
-            shard_files
-                .push(OpenOptions::new().create(true).append(true).open(shard_log_path(dir, i))?);
+            shard_files.push(vfs.open_append(&shard_log_path(dir, i))?);
         }
-        let commit_file =
-            OpenOptions::new().create(true).append(true).open(commit_log_path(dir))?;
+        let commit_file = vfs.open_append(&commit_log_path(dir))?;
         Ok(Self {
             dir: dir.to_path_buf(),
             shard_files,
@@ -267,8 +267,24 @@ impl Journal {
 
     /// Flush every staged frame to its shard log (fsync each touched file),
     /// then append and fsync the commit frame. Only after this returns may
-    /// the batch's results be handed to the caller.
+    /// the batch's results be handed to the caller. On failure every staged
+    /// frame of the batch is discarded — the batch is uncommitted and must
+    /// not leak frames into a later commit's block (recovery would see a
+    /// commit-log gap).
     pub(crate) fn commit(
+        &mut self,
+        batch: usize,
+        kind: BatchKind,
+        events: usize,
+    ) -> Result<(), ServeError> {
+        let result = self.commit_inner(batch, kind, events);
+        if result.is_err() {
+            self.abort_batch();
+        }
+        result
+    }
+
+    fn commit_inner(
         &mut self,
         batch: usize,
         kind: BatchKind,
@@ -282,24 +298,33 @@ impl Journal {
             for payload in frames.iter() {
                 block.push_str(&frame_line(payload));
             }
-            self.shard_files[i].write_all(block.as_bytes())?;
-            self.shard_files[i].sync_data()?;
+            self.shard_files[i].append(block.as_bytes())?;
+            self.shard_files[i].sync()?;
             frames.clear();
         }
         let commit = frame_line(&format!("C {batch} {} {events}", kind.tag()));
-        self.commit_file.write_all(commit.as_bytes())?;
-        self.commit_file.sync_data()?;
+        self.commit_file.append(commit.as_bytes())?;
+        self.commit_file.sync()?;
         Ok(())
+    }
+
+    /// Drop every staged frame of the in-flight batch. Called when the
+    /// batch fails before (or during) commit so stale frames cannot ride
+    /// into the next batch.
+    pub(crate) fn abort_batch(&mut self) {
+        for frames in &mut self.pending {
+            frames.clear();
+        }
     }
 }
 
 /// Read one log file into verified payload lines. Invalid lines are only
 /// tolerated as a contiguous tail (the torn final write of a crash); a
 /// valid frame *after* an invalid one is mid-file corruption.
-fn read_payloads(path: &Path) -> Result<(Vec<String>, usize), ServeError> {
-    let bytes = match std::fs::read(path) {
+fn read_payloads(vfs: &dyn Vfs, path: &Path) -> Result<(Vec<String>, usize), ServeError> {
+    let bytes = match vfs.read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) if e.is_not_found() => return Ok((Vec::new(), 0)),
         Err(e) => return Err(e.into()),
     };
     let text = String::from_utf8_lossy(&bytes);
@@ -382,8 +407,15 @@ fn parse_frame(payload: &str) -> Result<Frame, String> {
 /// Load a journal directory: verified commit horizon plus per-shard frames
 /// of committed batches. Frames beyond the last commit are the in-flight
 /// batch of the crash — dropped and counted alongside torn tail lines.
+/// Reads through the process-global [`vfs`] stack; see [`load_with`].
 pub fn load(dir: &Path, num_shards: usize) -> Result<JournalData, ServeError> {
-    let (commit_payloads, mut torn) = read_payloads(&commit_log_path(dir))?;
+    load_with(&*vfs::global(), dir, num_shards)
+}
+
+/// [`load`] through an explicit [`Vfs`] (recovery uses the server's
+/// handle; fault-injection tests use an injector stack).
+pub fn load_with(vfs: &dyn Vfs, dir: &Path, num_shards: usize) -> Result<JournalData, ServeError> {
+    let (commit_payloads, mut torn) = read_payloads(vfs, &commit_log_path(dir))?;
     let mut commits = Vec::with_capacity(commit_payloads.len());
     for p in &commit_payloads {
         let toks: Vec<&str> = p.split_whitespace().collect();
@@ -409,7 +441,7 @@ pub fn load(dir: &Path, num_shards: usize) -> Result<JournalData, ServeError> {
 
     let mut shards = Vec::with_capacity(num_shards);
     for i in 0..num_shards {
-        let (payloads, t) = read_payloads(&shard_log_path(dir, i))?;
+        let (payloads, t) = read_payloads(vfs, &shard_log_path(dir, i))?;
         torn += t;
         let mut frames = Vec::with_capacity(payloads.len());
         for p in &payloads {
@@ -432,7 +464,10 @@ pub fn load(dir: &Path, num_shards: usize) -> Result<JournalData, ServeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs::OpenOptions;
+    use std::io::Write;
     use tpgnn_graph::stream::StreamEvent;
+    use tpgnn_obs::vfs::StdVfs;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let d = std::env::temp_dir().join(format!("tpgnn-journal-{tag}-{}", std::process::id()));
@@ -448,7 +483,7 @@ mod tests {
     #[test]
     fn staged_frames_survive_commit_and_reload() {
         let dir = tmpdir("roundtrip");
-        let mut j = Journal::open(&dir, 2).unwrap();
+        let mut j = Journal::open(&StdVfs, &dir, 2).unwrap();
         j.stage_event(0, 1, 0, &se(2, 1.0));
         j.stage_event(1, 1, 1, &se(3, 2.0));
         j.stage_watchdog(1, 1, 3, 777);
@@ -469,7 +504,7 @@ mod tests {
     #[test]
     fn torn_tail_is_dropped_and_counted() {
         let dir = tmpdir("torn");
-        let mut j = Journal::open(&dir, 1).unwrap();
+        let mut j = Journal::open(&StdVfs, &dir, 1).unwrap();
         j.stage_event(0, 1, 0, &se(1, 1.0));
         j.commit(1, BatchKind::Ingest, 1).unwrap();
         // Simulate a crash mid-append: garbage half-line at the shard tail
@@ -491,7 +526,7 @@ mod tests {
     #[test]
     fn uncommitted_batch_frames_are_dropped() {
         let dir = tmpdir("uncommitted");
-        let mut j = Journal::open(&dir, 1).unwrap();
+        let mut j = Journal::open(&StdVfs, &dir, 1).unwrap();
         j.stage_event(0, 1, 0, &se(1, 1.0));
         j.commit(1, BatchKind::Ingest, 1).unwrap();
         // Batch 2 frames hit the shard log but the crash lands before the
@@ -502,7 +537,7 @@ mod tests {
             for p in frames.iter() {
                 block.push_str(&frame_line(p));
             }
-            j.shard_files[i].write_all(block.as_bytes()).unwrap();
+            j.shard_files[i].append(block.as_bytes()).unwrap();
             frames.clear();
         }
 
@@ -516,7 +551,7 @@ mod tests {
     #[test]
     fn mid_file_corruption_is_a_hard_error() {
         let dir = tmpdir("midfile");
-        let mut j = Journal::open(&dir, 1).unwrap();
+        let mut j = Journal::open(&StdVfs, &dir, 1).unwrap();
         j.stage_event(0, 1, 0, &se(1, 1.0));
         j.stage_event(0, 1, 1, &se(2, 2.0));
         j.commit(1, BatchKind::Ingest, 2).unwrap();

@@ -63,7 +63,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use tpgnn_core::{IncrementalScorer, SessionState};
@@ -71,6 +71,7 @@ use tpgnn_graph::stream::{CtdnBuilder, QuarantineLog, StreamConfig, StreamEvent,
 use tpgnn_graph::{NodeFeatures, TemporalEdge};
 use tpgnn_obs::metrics::{self, Counter, Gauge, Histogram};
 use tpgnn_obs::trace;
+use tpgnn_obs::vfs::{self, Vfs};
 use tpgnn_tensor::Tape;
 
 mod admission;
@@ -212,6 +213,11 @@ pub struct ServeConfig {
     /// exposition file, both readable while the server runs. `None` (the
     /// default) spawns nothing and costs nothing.
     pub telemetry: Option<TelemetryConfig>,
+    /// Storage stack for every durability path the server owns (journal,
+    /// spill files, snapshots, telemetry files). `None` (the default) uses
+    /// the process-global [`tpgnn_obs::vfs::global`] stack; the chaos
+    /// harness and fault-injection tests pass an injector stack here.
+    pub vfs: Option<Arc<dyn Vfs>>,
 }
 
 /// Where and how often the server's telemetry ticker publishes windowed
@@ -244,6 +250,7 @@ impl Default for ServeConfig {
             watchdog_ms: 0,
             slo: None,
             telemetry: None,
+            vfs: None,
         }
     }
 }
@@ -388,6 +395,7 @@ impl Shard {
         tape: &mut Tape,
         model: &M,
         cfg: &ServeConfig,
+        vfs: &dyn Vfs,
         watermark: f64,
         batch_idx: usize,
         early_enabled: bool,
@@ -423,7 +431,7 @@ impl Shard {
                 self.tombstones.insert(sid, Tomb::Refused);
                 continue;
             };
-            match spill::read(dir, sid, spill_batch, &cfg.stream) {
+            match spill::read(vfs, dir, sid, spill_batch, &cfg.stream) {
                 Ok(entry) => {
                     self.sessions.insert(sid, entry);
                     self.delta.restored += 1;
@@ -680,6 +688,9 @@ pub struct SessionServer<'m, M: IncrementalScorer + Sync> {
     /// The fault ledger, drained via [`take_faults`](Self::take_faults).
     faults: Vec<SessionFault>,
     journal: Option<journal::Journal>,
+    /// The storage stack resolved at construction (explicit config handle
+    /// or the process-global default).
+    pub(crate) vfs: Arc<dyn Vfs>,
     /// Server-owned telemetry ticker; held only for its Drop (final tick +
     /// join when the server is dropped).
     _telemetry: Option<tpgnn_obs::snapshot::Ticker>,
@@ -705,12 +716,17 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             });
         }
         let num_shards = cfg.num_shards.max(1);
+        let server_vfs = cfg.vfs.clone().unwrap_or_else(vfs::global);
         let journal = match &cfg.journal_dir {
-            Some(dir) => Some(journal::Journal::open(dir, num_shards)?),
+            Some(dir) => Some(journal::Journal::open(&*server_vfs, dir, num_shards)?),
             None => None,
         };
         let telemetry = cfg.telemetry.as_ref().map(|t| {
-            let writer = tpgnn_obs::snapshot::SnapshotWriter::new(&t.run, &t.dir);
+            let writer = tpgnn_obs::snapshot::SnapshotWriter::with_vfs(
+                &t.run,
+                &t.dir,
+                Arc::clone(&server_vfs),
+            );
             let mut slo = cfg.slo.clone().map(slo::SloTracker::new);
             tpgnn_obs::snapshot::Ticker::spawn(
                 writer,
@@ -731,6 +747,7 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             stats: ServeStats::default(),
             faults: Vec::new(),
             journal,
+            vfs: server_vfs,
             _telemetry: telemetry,
         })
     }
@@ -803,16 +820,36 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
         }
 
         let plan = self.plan_shedding(batch, batch_idx);
-        self.apply_shedding(&plan, batch_idx)?;
+        if let Err(e) = self.apply_shedding(&plan, batch_idx) {
+            // The batch dies before commit: discard its staged journal
+            // frames so they cannot ride into a later batch's commit block
+            // (recovery would see a commit-log gap). In-memory state may
+            // already be partially mutated — the contract on `ingest` is
+            // that after an `Err` the caller recovers from the journal.
+            if let Some(j) = self.journal.as_mut() {
+                j.abort_batch();
+            }
+            return Err(e);
+        }
 
         let watermark =
             if closing { f64::INFINITY } else { self.global_max - self.cfg.session_gap };
         let model = self.model;
         let cfg = &self.cfg;
         let early_enabled = !plan.suspend_early;
+        let shard_vfs = Arc::clone(&self.vfs);
         let per_shard = tpgnn_par::map_mut(&mut self.shards, Tape::new, |tape, i, shard| {
             let poisons = poison_plan.and_then(|p| p.get(&i)).map(Vec::as_slice);
-            shard.process(tape, model, cfg, watermark, batch_idx, early_enabled, poisons)
+            shard.process(
+                tape,
+                model,
+                cfg,
+                &*shard_vfs,
+                watermark,
+                batch_idx,
+                early_enabled,
+                poisons,
+            )
         });
         let records: Vec<ScoreRecord> = per_shard.into_iter().flatten().collect();
 
@@ -913,23 +950,39 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
                     std::mem::take(&mut s.poisons).into_iter().map(move |(sid, us)| (i, sid, us))
                 })
                 .collect();
-            let j = self.journal.as_mut().expect("checked above");
-            for (i, rs) in shard_records.iter().enumerate() {
-                for r in rs {
-                    j.stage_score(i, batch_idx, r);
+            if let Some(j) = self.journal.as_mut() {
+                for (i, rs) in shard_records.iter().enumerate() {
+                    for r in rs {
+                        j.stage_score(i, batch_idx, r);
+                    }
                 }
-            }
-            for (i, fs) in shard_faults.iter().enumerate() {
-                for f in fs {
-                    j.stage_fault(i, batch_idx, f);
+                for (i, fs) in shard_faults.iter().enumerate() {
+                    for f in fs {
+                        j.stage_fault(i, batch_idx, f);
+                    }
                 }
+                for (i, sid, us) in poisons {
+                    j.stage_watchdog(i, batch_idx, sid, us);
+                }
+                j.commit(batch_idx, kind, batch.len())?;
             }
-            for (i, sid, us) in poisons {
-                j.stage_watchdog(i, batch_idx, sid, us);
-            }
-            j.commit(batch_idx, kind, batch.len())?;
             if self.cfg.snapshot_every > 0 && batch_idx.is_multiple_of(self.cfg.snapshot_every) {
-                self.write_snapshot(batch_idx)?;
+                // The journal is truth; a snapshot only accelerates
+                // recovery. Failing the batch here — after its commit frame
+                // is durable — would make the driver re-feed a committed
+                // batch (double delivery), so a failed snapshot degrades to
+                // a counter + trace warning and recovery falls back to an
+                // older snapshot or full replay.
+                if let Err(e) = self.write_snapshot(batch_idx) {
+                    cells().snapshot_failed.inc();
+                    trace::warn(
+                        "serve.snapshot_failed",
+                        &[
+                            ("batch", tpgnn_obs::Json::from(batch_idx as u64)),
+                            ("error", tpgnn_obs::Json::Str(e.to_string())),
+                        ],
+                    );
+                }
             }
         } else {
             for shard in &mut self.shards {
@@ -1017,6 +1070,7 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
         batch_idx: usize,
     ) -> Result<(), ServeError> {
         let spill_dir = self.cfg.spill_dir.clone();
+        let spill_vfs = Arc::clone(&self.vfs);
         for &(shard_idx, sid) in &plan.evict {
             let Some(dir) = spill_dir.as_deref() else {
                 break; // the planner never evicts without a spill dir
@@ -1025,7 +1079,7 @@ impl<'m, M: IncrementalScorer + Sync> SessionServer<'m, M> {
             let Some(entry) = shard.sessions.get(&sid) else {
                 continue; // planned against a stale view; nothing to spill
             };
-            spill::write(dir, sid, batch_idx, entry)?;
+            spill::write(&*spill_vfs, dir, sid, batch_idx, entry)?;
             shard.sessions.remove(&sid);
             shard.spilled.insert(sid, batch_idx);
             self.stats.evicted += 1;
@@ -1134,6 +1188,7 @@ struct Cells {
     resident: &'static Gauge,
     shed_pressure: &'static Gauge,
     request_us: &'static Histogram,
+    snapshot_failed: &'static Counter,
 }
 
 fn cells() -> &'static Cells {
@@ -1156,6 +1211,7 @@ fn cells() -> &'static Cells {
             "serve.request_us",
             &metrics::exponential_buckets(10.0, 2.0, 16),
         ),
+        snapshot_failed: metrics::counter("serve.snapshot.failed"),
     })
 }
 

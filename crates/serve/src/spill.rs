@@ -20,6 +20,7 @@ use std::path::{Path, PathBuf};
 use tpgnn_core::SessionState;
 use tpgnn_graph::stream::{CtdnBuilder, StreamConfig};
 use tpgnn_graph::NodeFeatures;
+use tpgnn_obs::vfs::Vfs;
 use tpgnn_tensor::ckpt::{self, fmt_f32, fmt_f64, parse_f32, parse_f64};
 
 use crate::error::ServeError;
@@ -143,29 +144,32 @@ pub(crate) fn decode(
     Ok((sid, trace, SessionEntry { builder, state, last_seen, next_warn, last_active_batch }))
 }
 
-/// Persist session `sid` to its spill file crash-safely. Re-spilling the
-/// same (sid, batch) during recovery replay rewrites identical bytes.
+/// Persist session `sid` to its spill file crash-safely through the
+/// server's [`Vfs`]. Re-spilling the same (sid, batch) during recovery
+/// replay rewrites identical bytes.
 pub(crate) fn write(
+    vfs: &dyn Vfs,
     dir: &Path,
     sid: u64,
     batch: usize,
     entry: &SessionEntry,
 ) -> Result<(), ServeError> {
-    std::fs::create_dir_all(dir)?;
+    vfs.create_dir_all(dir)?;
     let blob = encode(sid, crate::trace_id(sid, batch), entry);
-    Ok(ckpt::write_atomic(&spill_path(dir, sid, batch), &blob)?)
+    Ok(ckpt::write_atomic_with(vfs, &spill_path(dir, sid, batch), &blob)?)
 }
 
 /// Load session `sid` back from the spill file written at `batch`,
 /// verifying both the session id and the embedded trace id against the
 /// (sid, batch) the file name claims.
 pub(crate) fn read(
+    vfs: &dyn Vfs,
     dir: &Path,
     sid: u64,
     batch: usize,
     stream_cfg: &StreamConfig,
 ) -> Result<SessionEntry, ServeError> {
-    let text = ckpt::read_atomic(&spill_path(dir, sid, batch))?;
+    let text = ckpt::read_atomic_with(vfs, &spill_path(dir, sid, batch))?;
     let (got, trace, entry) = decode(&text, stream_cfg)?;
     if got != sid {
         return Err(ServeError::Invariant {

@@ -16,9 +16,11 @@
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use tpgnn_core::{TpGnn, TpGnnConfig};
 use tpgnn_data::chaos::FaultPlan;
+use tpgnn_obs::vfs::{FaultPlan as IoFaultPlan, FaultVfs, IoFaultKind, RetryVfs, StdVfs, Vfs};
 use tpgnn_par::with_thread_override;
 use tpgnn_serve::loadgen::{generate, LoadPlan, Traffic};
 use tpgnn_serve::{
@@ -262,6 +264,129 @@ fn kill_and_recover_is_bitwise_invisible_under_shedding() {
         }
         std::fs::remove_dir_all(&spill).ok();
         std::fs::remove_dir_all(&journal).ok();
+    }
+}
+
+/// A storage fault mid-journal-frame (ENOSPC with nothing written, or a
+/// short write that lands a prefix of the frame on disk) is exactly as
+/// recoverable as a `kill -9` torn tail: the failed batch was never acked,
+/// recovery reproduces every acked batch bitwise, and re-feeding from the
+/// horizon yields a history identical to a run that never saw the fault —
+/// at pool widths 1 and 4.
+#[test]
+fn journal_write_fault_is_indistinguishable_from_a_torn_tail() {
+    let model = TpGnn::new(TpGnnConfig::gru(FEAT_DIM).with_seed(77));
+    for kind in [IoFaultKind::NoSpace, IoFaultKind::ShortWrite] {
+        for threads in [1usize, 4] {
+            let tag = format!("jfault-{}-w{threads}", kind.label());
+            let (spill, journal) = (tmpdir(&format!("{tag}-s")), tmpdir(&format!("{tag}-j")));
+            let p = plan(spill.clone(), journal.clone());
+            let traffic = generate(&p);
+            let cfg = p.serve_config();
+            let base = with_thread_override(threads, || run_uninterrupted(&model, &cfg, &traffic));
+
+            // Same traffic against a vfs that injects exactly one `kind`
+            // fault, scoped to journal files only (spill and snapshot
+            // writes stay clean so replay determinism is undisturbed).
+            // Seeds differ in where the schedule lands the fault; the test
+            // needs one that fires after at least one commit, so it probes
+            // a fixed list (deterministically) and skips too-early seeds.
+            let mut proved = false;
+            for seed in [0x5151u64, 0x9b02, 0xc0de, 0x1eaf, 0x7e57, 0xfade] {
+                let (fspill, fjournal) =
+                    (tmpdir(&format!("{tag}-fs")), tmpdir(&format!("{tag}-fj")));
+                let fp = plan(fspill.clone(), fjournal.clone());
+                let ftraffic = generate(&fp);
+                let io_plan = IoFaultPlan::new(seed)
+                    .with(kind, 0.05)
+                    .only_files(&["shard-", "commit.log"])
+                    .cap(1);
+                let injector = FaultVfs::new(Arc::new(StdVfs), io_plan);
+                let stack: Arc<dyn Vfs> = Arc::new(RetryVfs::new(Arc::new(injector.clone())));
+                let mut fcfg = fp.serve_config();
+                fcfg.vfs = Some(stack);
+
+                let fail_batch = with_thread_override(threads, || {
+                    let mut server = SessionServer::new(&model, fcfg.clone()).unwrap();
+                    for (sid, f) in &ftraffic.features {
+                        server.register(*sid, f.clone());
+                    }
+                    let mut failed_at = None;
+                    for (i, b) in ftraffic.batches.iter().enumerate() {
+                        match server.ingest(b) {
+                            Ok(_) => {
+                                server.take_faults();
+                            }
+                            Err(e) => {
+                                // The unacked batch must surface as typed
+                                // I/O, never a panic or silent success.
+                                assert!(
+                                    matches!(e, tpgnn_serve::ServeError::Io(_)),
+                                    "{tag}: wanted Io, got {e}"
+                                );
+                                failed_at = Some(i + 1);
+                                break;
+                            }
+                        }
+                    }
+                    failed_at
+                    // Crash here: in-memory state after a failed commit is
+                    // untrusted by contract; the journal is the truth.
+                });
+                let usable = match fail_batch {
+                    Some(b) if b > 1 => {
+                        assert_eq!(
+                            injector.ledger().count(kind),
+                            1,
+                            "{tag}: exactly one injection"
+                        );
+                        true
+                    }
+                    _ => false, // fired before any commit, or never — next seed
+                };
+                if usable {
+                    let fail_batch = fail_batch.unwrap();
+                    // Recover against a clean vfs, as a restarted process
+                    // would.
+                    let killed = with_thread_override(threads, || {
+                        let ccfg = fp.serve_config();
+                        let (mut server, report) =
+                            SessionServer::recover(&model, ccfg).unwrap();
+                        assert_eq!(
+                            report.last_committed,
+                            fail_batch - 1,
+                            "{tag}: the failed batch must not be visible as committed"
+                        );
+                        let mut batches = Vec::new();
+                        let mut faults = Vec::new();
+                        for out in report.delivered {
+                            batches.push(out.records);
+                            faults.push(out.faults);
+                        }
+                        assert!(server.take_faults().is_empty());
+                        for b in &ftraffic.batches[report.last_committed..] {
+                            batches.push(server.ingest(b).unwrap());
+                            faults.push(server.take_faults());
+                        }
+                        batches.push(server.close_all().unwrap());
+                        faults.push(server.take_faults());
+                        assert_eq!(server.resident(), 0);
+                        assert_eq!(server.spilled(), 0);
+                        Output { batches, faults, stats: *server.stats() }
+                    });
+                    assert_outputs_identical(&tag, &base, &killed);
+                    proved = true;
+                }
+                std::fs::remove_dir_all(&fspill).ok();
+                std::fs::remove_dir_all(&fjournal).ok();
+                if proved {
+                    break;
+                }
+            }
+            assert!(proved, "{tag}: no seed in the list landed a mid-stream fault");
+            std::fs::remove_dir_all(&spill).ok();
+            std::fs::remove_dir_all(&journal).ok();
+        }
     }
 }
 

@@ -14,6 +14,8 @@
 
 use std::path::Path;
 
+use tpgnn_obs::vfs::{self, Vfs, VfsError};
+
 /// Typed failure modes of checkpoint persistence and restore.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -50,6 +52,12 @@ impl std::error::Error for CheckpointError {}
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
         CheckpointError::Io(e)
+    }
+}
+
+impl From<VfsError> for CheckpointError {
+    fn from(e: VfsError) -> Self {
+        CheckpointError::Io(e.into())
     }
 }
 
@@ -96,26 +104,31 @@ pub fn append_checksum_trailer(body: &mut String) {
 /// Persist `body` to `path` crash-safely: the checksummed text is written
 /// to a sibling temp file, fsynced, and atomically renamed into place, so a
 /// crash at any point leaves either the previous file or the complete new
-/// one — never a torn file.
+/// one — never a torn file. Uses the process-global [`vfs`] stack; see
+/// [`write_atomic_with`] for an explicit one.
 pub fn write_atomic(path: &Path, body: &str) -> Result<(), CheckpointError> {
-    use std::io::Write;
+    write_atomic_with(&*vfs::global(), path, body)
+}
 
+/// [`write_atomic`] through an explicit [`Vfs`] (fault-injection tests, the
+/// chaos harness, servers carrying their own storage handle).
+pub fn write_atomic_with(vfs: &dyn Vfs, path: &Path, body: &str) -> Result<(), CheckpointError> {
     let mut state = body.to_string();
     append_checksum_trailer(&mut state);
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(state.as_bytes())?;
-        f.sync_all()?;
-    }
-    std::fs::rename(&tmp, path)?;
+    vfs.create_atomic(path, state.as_bytes())?;
     Ok(())
 }
 
 /// Read a file written by [`write_atomic`], verify its checksum trailer,
-/// and return the body (trailer stripped).
+/// and return the body (trailer stripped). Uses the process-global [`vfs`]
+/// stack; see [`read_atomic_with`] for an explicit one.
 pub fn read_atomic(path: &Path) -> Result<String, CheckpointError> {
-    let text = std::fs::read_to_string(path)?;
+    read_atomic_with(&*vfs::global(), path)
+}
+
+/// [`read_atomic`] through an explicit [`Vfs`].
+pub fn read_atomic_with(vfs: &dyn Vfs, path: &Path) -> Result<String, CheckpointError> {
+    let text = vfs::read_to_string(vfs, path)?;
     let body = verify_checksum_trailer(&text)?;
     if body.len() == text.len() {
         return Err(CheckpointError::Format(format!(

@@ -138,13 +138,15 @@ pub fn write_training_state(
 }
 
 /// Restore a training state persisted by [`write_training_state`],
-/// verifying its checksum trailer.
+/// verifying its checksum trailer. Reads through the process-global
+/// [`tpgnn_obs::vfs`] stack so injected faults and retries cover this path.
 pub fn read_training_state(
     opt: &mut Adam,
     store: &mut ParamStore,
     path: &std::path::Path,
 ) -> Result<(), CheckpointError> {
-    let text = std::fs::read_to_string(path)?;
+    let vfs = tpgnn_obs::vfs::global();
+    let text = tpgnn_obs::vfs::read_to_string(&*vfs, path)?;
     load_training_state(opt, store, &text)
 }
 

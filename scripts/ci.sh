@@ -130,4 +130,15 @@ echo "== crash-recovery smoke (child hard-abort + journal recovery) =="
 cargo run --release --offline -p tpgnn-bench --bin recover_smoke
 
 echo
-echo "CI OK: hermetic build, full test suite, smoke benchmarks, bench regression gate, traced smoke, serving smoke, obs_report, telemetry smoke, chaos smoke, recovery smoke."
+echo "== storage chaos smoke (seeded I/O fault schedules, --smoke) =="
+# storage_chaos drives every durability path (checkpoints, dataset io,
+# telemetry snapshots, raw vfs traffic, the serving journal) under seeded
+# FaultVfs schedules covering every injector kind — short writes, ENOSPC,
+# fsync/rename failure, transients, read corruption — and asserts zero
+# panics, no silent corruption, exact ledger/counter reconciliation, and
+# bitwise kill/recover under injected journal faults at pool widths 1 and
+# 4. Exits non-zero on any failure.
+cargo run --release --offline -p tpgnn-bench --bin storage_chaos -- --smoke
+
+echo
+echo "CI OK: hermetic build, full test suite, smoke benchmarks, bench regression gate, traced smoke, serving smoke, obs_report, telemetry smoke, chaos smoke, recovery smoke, storage chaos."
